@@ -1,0 +1,156 @@
+//! BFS — breadth-first search.
+//!
+//! Full-coverage traversal: a BFS from the context source, then restarts
+//! from every still-unvisited node in ascending id order, so every node and
+//! every out-edge is touched exactly once regardless of connectivity.
+//! Neighbours are visited in ascending id order (the CSR order).
+
+use crate::{GraphAlgorithm, RunCtx};
+use gorder_graph::{Graph, NodeId};
+
+/// Result of a full-coverage BFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// `depth[u]` within its own BFS tree (every node is in exactly one).
+    pub depth: Vec<u32>,
+    /// Nodes in visit order.
+    pub order: Vec<NodeId>,
+    /// Number of nodes reached from the primary source (before restarts).
+    pub primary_reached: u32,
+}
+
+/// Runs a full-coverage BFS starting at `source`.
+pub fn bfs(g: &Graph, source: NodeId) -> BfsResult {
+    let n = g.n() as usize;
+    let mut depth = vec![u32::MAX; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut primary_reached = 0;
+    let starts = std::iter::once(source).chain(g.nodes());
+    for s in starts {
+        if n == 0 || depth[s as usize] != u32::MAX {
+            continue;
+        }
+        depth[s as usize] = 0;
+        let frontier_start = order.len();
+        order.push(s);
+        let mut head = frontier_start;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            let du = depth[u as usize];
+            for &v in g.out_neighbors(u) {
+                if depth[v as usize] == u32::MAX {
+                    depth[v as usize] = du + 1;
+                    order.push(v);
+                }
+            }
+        }
+        if s == source {
+            primary_reached = (order.len() - frontier_start) as u32;
+        }
+    }
+    BfsResult {
+        depth,
+        order,
+        primary_reached,
+    }
+}
+
+/// [`GraphAlgorithm`] wrapper for BFS.
+pub struct Bfs;
+
+impl GraphAlgorithm for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
+        if g.n() == 0 {
+            return 0;
+        }
+        let r = bfs(g, ctx.source_for(g));
+        // Depths from the primary source are invariant under relabeling
+        // (BFS level sets do not depend on visit order within a level);
+        // restart-tree depths are not, so only count the primary tree.
+        // order[0..primary_reached] is exactly the primary tree.
+        r.order[..r.primary_reached as usize]
+            .iter()
+            .fold(u64::from(r.primary_reached), |acc, &u| {
+                acc.wrapping_add(u64::from(r.depth[u as usize]))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gorder_graph::Permutation;
+
+    #[test]
+    fn depths_on_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.depth, vec![0, 1, 2, 3]);
+        assert_eq!(r.order, vec![0, 1, 2, 3]);
+        assert_eq!(r.primary_reached, 4);
+    }
+
+    #[test]
+    fn lexicographic_neighbor_order() {
+        let g = Graph::from_edges(4, &[(0, 3), (0, 1), (0, 2)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn restarts_cover_disconnected_parts() {
+        let g = Graph::from_edges(5, &[(0, 1), (3, 4)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.order.len(), 5);
+        assert_eq!(r.primary_reached, 2);
+        assert_eq!(r.depth[2], 0); // restart root
+        assert_eq!(r.depth[4], 1);
+    }
+
+    #[test]
+    fn source_respected() {
+        let g = Graph::from_edges(3, &[(2, 0), (0, 1)]);
+        let r = bfs(&g, 2);
+        assert_eq!(r.depth, vec![1, 2, 0]);
+        assert_eq!(r.primary_reached, 3);
+    }
+
+    #[test]
+    fn checksum_invariant_with_mapped_source() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (5, 0)]);
+        let perm = Permutation::try_new(vec![3, 1, 4, 0, 2, 5]).unwrap();
+        let relabelled = g.relabel(&perm);
+        let a = Bfs.run(
+            &g,
+            &RunCtx {
+                source: Some(0),
+                ..Default::default()
+            },
+        );
+        let b = Bfs.run(
+            &relabelled,
+            &RunCtx {
+                source: Some(perm.apply(0)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(Bfs.run(&Graph::empty(0), &RunCtx::default()), 0);
+    }
+
+    #[test]
+    fn single_node() {
+        let r = bfs(&Graph::empty(1), 0);
+        assert_eq!(r.depth, vec![0]);
+        assert_eq!(r.primary_reached, 1);
+    }
+}

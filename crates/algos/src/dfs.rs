@@ -1,0 +1,148 @@
+//! DFS — depth-first search.
+//!
+//! Iterative (explicit stack — the paper's graphs are far too deep for
+//! recursion), full coverage via restarts in ascending id order, children
+//! visited in ascending id order. The ChDFS *ordering* in `gorder-orders`
+//! is exactly this traversal's discovery order, which is why ChDFS makes
+//! the DFS *algorithm* so fast in the replication's Figure 5.
+
+use crate::{GraphAlgorithm, RunCtx};
+use gorder_graph::{Graph, NodeId};
+
+/// Result of a full-coverage DFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfsResult {
+    /// Nodes in discovery (pre-) order.
+    pub preorder: Vec<NodeId>,
+    /// `discovery[u]` = index of `u` in `preorder`.
+    pub discovery: Vec<u32>,
+    /// Number of tree edges (n − number of restart roots).
+    pub tree_edges: u32,
+}
+
+/// Runs a full-coverage iterative DFS starting at `source`.
+///
+/// Uses the standard "stack of (node, next-child-index)" formulation so
+/// children are expanded lazily in ascending id order, exactly like the
+/// recursive definition.
+pub fn dfs(g: &Graph, source: NodeId) -> DfsResult {
+    let n = g.n() as usize;
+    let mut discovery = vec![u32::MAX; n];
+    let mut preorder: Vec<NodeId> = Vec::with_capacity(n);
+    let mut stack: Vec<(NodeId, u32)> = Vec::new();
+    let mut tree_edges = 0;
+    let starts = std::iter::once(source).chain(g.nodes());
+    for s in starts {
+        if n == 0 || discovery[s as usize] != u32::MAX {
+            continue;
+        }
+        discovery[s as usize] = preorder.len() as u32;
+        preorder.push(s);
+        stack.push((s, 0));
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            let neighbors = g.out_neighbors(u);
+            let mut advanced = false;
+            while (*next as usize) < neighbors.len() {
+                let v = neighbors[*next as usize];
+                *next += 1;
+                if discovery[v as usize] == u32::MAX {
+                    discovery[v as usize] = preorder.len() as u32;
+                    preorder.push(v);
+                    tree_edges += 1;
+                    stack.push((v, 0));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                stack.pop();
+            }
+        }
+    }
+    DfsResult {
+        preorder,
+        discovery,
+        tree_edges,
+    }
+}
+
+/// [`GraphAlgorithm`] wrapper for DFS.
+pub struct Dfs;
+
+impl GraphAlgorithm for Dfs {
+    fn name(&self) -> &'static str {
+        "DFS"
+    }
+
+    fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
+        if g.n() == 0 {
+            return 0;
+        }
+        let r = dfs(g, ctx.source_for(g));
+        // Node count and edge count are relabeling-invariant; discovery
+        // order is not, so the checksum sticks to invariants while still
+        // depending on the traversal having completed.
+        (r.preorder.len() as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ u64::from(r.tree_edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preorder_on_tree() {
+        // 0 -> {1, 4}; 1 -> {2, 3}
+        let g = Graph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (1, 3)]);
+        let r = dfs(&g, 0);
+        assert_eq!(r.preorder, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.tree_edges, 4);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        let n = 200_000u32;
+        let edges: Vec<(NodeId, NodeId)> = (0..n - 1).map(|u| (u, u + 1)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let r = dfs(&g, 0);
+        assert_eq!(r.preorder.len(), n as usize);
+        assert_eq!(r.tree_edges, n - 1);
+    }
+
+    #[test]
+    fn back_edges_are_not_tree_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let r = dfs(&g, 0);
+        assert_eq!(r.tree_edges, 2);
+    }
+
+    #[test]
+    fn restart_coverage() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let r = dfs(&g, 0);
+        assert_eq!(r.preorder.len(), 4);
+        assert_eq!(r.tree_edges, 2); // two trees of one edge each
+    }
+
+    #[test]
+    fn discovery_indexes_preorder() {
+        let g = Graph::from_edges(5, &[(0, 2), (2, 1), (1, 3), (0, 4)]);
+        let r = dfs(&g, 0);
+        for (i, &u) in r.preorder.iter().enumerate() {
+            assert_eq!(r.discovery[u as usize], i as u32);
+        }
+    }
+
+    #[test]
+    fn lexicographic_child_order() {
+        let g = Graph::from_edges(4, &[(0, 2), (0, 1), (2, 3)]);
+        let r = dfs(&g, 0);
+        // child 1 before child 2 despite insertion order
+        assert_eq!(r.preorder, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(Dfs.run(&Graph::empty(0), &RunCtx::default()), 0);
+    }
+}

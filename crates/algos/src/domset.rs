@@ -1,0 +1,191 @@
+//! DS — greedy dominating set.
+//!
+//! The replication's description: repeatedly select the node covering the
+//! most still-uncovered nodes, add it to the dominating set, and mark it
+//! and its neighbours covered. A node `u` covers itself and its
+//! out-neighbours; every node must end up covered.
+//!
+//! The classic greedy achieves an `H(Δ+1)` approximation. Selection uses a
+//! lazy max-heap: gains only decrease, so a popped entry whose recorded
+//! gain is stale is re-pushed with its current gain instead of being acted
+//! on.
+
+use crate::{GraphAlgorithm, RunCtx};
+use gorder_graph::{Graph, NodeId};
+use std::collections::BinaryHeap;
+
+/// Result of the greedy dominating-set construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomSetResult {
+    /// Selected nodes, in selection order.
+    pub set: Vec<NodeId>,
+    /// `covered_by[u]` = the selected node that first covered `u`.
+    pub covered_by: Vec<NodeId>,
+}
+
+impl DomSetResult {
+    /// Size of the dominating set.
+    pub fn size(&self) -> u32 {
+        self.set.len() as u32
+    }
+}
+
+/// Runs the greedy dominating-set algorithm.
+pub fn dominating_set(g: &Graph) -> DomSetResult {
+    let n = g.n() as usize;
+    let mut gain: Vec<u32> = g.nodes().map(|u| g.out_degree(u) + 1).collect();
+    let mut covered = vec![false; n];
+    let mut covered_by = vec![NodeId::MAX; n];
+    let mut set: Vec<NodeId> = Vec::new();
+    let mut heap: BinaryHeap<(u32, NodeId)> =
+        (0..n as u32).map(|u| (gain[u as usize], u)).collect();
+    let mut remaining = n;
+
+    while remaining > 0 {
+        let (claimed, u) = heap.pop().expect("uncovered nodes imply positive gains");
+        let current = gain[u as usize];
+        if claimed != current {
+            heap.push((current, u)); // stale entry: requeue with true gain
+            continue;
+        }
+        if current == 0 {
+            continue; // everything u covers is already covered
+        }
+        set.push(u);
+        // Cover u and its out-neighbours; each newly covered node w lowers
+        // the gain of every potential coverer of w (w itself and in(w)).
+        let mut newly: Vec<NodeId> = Vec::with_capacity(g.out_degree(u) as usize + 1);
+        if !covered[u as usize] {
+            newly.push(u);
+        }
+        for &w in g.out_neighbors(u) {
+            if !covered[w as usize] {
+                newly.push(w);
+            }
+        }
+        for &w in &newly {
+            covered[w as usize] = true;
+            covered_by[w as usize] = u;
+            remaining -= 1;
+            gain[w as usize] -= 1;
+            for &z in g.in_neighbors(w) {
+                gain[z as usize] -= 1;
+            }
+        }
+    }
+    DomSetResult { set, covered_by }
+}
+
+/// [`GraphAlgorithm`] wrapper for DS.
+pub struct Ds;
+
+impl GraphAlgorithm for Ds {
+    fn name(&self) -> &'static str {
+        "DS"
+    }
+
+    fn run(&self, g: &Graph, _ctx: &RunCtx) -> u64 {
+        // Greedy tie-breaking depends on ids, so the exact set is not
+        // relabeling-invariant; the size is stable enough to be the
+        // reported quantity (and what the paper's runtime depends on).
+        u64::from(dominating_set(g).size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_dominating(g: &Graph, r: &DomSetResult) {
+        let mut covered = vec![false; g.n() as usize];
+        for &u in &r.set {
+            covered[u as usize] = true;
+            for &v in g.out_neighbors(u) {
+                covered[v as usize] = true;
+            }
+        }
+        for u in g.nodes() {
+            assert!(covered[u as usize], "node {u} not dominated");
+        }
+    }
+
+    #[test]
+    fn star_needs_one() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let r = dominating_set(&g);
+        assert_eq!(r.set, vec![0]);
+        assert_dominating(&g, &r);
+    }
+
+    #[test]
+    fn isolated_nodes_must_join() {
+        let g = Graph::empty(4);
+        let r = dominating_set(&g);
+        assert_eq!(r.size(), 4);
+        assert_dominating(&g, &r);
+    }
+
+    #[test]
+    fn directed_coverage_only_via_out_edges() {
+        // 1 -> 0: selecting 1 covers both; selecting 0 covers only 0.
+        let g = Graph::from_edges(2, &[(1, 0)]);
+        let r = dominating_set(&g);
+        assert_eq!(r.set, vec![1]);
+        assert_dominating(&g, &r);
+    }
+
+    #[test]
+    fn path_greedy_is_valid() {
+        let edges: Vec<(NodeId, NodeId)> = (0..9).map(|u| (u, u + 1)).collect();
+        let g = Graph::from_edges(10, &edges);
+        let r = dominating_set(&g);
+        assert_dominating(&g, &r);
+        assert!(r.size() <= 5, "greedy on a 10-path: {}", r.size());
+    }
+
+    #[test]
+    fn covered_by_points_at_selector() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let r = dominating_set(&g);
+        assert_dominating(&g, &r);
+        for u in g.nodes() {
+            let c = r.covered_by[u as usize];
+            assert!(
+                c == u || g.has_edge(c, u),
+                "covered_by[{u}] = {c} neither self nor in-neighbor"
+            );
+            assert!(r.set.contains(&c));
+        }
+    }
+
+    #[test]
+    fn greedy_picks_max_gain_first() {
+        // hub 0 covers 4 nodes; chain nodes cover 2 each
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (4, 5), (5, 6)]);
+        let r = dominating_set(&g);
+        assert_eq!(r.set[0], 0, "hub first");
+        assert_dominating(&g, &r);
+    }
+
+    #[test]
+    fn dense_graph_small_set() {
+        // complete bidirected graph on 8 nodes: one node suffices
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in 0..8u32 {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(8, &edges);
+        let r = dominating_set(&g);
+        assert_eq!(r.size(), 1);
+    }
+
+    #[test]
+    fn empty() {
+        let r = dominating_set(&Graph::empty(0));
+        assert_eq!(r.size(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! SCC — strongly connected components via Tarjan's algorithm.
+//!
+//! Iterative formulation of Tarjan 1972 (the replication's choice): one
+//! DFS pass maintaining discovery indices and low-links, components popped
+//! off an auxiliary stack when a root is found. Linear in n + m.
+
+use crate::{GraphAlgorithm, RunCtx};
+use gorder_graph::{Graph, NodeId};
+
+/// Result of an SCC decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccResult {
+    /// `component[u]` = dense component id (0-based, reverse topological
+    /// discovery order as in Tarjan).
+    pub component: Vec<u32>,
+    /// Size of each component.
+    pub sizes: Vec<u32>,
+}
+
+impl SccResult {
+    /// Number of strongly connected components.
+    pub fn count(&self) -> u32 {
+        self.sizes.len() as u32
+    }
+
+    /// Size of the largest component (0 on the empty graph).
+    pub fn largest(&self) -> u32 {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Computes strongly connected components with iterative Tarjan.
+pub fn scc(g: &Graph) -> SccResult {
+    let n = g.n() as usize;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![UNVISITED; n];
+    let mut sizes: Vec<u32> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    // call frames: (node, next child offset)
+    let mut frames: Vec<(NodeId, u32)> = Vec::new();
+
+    for root in g.nodes() {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (u, ref mut child)) = frames.last_mut() {
+            let neighbors = g.out_neighbors(u);
+            if (*child as usize) < neighbors.len() {
+                let v = neighbors[*child as usize];
+                *child += 1;
+                if index[v as usize] == UNVISITED {
+                    index[v as usize] = next_index;
+                    lowlink[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    frames.push((v, 0));
+                } else if on_stack[v as usize] {
+                    lowlink[u as usize] = lowlink[u as usize].min(index[v as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[u as usize]);
+                }
+                if lowlink[u as usize] == index[u as usize] {
+                    // u is a root: pop its component
+                    let id = sizes.len() as u32;
+                    let mut size = 0;
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = id;
+                        size += 1;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    sizes.push(size);
+                }
+            }
+        }
+    }
+    SccResult { component, sizes }
+}
+
+/// [`GraphAlgorithm`] wrapper for SCC.
+pub struct Scc;
+
+impl GraphAlgorithm for Scc {
+    fn name(&self) -> &'static str {
+        "SCC"
+    }
+
+    fn run(&self, g: &Graph, _ctx: &RunCtx) -> u64 {
+        let r = scc(g);
+        // Component count and the multiset of sizes are invariant under
+        // relabeling; Σ size² is a cheap multiset fingerprint.
+        r.sizes.iter().fold(u64::from(r.count()), |acc, &s| {
+            acc.wrapping_add(u64::from(s) * u64::from(s))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gorder_graph::Permutation;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = scc(&g);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.largest(), 4);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = scc(&g);
+        assert_eq!(r.count(), 4);
+        assert_eq!(r.largest(), 1);
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // cycle {0,1,2}, cycle {3,4}, bridge 2 -> 3
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)]);
+        let r = scc(&g);
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.component[0], r.component[1]);
+        assert_eq!(r.component[1], r.component[2]);
+        assert_eq!(r.component[3], r.component[4]);
+        assert_ne!(r.component[0], r.component[3]);
+        let mut sizes = r.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // Floyd–Warshall reads naturally with indices
+    fn members_are_mutually_reachable_invariant() {
+        // self-check on a small random-ish graph using Floyd–Warshall
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 2),
+            (5, 0),
+            (4, 5),
+        ];
+        let g = Graph::from_edges(6, &edges);
+        let r = scc(&g);
+        let n = 6usize;
+        let mut reach = vec![vec![false; n]; n];
+        for i in 0..n {
+            reach[i][i] = true;
+        }
+        for &(u, v) in &edges {
+            reach[u as usize][v as usize] = true;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    reach[i][j] |= reach[i][k] && reach[k][j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let same = r.component[i] == r.component[j];
+                assert_eq!(same, reach[i][j] && reach[j][i], "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_invariant_under_relabel() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (4, 5)]);
+        let perm = Permutation::try_new(vec![5, 3, 0, 1, 4, 2]).unwrap();
+        let ctx = RunCtx::default();
+        assert_eq!(Scc.run(&g, &ctx), Scc.run(&g.relabel(&perm), &ctx));
+    }
+
+    #[test]
+    fn deep_cycle_iterative_safe() {
+        let n = 150_000u32;
+        let mut edges: Vec<(NodeId, NodeId)> = (0..n - 1).map(|u| (u, u + 1)).collect();
+        edges.push((n - 1, 0));
+        let g = Graph::from_edges(n, &edges);
+        let r = scc(&g);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.largest(), n);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        assert_eq!(scc(&Graph::empty(0)).count(), 0);
+        let r = scc(&Graph::empty(3));
+        assert_eq!(r.count(), 3);
+        assert_eq!(r.largest(), 1);
+    }
+}

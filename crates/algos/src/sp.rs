@@ -1,0 +1,191 @@
+//! SP — single-source shortest paths by Bellman–Ford.
+//!
+//! The paper deliberately uses round-based Bellman–Ford on the unweighted
+//! graph (not BFS): every round scans *all* edges and relaxes those that
+//! improve a distance, stopping when a round changes nothing. With hop
+//! distances that is O(Δ·m) for graph diameter Δ — cheap on small-diameter
+//! real-world graphs, and its full-edge-scan access pattern is exactly the
+//! kind of attribute-array traffic that node ordering accelerates.
+
+use crate::{GraphAlgorithm, RunCtx};
+use gorder_graph::{Graph, NodeId};
+
+/// Distance value for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Result of a Bellman–Ford run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpResult {
+    /// Hop distance from the source (`UNREACHABLE` if not reachable).
+    pub dist: Vec<u32>,
+    /// Number of full-edge-scan rounds executed (≤ diameter + 1).
+    pub rounds: u32,
+}
+
+impl SpResult {
+    /// Number of reachable nodes (including the source).
+    pub fn reached(&self) -> u32 {
+        self.dist.iter().filter(|&&d| d != UNREACHABLE).count() as u32
+    }
+
+    /// Maximum finite distance (the source's eccentricity).
+    pub fn eccentricity(&self) -> u32 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Round-based Bellman–Ford from `source` over unit edge weights.
+pub fn bellman_ford(g: &Graph, source: NodeId) -> SpResult {
+    let n = g.n() as usize;
+    let mut dist = vec![UNREACHABLE; n];
+    if n == 0 {
+        return SpResult { dist, rounds: 0 };
+    }
+    dist[source as usize] = 0;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for u in g.nodes() {
+            let du = dist[u as usize];
+            if du == UNREACHABLE {
+                continue;
+            }
+            let cand = du + 1;
+            for &v in g.out_neighbors(u) {
+                if cand < dist[v as usize] {
+                    dist[v as usize] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    SpResult { dist, rounds }
+}
+
+/// [`GraphAlgorithm`] wrapper for SP.
+pub struct Sp;
+
+impl GraphAlgorithm for Sp {
+    fn name(&self) -> &'static str {
+        "SP"
+    }
+
+    fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
+        if g.n() == 0 {
+            return 0;
+        }
+        let r = bellman_ford(g, ctx.source_for(g));
+        // Distances from a mapped source are invariant under relabeling.
+        r.dist
+            .iter()
+            .filter(|&&d| d != UNREACHABLE)
+            .fold(0u64, |a, &d| a.wrapping_add(u64::from(d)).wrapping_add(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gorder_graph::Permutation;
+
+    #[test]
+    fn distances_on_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = bellman_ford(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3]);
+        assert_eq!(r.eccentricity(), 3);
+        assert_eq!(r.reached(), 4);
+    }
+
+    #[test]
+    fn shortest_of_two_routes() {
+        // 0 -> 1 -> 2 -> 4 and 0 -> 3 -> 4: both reach 4 in ≥2 hops; dist 4 = 2
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 4), (0, 3), (3, 4)]);
+        let r = bellman_ford(&g, 0);
+        assert_eq!(r.dist[4], 2);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = Graph::from_edges(3, &[(1, 2)]);
+        let r = bellman_ford(&g, 0);
+        assert_eq!(r.dist, vec![0, UNREACHABLE, UNREACHABLE]);
+        assert_eq!(r.reached(), 1);
+        assert_eq!(r.eccentricity(), 0);
+    }
+
+    #[test]
+    fn direction_respected() {
+        let g = Graph::from_edges(2, &[(1, 0)]);
+        let r = bellman_ford(&g, 0);
+        assert_eq!(r.dist[1], UNREACHABLE);
+    }
+
+    #[test]
+    fn rounds_bounded_by_diameter_plus_one() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let r = bellman_ford(&g, 0);
+        // node-order scanning settles the whole ascending path in round 1
+        assert!(r.rounds <= 6, "rounds = {}", r.rounds);
+        assert_eq!(r.dist[5], 5);
+    }
+
+    #[test]
+    fn matches_bfs_depths() {
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (2, 5),
+                (6, 0),
+            ],
+        );
+        let sp = bellman_ford(&g, 0);
+        let bfs = crate::bfs::bfs(&g, 0);
+        for u in 0..7usize {
+            let bd = if u == 6 { UNREACHABLE } else { bfs.depth[u] };
+            assert_eq!(sp.dist[u], bd, "node {u}");
+        }
+    }
+
+    #[test]
+    fn checksum_invariant_with_mapped_source() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3), (3, 5)]);
+        let perm = Permutation::try_new(vec![2, 4, 5, 1, 0, 3]).unwrap();
+        let a = Sp.run(
+            &g,
+            &RunCtx {
+                source: Some(0),
+                ..Default::default()
+            },
+        );
+        let b = Sp.run(
+            &g.relabel(&perm),
+            &RunCtx {
+                source: Some(perm.apply(0)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty() {
+        let r = bellman_ford(&Graph::empty(0), 0);
+        assert_eq!(r.rounds, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Triangle counting (extension algorithm).
+//!
+//! Counts triangles in the symmetrised simple graph with the standard
+//! forward/compact algorithm: orient every undirected edge from the
+//! lower-degree endpoint to the higher (ties by id), then intersect
+//! out-lists of edge endpoints. O(m^{3/2}) worst case, far better on
+//! skewed graphs. The intersection loops read neighbour lists of *pairs*
+//! of adjacent nodes — co-access that node orderings directly influence,
+//! which is why triangle counting is a favourite beneficiary in the
+//! reordering literature that followed the paper.
+
+use crate::{GraphAlgorithm, RunCtx};
+use gorder_graph::{Graph, NodeId};
+
+/// Counts triangles in the symmetrised simple graph.
+pub fn count_triangles(g: &Graph) -> u64 {
+    let n = g.n() as usize;
+    // Build the symmetrised simple adjacency once.
+    let mut undirected: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for u in g.nodes() {
+        let mut merged: Vec<NodeId> = g
+            .out_neighbors(u)
+            .iter()
+            .chain(g.in_neighbors(u))
+            .copied()
+            .collect();
+        merged.sort_unstable();
+        merged.dedup();
+        merged.retain(|&v| v != u);
+        undirected[u as usize] = merged;
+    }
+    let rank = |u: NodeId| (undirected[u as usize].len(), u);
+    // Forward edges: keep only v with rank(v) > rank(u).
+    let forward: Vec<Vec<NodeId>> = (0..n as u32)
+        .map(|u| {
+            undirected[u as usize]
+                .iter()
+                .copied()
+                .filter(|&v| rank(v) > rank(u))
+                .collect()
+        })
+        .collect();
+    let mut count = 0u64;
+    for u in 0..n {
+        for &v in &forward[u] {
+            // intersect forward[u] with forward[v]
+            let (a, b) = (&forward[u], &forward[v as usize]);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Global clustering coefficient: `3·triangles / open-wedges`.
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let triangles = count_triangles(g);
+    // wedges = Σ d(d−1)/2 over simple undirected degrees
+    let mut wedges = 0u64;
+    for u in g.nodes() {
+        let mut merged: Vec<NodeId> = g
+            .out_neighbors(u)
+            .iter()
+            .chain(g.in_neighbors(u))
+            .copied()
+            .collect();
+        merged.sort_unstable();
+        merged.dedup();
+        merged.retain(|&v| v != u);
+        let d = merged.len() as u64;
+        wedges += d * d.saturating_sub(1) / 2;
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+/// [`GraphAlgorithm`] wrapper for triangle counting.
+pub struct Triangles;
+
+impl GraphAlgorithm for Triangles {
+    fn name(&self) -> &'static str {
+        "Tri"
+    }
+
+    fn run(&self, g: &Graph, _ctx: &RunCtx) -> u64 {
+        count_triangles(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gorder_graph::gen::{preferential_attachment, PrefAttachConfig};
+    use gorder_graph::Permutation;
+    use rand::SeedableRng;
+
+    /// O(n³) reference count on the symmetrised simple graph.
+    fn naive(g: &Graph) -> u64 {
+        let n = g.n();
+        let adj = |u: NodeId, v: NodeId| g.has_edge(u, v) || g.has_edge(v, u);
+        let mut count = 0;
+        for a in 0..n {
+            for b in a + 1..n {
+                for c in b + 1..n {
+                    if adj(a, b) && adj(b, c) && adj(a, c) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count_triangles(&g), 1);
+    }
+
+    #[test]
+    fn direction_and_reciprocity_do_not_double_count() {
+        // fully bidirected triangle is still one triangle
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2)]);
+        assert_eq!(count_triangles(&g), 1);
+    }
+
+    #[test]
+    fn square_has_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(count_triangles(&g), 0);
+    }
+
+    #[test]
+    fn k4_has_four() {
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a < b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let g = Graph::from_edges(4, &edges);
+        assert_eq!(count_triangles(&g), 4);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..4 {
+            let g = preferential_attachment(PrefAttachConfig {
+                n: 60,
+                out_degree: 4,
+                reciprocity: 0.4,
+                uniform_mix: 0.3,
+                closure_prob: 0.4,
+                recency_bias: 0.2,
+                seed,
+            });
+            assert_eq!(count_triangles(&g), naive(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn invariant_under_relabel() {
+        let g = preferential_attachment(PrefAttachConfig {
+            n: 150,
+            out_degree: 5,
+            reciprocity: 0.3,
+            uniform_mix: 0.2,
+            closure_prob: 0.4,
+            recency_bias: 0.2,
+            seed: 9,
+        });
+        let perm = Permutation::random(g.n(), &mut rand::rngs::StdRng::seed_from_u64(2));
+        assert_eq!(count_triangles(&g), count_triangles(&g.relabel(&perm)));
+    }
+
+    #[test]
+    fn closure_raises_clustering() {
+        let make = |closure| {
+            preferential_attachment(PrefAttachConfig {
+                n: 800,
+                out_degree: 6,
+                reciprocity: 0.3,
+                uniform_mix: 0.2,
+                closure_prob: closure,
+                recency_bias: 0.2,
+                seed: 5,
+            })
+        };
+        let high = clustering_coefficient(&make(0.6));
+        let low = clustering_coefficient(&make(0.0));
+        assert!(
+            high > 2.0 * low.max(1e-6),
+            "closure should raise clustering: {high} vs {low}"
+        );
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(count_triangles(&Graph::empty(0)), 0);
+        assert_eq!(clustering_coefficient(&Graph::empty(5)), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! WCC — weakly connected components (extension algorithm).
+//!
+//! Not part of the paper's nine-algorithm suite; included because the
+//! paper's discussion argues Gorder "could speed up other graph
+//! algorithms as well". Two classic implementations with identical
+//! results:
+//!
+//! * [`wcc`] — BFS over the symmetrised view (frontier-local accesses,
+//!   ordering-sensitive like the paper's BFS);
+//! * [`wcc_union_find`] — union–find with path halving + union by size
+//!   (edge-order scans with pointer chasing through the parent array —
+//!   a different, also ordering-sensitive access pattern).
+
+use crate::{GraphAlgorithm, RunCtx};
+use gorder_graph::{Graph, NodeId};
+
+/// Result of a WCC decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WccResult {
+    /// Dense component id per node.
+    pub component: Vec<u32>,
+    /// Size of each component.
+    pub sizes: Vec<u32>,
+}
+
+impl WccResult {
+    /// Number of weakly connected components.
+    pub fn count(&self) -> u32 {
+        self.sizes.len() as u32
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> u32 {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// BFS-based WCC over the symmetrised view.
+pub fn wcc(g: &Graph) -> WccResult {
+    let n = g.n() as usize;
+    let mut component = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue: Vec<NodeId> = Vec::new();
+    for root in g.nodes() {
+        if component[root as usize] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        component[root as usize] = id;
+        queue.clear();
+        queue.push(root);
+        let mut head = 0;
+        let mut size = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            size += 1;
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if component[v as usize] == u32::MAX {
+                    component[v as usize] = id;
+                    queue.push(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    WccResult { component, sizes }
+}
+
+/// Union–find WCC (path halving, union by size).
+pub fn wcc_union_find(g: &Graph) -> WccResult {
+    let n = g.n() as usize;
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut size: Vec<u32> = vec![1; n];
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize]; // halving
+            x = parent[x as usize];
+        }
+        x
+    }
+    for (u, v) in g.edges() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            let (big, small) = if size[ru as usize] >= size[rv as usize] {
+                (ru, rv)
+            } else {
+                (rv, ru)
+            };
+            parent[small as usize] = big;
+            size[big as usize] += size[small as usize];
+        }
+    }
+    // compress to dense component ids
+    let mut component = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    for u in 0..n as u32 {
+        let r = find(&mut parent, u);
+        if component[r as usize] == u32::MAX {
+            component[r as usize] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        let id = component[r as usize];
+        component[u as usize] = id;
+        sizes[id as usize] += 1;
+    }
+    WccResult { component, sizes }
+}
+
+/// [`GraphAlgorithm`] wrapper for WCC (BFS variant).
+pub struct Wcc;
+
+impl GraphAlgorithm for Wcc {
+    fn name(&self) -> &'static str {
+        "WCC"
+    }
+
+    fn run(&self, g: &Graph, _ctx: &RunCtx) -> u64 {
+        let r = wcc(g);
+        r.sizes.iter().fold(u64::from(r.count()), |acc, &s| {
+            acc.wrapping_add(u64::from(s) * u64::from(s))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gorder_graph::gen::erdos_renyi;
+    use gorder_graph::Permutation;
+    use rand::SeedableRng;
+
+    #[test]
+    fn direction_is_ignored() {
+        // 0 -> 1 <- 2: weakly one component
+        let g = Graph::from_edges(3, &[(0, 1), (2, 1)]);
+        let r = wcc(&g);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.largest(), 3);
+    }
+
+    #[test]
+    fn separate_components_counted() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let r = wcc(&g);
+        assert_eq!(r.count(), 3); // {0,1}, {2,3}, {4}
+        let mut sizes = r.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn union_find_matches_bfs() {
+        for seed in 0..5 {
+            let g = erdos_renyi(300, 350, seed); // sparse → many components
+            let a = wcc(&g);
+            let b = wcc_union_find(&g);
+            assert_eq!(a.count(), b.count(), "seed {seed}");
+            // same partition: component labels may differ, membership not
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    let same_a = a.component[u as usize] == a.component[v as usize];
+                    let same_b = b.component[u as usize] == b.component[v as usize];
+                    assert_eq!(same_a, same_b, "seed {seed}, pair ({u}, {v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_invariant_under_relabel() {
+        let g = erdos_renyi(200, 300, 7);
+        let perm = Permutation::random(g.n(), &mut rand::rngs::StdRng::seed_from_u64(1));
+        let ctx = RunCtx::default();
+        assert_eq!(Wcc.run(&g, &ctx), Wcc.run(&g.relabel(&perm), &ctx));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        assert_eq!(wcc(&Graph::empty(0)).count(), 0);
+        assert_eq!(wcc(&Graph::empty(4)).count(), 4);
+        assert_eq!(wcc_union_find(&Graph::empty(4)).count(), 4);
+    }
+
+    #[test]
+    fn wcc_at_least_as_coarse_as_scc() {
+        let g = erdos_renyi(150, 400, 3);
+        let w = wcc(&g);
+        let s = crate::scc::scc(&g);
+        assert!(w.count() <= s.count());
+        // nodes in the same SCC are necessarily in the same WCC
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if s.component[u as usize] == s.component[v as usize] {
+                    assert_eq!(w.component[u as usize], w.component[v as usize]);
+                }
+            }
+        }
+    }
+}

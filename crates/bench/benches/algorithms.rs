@@ -1,0 +1,44 @@
+//! Criterion micro-bench: every benchmark algorithm under the Original
+//! order vs Gorder (Figure 5 in micro-benchmark form) on a small
+//! flickr-like graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gorder_algos::RunCtx;
+use gorder_core::Gorder;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = gorder_graph::datasets::flickr_like().build(0.05);
+    let perm = Gorder::with_defaults().compute(&g);
+    let reordered = g.relabel(&perm);
+    let source = g.max_degree_node().unwrap_or(0);
+    let ctx_orig = RunCtx {
+        source: Some(source),
+        pr_iterations: 10,
+        diameter_samples: 2,
+        ..Default::default()
+    };
+    let ctx_gord = RunCtx {
+        source: Some(perm.apply(source)),
+        ..ctx_orig.clone()
+    };
+
+    let mut group = c.benchmark_group("algorithm_runtime");
+    group.sample_size(10);
+    for a in gorder_algos::all() {
+        group.bench_with_input(
+            BenchmarkId::new(a.name(), "Original"),
+            &(&g, &ctx_orig),
+            |b, (g, ctx)| b.iter(|| black_box(a.run(black_box(g), ctx))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(a.name(), "Gorder"),
+            &(&reordered, &ctx_gord),
+            |b, (g, ctx)| b.iter(|| black_box(a.run(black_box(g), ctx))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-bench: CSR vs boxed adjacency lists (the replication's
+//! Figure 2 rationale). Runs the NQ access pattern over both layouts —
+//! CSR's shared arrays keep consecutive nodes' neighbour lists adjacent,
+//! the `Vec<Vec<_>>` layout pays a pointer chase and heap scatter per
+//! node.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gorder_graph::{Graph, NodeId};
+use std::hint::black_box;
+
+fn nq_csr(g: &Graph, degree: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for u in g.nodes() {
+        for &v in g.out_neighbors(u) {
+            total = total.wrapping_add(u64::from(degree[v as usize]));
+        }
+    }
+    total
+}
+
+fn nq_adjlist(adj: &[Vec<NodeId>], degree: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for list in adj {
+        for &v in list {
+            total = total.wrapping_add(u64::from(degree[v as usize]));
+        }
+    }
+    total
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let g = gorder_graph::datasets::flickr_like().build(0.2);
+    let degree: Vec<u32> = g.nodes().map(|u| g.out_degree(u)).collect();
+    let adj: Vec<Vec<NodeId>> = g.nodes().map(|u| g.out_neighbors(u).to_vec()).collect();
+    assert_eq!(nq_csr(&g, &degree), nq_adjlist(&adj, &degree));
+
+    let mut group = c.benchmark_group("graph_layout");
+    group.sample_size(20);
+    group.bench_function("csr", |b| {
+        b.iter(|| black_box(nq_csr(black_box(&g), &degree)))
+    });
+    group.bench_function("adjacency_list", |b| {
+        b.iter(|| black_box(nq_adjlist(black_box(&adj), &degree)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

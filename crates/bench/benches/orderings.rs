@@ -1,0 +1,20 @@
+//! Criterion micro-bench: ordering computation cost (Table 2 in
+//! micro-benchmark form) on a small pokec-like graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_orderings(c: &mut Criterion) {
+    let g = gorder_graph::datasets::pokec_like().build(0.05);
+    let mut group = c.benchmark_group("ordering_time");
+    group.sample_size(10);
+    for o in gorder_orders::all(42) {
+        group.bench_with_input(BenchmarkId::from_parameter(o.name()), &g, |b, g| {
+            b.iter(|| black_box(o.compute(black_box(g))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion micro-bench: sequential vs partition-parallel Gorder — the
+//! time side of the parallelisation trade-off (quality is covered by the
+//! `gorder-core::parallel` tests and the ablation binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gorder_core::{Gorder, ParallelGorder};
+use std::hint::black_box;
+
+fn bench_parallel(c: &mut Criterion) {
+    let g = gorder_graph::datasets::pokec_like().build(0.15);
+    let mut group = c.benchmark_group("gorder_parallel");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        let gorder = Gorder::with_defaults();
+        b.iter(|| black_box(gorder.compute(black_box(&g))))
+    });
+    for p in [2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("partitions", p), &g, |b, g| {
+            let gorder = ParallelGorder::with_defaults(p);
+            b.iter(|| black_box(gorder.compute(black_box(g))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

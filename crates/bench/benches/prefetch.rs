@@ -1,0 +1,34 @@
+//! Criterion micro-bench: cache-simulator throughput, with and without
+//! the next-line prefetcher, replaying PageRank. (The *effect* of the
+//! prefetcher on miss rates is asserted in `gorder-cachesim`'s tests;
+//! this measures the simulator itself, which the grid harness leans on.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gorder_cachesim::trace::{pagerank, TraceCtx};
+use gorder_cachesim::{CacheHierarchy, HierarchyConfig, Tracer};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let g = gorder_graph::datasets::epinion_like().build(0.5);
+    let ctx = TraceCtx {
+        pr_iterations: 2,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("cachesim_pr");
+    group.sample_size(10);
+    for (name, prefetch) in [("no_prefetch", false), ("next_line", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = HierarchyConfig::scaled_down();
+                cfg.prefetch_next_line = prefetch;
+                let mut t = Tracer::new(CacheHierarchy::new(&cfg));
+                pagerank(black_box(&g), &mut t, &ctx);
+                black_box(t.stats().l1_refs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-bench: the unit heap vs `std::collections::BinaryHeap`
+//! on Gorder's actual update mix (many ±1 updates per pop) — the ablation
+//! justifying the paper's custom priority structure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gorder_core::UnitHeap;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+const N: u32 = 10_000;
+const UPDATES_PER_POP: usize = 32;
+
+/// Deterministic pseudo-random index stream.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn unit_heap_workload() -> u64 {
+    let mut h = UnitHeap::new(N);
+    let mut state = 0xABCDu64;
+    let mut acc = 0u64;
+    while let Some(u) = h.pop_max() {
+        acc = acc.wrapping_add(u64::from(u));
+        for _ in 0..UPDATES_PER_POP {
+            let v = (xorshift(&mut state) % u64::from(N)) as u32;
+            h.increment(v);
+        }
+    }
+    acc
+}
+
+/// Same workload with a lazy binary heap (stale entries skipped on pop).
+fn binary_heap_workload() -> u64 {
+    let mut keys = vec![0u32; N as usize];
+    let mut alive = vec![true; N as usize];
+    let mut heap: BinaryHeap<(u32, u32)> = (0..N).map(|u| (0, u)).collect();
+    let mut state = 0xABCDu64;
+    let mut acc = 0u64;
+    let mut remaining = N;
+    while remaining > 0 {
+        let (k, u) = heap.pop().expect("entries remain while nodes alive");
+        if !alive[u as usize] || k != keys[u as usize] {
+            continue;
+        }
+        alive[u as usize] = false;
+        remaining -= 1;
+        acc = acc.wrapping_add(u64::from(u));
+        for _ in 0..UPDATES_PER_POP {
+            let v = (xorshift(&mut state) % u64::from(N)) as usize;
+            if alive[v] {
+                keys[v] += 1;
+                heap.push((keys[v], v as u32));
+            }
+        }
+    }
+    acc
+}
+
+fn bench_unitheap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority_queue");
+    group.sample_size(10);
+    group.bench_function("unit_heap", |b| b.iter(|| black_box(unit_heap_workload())));
+    group.bench_function("lazy_binary_heap", |b| {
+        b.iter(|| black_box(binary_heap_workload()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_unitheap);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion micro-bench: Gorder *computation* cost vs window size — the
+//! other half of the Figure 4 trade-off (larger windows order better but
+//! cost more to compute; the replication's §2.3 remark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gorder_core::GorderBuilder;
+use std::hint::black_box;
+
+fn bench_window(c: &mut Criterion) {
+    let g = gorder_graph::datasets::epinion_like().build(0.5);
+    let mut group = c.benchmark_group("gorder_window");
+    group.sample_size(10);
+    for w in [1u32, 5, 64, 512] {
+        let gorder = GorderBuilder::new().window(w).build();
+        group.bench_with_input(BenchmarkId::from_parameter(w), &g, |b, g| {
+            b.iter(|| black_box(gorder.compute(black_box(g))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Minimal hand-rolled argument parsing shared by the experiment binaries
+//! (no CLI dependency — the flags are few and fixed).
+
+/// Common harness flags.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Dataset size multiplier (1.0 = DESIGN.md base sizes).
+    pub scale: f64,
+    /// Timing repetitions per cell (median is reported).
+    pub reps: u32,
+    /// Seed for every randomised component.
+    pub seed: u64,
+    /// Quick smoke-run mode: tiny datasets, light algorithm parameters.
+    pub quick: bool,
+    /// Extra free-standing flags the binary may interpret (e.g.
+    /// `--by-ordering` for the S1 grouping).
+    pub extra: Vec<String>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: 0.25,
+            reps: 3,
+            seed: 42,
+            quick: false,
+            extra: Vec::new(),
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`. Unknown `--key value` pairs and bare
+    /// flags land in `extra`.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    out.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--scale needs a positive number"));
+                }
+                "--reps" => {
+                    out.reps = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--reps needs an integer"));
+                }
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--seed needs an integer"));
+                }
+                "--quick" => {
+                    out.quick = true;
+                    out.scale = out.scale.min(0.05);
+                    out.reps = 1;
+                }
+                "--full" => {
+                    out.scale = 1.0;
+                    out.reps = 5;
+                }
+                other => out.extra.push(other.to_string()),
+            }
+        }
+        if out.scale <= 0.0 {
+            die::<f64>("--scale must be positive");
+        }
+        out
+    }
+
+    /// True if an extra flag like `--by-ordering` was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.extra.iter().any(|e| e == flag)
+    }
+}
+
+fn die<T>(msg: &str) -> T {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> HarnessArgs {
+        HarnessArgs::from_args(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 0.25);
+        assert_eq!(a.reps, 3);
+        assert!(!a.quick);
+    }
+
+    #[test]
+    fn scale_and_reps() {
+        let a = parse(&["--scale", "0.5", "--reps", "7", "--seed", "9"]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.reps, 7);
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn quick_shrinks() {
+        let a = parse(&["--quick"]);
+        assert!(a.quick);
+        assert!(a.scale <= 0.05);
+        assert_eq!(a.reps, 1);
+    }
+
+    #[test]
+    fn full_expands() {
+        let a = parse(&["--full"]);
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.reps, 5);
+    }
+
+    #[test]
+    fn extras_collected() {
+        let a = parse(&["--by-ordering", "--scale", "0.1"]);
+        assert!(a.has_flag("--by-ordering"));
+        assert!(!a.has_flag("--nope"));
+        assert_eq!(a.scale, 0.1);
+    }
+}

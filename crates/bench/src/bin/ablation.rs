@@ -1,0 +1,111 @@
+//! Ablation study (DESIGN.md §8): does the paper's quality function
+//! predict runtime, and how close do cheap skew-aware orderings
+//! (HubSort / HubCluster / DBG, from the follow-on literature the paper's
+//! discussion cites) get to Gorder?
+//!
+//! For every ordering — the paper's ten plus the three extensions — on
+//! one social and one web dataset, reports: ordering computation time,
+//! PageRank runtime, simulated L1 miss rate, the Gorder objective `F(π)`,
+//! mean edge span, and bandwidth.
+
+use gorder_algos::{GraphAlgorithm, RunCtx};
+use gorder_bench::fmt::{write_csv, Table};
+use gorder_bench::timing::{median_secs, pretty_secs, time_once};
+use gorder_bench::HarnessArgs;
+use gorder_cachesim::trace::{pagerank as traced_pr, TraceCtx};
+use gorder_cachesim::{CacheHierarchy, HierarchyConfig, Tracer};
+use gorder_core::score::{bandwidth_of, f_score_of};
+use gorder_graph::locality::mean_edge_span;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let ctx = RunCtx {
+        pr_iterations: if args.quick { 5 } else { 50 },
+        ..Default::default()
+    };
+    let tctx = TraceCtx {
+        pr_iterations: if args.quick { 2 } else { 5 },
+        ..Default::default()
+    };
+    let pr = gorder_algos::pagerank::Pr;
+    let mut csv_rows = Vec::new();
+    for d in [
+        gorder_graph::datasets::flickr_like(),
+        gorder_graph::datasets::pldarc_like(),
+    ] {
+        let g = d.build(args.scale);
+        println!(
+            "Ablation on {} ({}, n = {}, m = {})\n",
+            d.name,
+            d.category,
+            g.n(),
+            g.m()
+        );
+        let mut t = Table::new([
+            "Ordering",
+            "order time",
+            "PR time",
+            "L1-mr",
+            "F(pi)/m",
+            "mean span",
+            "bandwidth",
+        ]);
+        for o in gorder_orders::extensions::extended(args.seed) {
+            let (order_secs, perm) = time_once(|| o.compute(&g));
+            let rg = g.relabel(&perm);
+            let (pr_secs, _) = median_secs(|| pr.run(&rg, &ctx), args.reps);
+            let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
+            traced_pr(&rg, &mut tracer, &tctx);
+            let l1_mr = tracer.stats().l1_miss_rate;
+            // F is O(n·w·deg): affordable at harness scale, skip if huge
+            let f = if g.n() <= 200_000 {
+                f_score_of(&g, &perm, 5) as f64 / g.m() as f64
+            } else {
+                f64::NAN
+            };
+            let span = mean_edge_span(&rg);
+            let bw = bandwidth_of(&g, &perm);
+            t.row([
+                o.name().to_string(),
+                pretty_secs(order_secs),
+                pretty_secs(pr_secs),
+                format!("{:.1}%", l1_mr * 100.0),
+                format!("{f:.2}"),
+                format!("{span:.0}"),
+                bw.to_string(),
+            ]);
+            csv_rows.push(vec![
+                d.name.to_string(),
+                o.name().to_string(),
+                format!("{order_secs:.6}"),
+                format!("{pr_secs:.6}"),
+                format!("{l1_mr:.5}"),
+                format!("{f:.4}"),
+                format!("{span:.1}"),
+                bw.to_string(),
+            ]);
+            eprintln!("[ablation] {} on {} done", o.name(), d.name);
+        }
+        t.print();
+        println!();
+    }
+    println!("(expect: higher F(pi)/m and lower span track lower L1-mr and faster PR;");
+    println!(" HubSort/HubCluster/DBG land between InDegSort and Gorder at ~InDegSort cost)");
+    match write_csv(
+        "ablation.csv",
+        &[
+            "dataset",
+            "ordering",
+            "order_seconds",
+            "pr_seconds",
+            "l1_mr",
+            "f_per_edge",
+            "mean_span",
+            "bandwidth",
+        ],
+        &csv_rows,
+    ) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

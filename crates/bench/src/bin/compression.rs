@@ -1,0 +1,60 @@
+//! Compression experiment (extension, DESIGN.md §8): the paper's
+//! discussion notes that "graph compression also benefits from orderings
+//! that cluster nodes with high proximity" (Boldi & Vigna's WebGraph).
+//! This binary measures it: gap + varint encoded adjacency size, in bits
+//! per edge, for every ordering on every dataset.
+//!
+//! Expected shape: the arrangement-energy optimisers (MinLA/MinLogA) and
+//! Gorder compress best (small gaps), Random worst — note this ranking
+//! differs from the *runtime* ranking, where MinLA does poorly: gap size
+//! is exactly MinLA's objective but only a proxy for cache locality.
+
+use gorder_bench::fmt::{write_csv, Table};
+use gorder_bench::HarnessArgs;
+use gorder_graph::compress::CompressedGraph;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Compression: gap+varint bits per edge, per ordering (scale = {})\n",
+        args.scale
+    );
+    let datasets = gorder_graph::datasets::all();
+    let orderings = gorder_orders::all(args.seed);
+    let mut header = vec!["Ordering".to_string()];
+    header.extend(datasets.iter().map(|d| d.name.to_string()));
+    let mut t = Table::new(header);
+    let mut csv_rows = Vec::new();
+
+    let graphs: Vec<_> = datasets.iter().map(|d| d.build(args.scale)).collect();
+    for o in &orderings {
+        let mut row = vec![o.name().to_string()];
+        for (d, g) in datasets.iter().zip(&graphs) {
+            let perm = o.compute(g);
+            let bits = CompressedGraph::compress(&g.relabel(&perm)).bits_per_edge();
+            row.push(format!("{bits:.2}"));
+            csv_rows.push(vec![
+                o.name().to_string(),
+                d.name.to_string(),
+                format!("{bits:.4}"),
+            ]);
+        }
+        t.row(row);
+        eprintln!("[compression] {} done", o.name());
+    }
+    // reference: raw u32 adjacency
+    let mut raw = vec!["(raw u32)".to_string()];
+    raw.extend(graphs.iter().map(|_| "32.00".to_string()));
+    t.row(raw);
+
+    t.print();
+    println!("\n(lower is better; expect MinLA/MinLogA/Gorder smallest, Random largest)");
+    match write_csv(
+        "compression.csv",
+        &["ordering", "dataset", "bits_per_edge"],
+        &csv_rows,
+    ) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

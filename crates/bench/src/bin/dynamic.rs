@@ -1,0 +1,122 @@
+//! Dynamic-graph experiment (extension, DESIGN.md §8): the paper's
+//! discussion flags that evolving networks would force constant, costly
+//! Gorder recomputation. This binary measures the incremental
+//! anchor-sorted-append maintainer from `gorder-core::incremental`
+//! against the two baselines on a growing social graph:
+//!
+//! * **full** — recompute Gorder from scratch at every growth step
+//!   (best quality, pays the full ordering cost each time);
+//! * **incremental** — splice new nodes via anchors (tiny cost);
+//! * **append** — keep the stale layout, new nodes at the end in id
+//!   order (zero cost, decaying quality).
+//!
+//! Reported per step: cumulative ordering time and the layout's `F(π)`
+//! relative to the fresh full recompute.
+
+use gorder_bench::fmt::{write_csv, Table};
+use gorder_bench::timing::{pretty_secs, time_once};
+use gorder_bench::HarnessArgs;
+use gorder_core::score::f_score_of;
+use gorder_core::{Gorder, IncrementalGorder};
+use gorder_graph::gen::{preferential_attachment, PrefAttachConfig};
+use gorder_graph::{Graph, GraphBuilder, NodeId, Permutation};
+
+fn prefix(full: &Graph, k: u32) -> Graph {
+    let mut b = GraphBuilder::new(k);
+    for (u, v) in full.edges().filter(|&(u, v)| u < k && v < k) {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n_final = ((20_000.0 * args.scale) as u32).max(1_000);
+    let full_graph = preferential_attachment(PrefAttachConfig {
+        n: n_final,
+        out_degree: 8,
+        reciprocity: 0.3,
+        uniform_mix: 0.1,
+        closure_prob: 0.4,
+        recency_bias: 0.3,
+        seed: args.seed,
+    });
+    let steps: Vec<u32> = (4..=10).map(|i| n_final / 10 * i).collect();
+    println!(
+        "Dynamic graphs: growing a social graph to n = {n_final} in {} steps\n",
+        steps.len()
+    );
+
+    let w = 5;
+    let gorder = Gorder::with_defaults();
+    let base_graph = prefix(&full_graph, steps[0]);
+    let (t0, base_perm) = time_once(|| gorder.compute(&base_graph));
+    let mut incremental = IncrementalGorder::new(&base_perm);
+    let mut append_placement: Vec<NodeId> = base_perm.placement();
+    let mut cost_full = t0;
+    let mut cost_incremental = t0;
+
+    let mut t = Table::new([
+        "n",
+        "full time(cum)",
+        "incr time(cum)",
+        "F full",
+        "F incr",
+        "F append",
+        "incr/full F",
+    ]);
+    let mut csv_rows = Vec::new();
+    for &k in &steps[1..] {
+        let g = prefix(&full_graph, k);
+        // full recompute
+        let (tf, full_perm) = time_once(|| gorder.compute(&g));
+        cost_full += tf;
+        // incremental
+        let (ti, ()) = time_once(|| incremental.extend(&g));
+        cost_incremental += ti;
+        let incr_perm = incremental.permutation();
+        // naive append
+        append_placement.extend(append_placement.len() as u32..k);
+        let append_perm =
+            Permutation::from_placement(&append_placement).expect("prefix growth is append-only");
+
+        let f_full = f_score_of(&g, &full_perm, w);
+        let f_incr = f_score_of(&g, &incr_perm, w);
+        let f_append = f_score_of(&g, &append_perm, w);
+        t.row([
+            k.to_string(),
+            pretty_secs(cost_full),
+            pretty_secs(cost_incremental),
+            f_full.to_string(),
+            f_incr.to_string(),
+            f_append.to_string(),
+            format!("{:.2}", f_incr as f64 / f_full as f64),
+        ]);
+        csv_rows.push(vec![
+            k.to_string(),
+            format!("{cost_full:.4}"),
+            format!("{cost_incremental:.4}"),
+            f_full.to_string(),
+            f_incr.to_string(),
+            f_append.to_string(),
+        ]);
+        eprintln!("[dynamic] n = {k} done");
+    }
+    t.print();
+    println!("\n(expect: incremental time ≪ full time; F incr between F append and F full)");
+    match write_csv(
+        "dynamic.csv",
+        &[
+            "n",
+            "full_time_cum",
+            "incr_time_cum",
+            "f_full",
+            "f_incr",
+            "f_append",
+        ],
+        &csv_rows,
+    ) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,52 @@
+//! Table 1 — dataset features.
+//!
+//! Prints the same columns as the replication's Table 1 (size, nodes,
+//! edges, category) for the synthetic stand-ins, plus the skew/diameter
+//! diagnostics that justify the substitution (DESIGN.md §4).
+
+use gorder_bench::fmt::Table;
+use gorder_bench::HarnessArgs;
+use gorder_graph::stats::{approx_diameter, degree_gini, GraphStats};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Table 1: dataset features (scale = {})\n", args.scale);
+    let mut t = Table::new([
+        "Dataset", "Category", "Nodes", "Edges", "Mem(MB)", "MeanDeg", "MaxInDeg", "Gini", "~Diam",
+    ]);
+    let mut rows_csv = Vec::new();
+    for d in gorder_graph::datasets::all() {
+        let g = d.build(args.scale);
+        let s = GraphStats::compute(&g);
+        let gini = degree_gini(&g);
+        let diam = approx_diameter(&g, 4, args.seed);
+        t.row([
+            d.name.to_string(),
+            d.category.to_string(),
+            s.n.to_string(),
+            s.m.to_string(),
+            format!("{:.1}", g.memory_bytes() as f64 / 1e6),
+            format!("{:.1}", s.mean_degree),
+            s.max_in_degree.to_string(),
+            format!("{gini:.2}"),
+            diam.to_string(),
+        ]);
+        rows_csv.push(vec![
+            d.name.to_string(),
+            d.category.to_string(),
+            s.n.to_string(),
+            s.m.to_string(),
+            format!("{gini:.4}"),
+            diam.to_string(),
+        ]);
+    }
+    t.print();
+    match gorder_bench::fmt::write_csv(
+        "table1.csv",
+        &["dataset", "category", "nodes", "edges", "gini", "diam"],
+        &rows_csv,
+    ) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,66 @@
+//! Table 2 — graph-ordering computation time (the paper's Table 9).
+//!
+//! Times each ordering method's `compute` on every dataset. The paper's
+//! shape to reproduce: ChDFS/InDegSort fastest (sub-second), RCM next,
+//! SlashBurn/LDG moderate, MinLA < MinLogA expensive, Gorder the most
+//! expensive and visibly super-linear in m.
+
+use gorder_bench::fmt::{write_csv, Table};
+use gorder_bench::timing::{pretty_secs, time_once};
+use gorder_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Table 2: ordering computation time in seconds (scale = {})\n",
+        args.scale
+    );
+    let datasets = gorder_graph::datasets::all();
+    let orderings = gorder_orders::all(args.seed);
+    // Original and Random cost nothing interesting; the paper's table
+    // starts at MinLA. Keep them anyway — they are part of the zoo.
+    let mut header = vec!["Ordering".to_string()];
+    header.extend(datasets.iter().map(|d| d.name.to_string()));
+    let mut t = Table::new(header);
+    let mut csv_rows = Vec::new();
+
+    let graphs: Vec<_> = datasets
+        .iter()
+        .map(|d| {
+            let g = d.build(args.scale);
+            eprintln!("[table2] {}: n = {}, m = {}", d.name, g.n(), g.m());
+            g
+        })
+        .collect();
+
+    for o in &orderings {
+        let mut cells = vec![o.name().to_string()];
+        for (d, g) in datasets.iter().zip(&graphs) {
+            let (secs, perm) = time_once(|| o.compute(g));
+            assert_eq!(perm.len(), g.n(), "invalid permutation from {}", o.name());
+            cells.push(pretty_secs(secs));
+            csv_rows.push(vec![
+                o.name().to_string(),
+                d.name.to_string(),
+                format!("{secs:.6}"),
+            ]);
+            eprintln!(
+                "[table2]   {} on {}: {}",
+                o.name(),
+                d.name,
+                pretty_secs(secs)
+            );
+        }
+        t.row(cells);
+    }
+    // edge counts footer, as in the replication
+    let mut m_row = vec!["Edges m".to_string()];
+    m_row.extend(graphs.iter().map(|g| g.m().to_string()));
+    t.row(m_row);
+
+    t.print();
+    match write_csv("table2.csv", &["ordering", "dataset", "seconds"], &csv_rows) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

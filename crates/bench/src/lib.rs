@@ -1,0 +1,29 @@
+//! # gorder-bench — experiment harness
+//!
+//! One binary per table/figure of the evaluation (see DESIGN.md §5):
+//!
+//! | binary | reproduces | original-paper counterpart |
+//! |---|---|---|
+//! | `table1` | dataset features | Table 1 |
+//! | `table2` | ordering computation time | Table 9 |
+//! | `table3` | PR cache statistics per ordering | Tables 3–4 |
+//! | `fig1` | CPU vs cache-stall split, Original vs Gorder | Figure 1 |
+//! | `fig3` | simulated-annealing (S, k) sweep | (replication-only) |
+//! | `fig4` | PR runtime vs Gorder window size | Figure 8 |
+//! | `fig5` | relative runtimes, all orderings × algorithms × datasets | Figure 9 |
+//! | `fig6` | ordering rank histogram | (aggregation of Figure 9) |
+//!
+//! Every binary accepts `--scale <f>` (dataset size multiplier, default
+//! 0.25), `--quick` (tiny sizes + fewer repetitions, for smoke runs) and
+//! `--seed <n>`. `fig5` writes its grid to `results/fig5.csv` so `fig6`
+//! can aggregate without re-running.
+
+pub mod args;
+pub mod experiment;
+pub mod fmt;
+pub mod ranking;
+pub mod timing;
+
+pub use args::HarnessArgs;
+pub use experiment::{run_grid, CellResult, GridConfig};
+pub use ranking::{rank_counts, Ranking};

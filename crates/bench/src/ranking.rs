@@ -1,0 +1,204 @@
+//! Rank aggregation for Figure 6.
+//!
+//! For each experiment series (one algorithm on one dataset), orderings
+//! are ranked by runtime, best first. Following the replication's reading
+//! of the original paper's Figure 9 — which hides exact values above 1.5×
+//! Gorder — runtimes can optionally be capped at `tie_factor ×` the
+//! Gorder time before ranking, making everything beyond the cap tie.
+
+use crate::experiment::CellResult;
+use std::collections::BTreeMap;
+
+/// Rank histogram over a set of series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranking {
+    /// Ordering names, in first-appearance order.
+    pub orderings: Vec<String>,
+    /// `counts[o][r]` = number of series where ordering `o` took rank `r`
+    /// (0 = best). Ties share the best rank of the tied group.
+    pub counts: Vec<Vec<u32>>,
+    /// Number of series aggregated.
+    pub series: u32,
+}
+
+impl Ranking {
+    /// Mean rank of ordering index `o` (lower is better).
+    pub fn mean_rank(&self, o: usize) -> f64 {
+        let total: u32 = self.counts[o].iter().sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let weighted: f64 = self.counts[o]
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| r as f64 * f64::from(c))
+            .sum();
+        weighted / f64::from(total)
+    }
+
+    /// Number of first places for ordering index `o`.
+    pub fn firsts(&self, o: usize) -> u32 {
+        self.counts[o].first().copied().unwrap_or(0)
+    }
+
+    /// Index of an ordering by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.orderings.iter().position(|n| n == name)
+    }
+}
+
+/// Aggregates rank counts from grid cells.
+///
+/// `tie_factor`: if `Some(f)`, every runtime in a series is capped at
+/// `f ×` that series' Gorder runtime before ranking (the replication uses
+/// 1.5 when reading the original paper's figure).
+pub fn rank_counts(cells: &[CellResult], tie_factor: Option<f64>) -> Ranking {
+    // group cells by (dataset, algo)
+    let mut series: BTreeMap<(String, String), Vec<&CellResult>> = BTreeMap::new();
+    let mut orderings: Vec<String> = Vec::new();
+    for c in cells {
+        if !orderings.contains(&c.ordering) {
+            orderings.push(c.ordering.clone());
+        }
+        series
+            .entry((c.dataset.clone(), c.algo.clone()))
+            .or_default()
+            .push(c);
+    }
+    let k = orderings.len();
+    let mut counts = vec![vec![0u32; k]; k];
+    let mut nseries = 0;
+    for cells in series.values() {
+        if cells.len() != k {
+            continue; // incomplete series (filtered grids): skip
+        }
+        nseries += 1;
+        let cap = tie_factor.and_then(|f| {
+            cells
+                .iter()
+                .find(|c| c.ordering == "Gorder")
+                .map(|g| g.seconds * f)
+        });
+        let mut timed: Vec<(f64, usize)> = cells
+            .iter()
+            .map(|c| {
+                let t = match cap {
+                    Some(cap) => c.seconds.min(cap),
+                    None => c.seconds,
+                };
+                let idx = orderings
+                    .iter()
+                    .position(|o| *o == c.ordering)
+                    .expect("known ordering");
+                (t, idx)
+            })
+            .collect();
+        timed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        // ties share the best rank of their group
+        let mut rank = 0;
+        let mut i = 0;
+        while i < timed.len() {
+            let mut j = i;
+            while j < timed.len() && timed[j].0 == timed[i].0 {
+                j += 1;
+            }
+            for &(_, o) in &timed[i..j] {
+                counts[o][rank] += 1;
+            }
+            rank += j - i;
+            i = j;
+        }
+    }
+    Ranking {
+        orderings,
+        counts,
+        series: nseries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(ds: &str, algo: &str, ord: &str, secs: f64) -> CellResult {
+        CellResult {
+            dataset: ds.into(),
+            algo: algo.into(),
+            ordering: ord.into(),
+            seconds: secs,
+            checksum: 0,
+        }
+    }
+
+    #[test]
+    fn simple_ranking() {
+        let cells = vec![
+            cell("d", "A", "Gorder", 1.0),
+            cell("d", "A", "Random", 3.0),
+            cell("d", "A", "RCM", 1.5),
+        ];
+        let r = rank_counts(&cells, None);
+        assert_eq!(r.series, 1);
+        let g = r.index_of("Gorder").unwrap();
+        let rc = r.index_of("RCM").unwrap();
+        let rd = r.index_of("Random").unwrap();
+        assert_eq!(r.counts[g], vec![1, 0, 0]);
+        assert_eq!(r.counts[rc], vec![0, 1, 0]);
+        assert_eq!(r.counts[rd], vec![0, 0, 1]);
+        assert_eq!(r.firsts(g), 1);
+    }
+
+    #[test]
+    fn tie_factor_merges_slow_tail() {
+        let cells = vec![
+            cell("d", "A", "Gorder", 1.0),
+            cell("d", "A", "LDG", 2.0),
+            cell("d", "A", "Random", 4.0),
+        ];
+        let r = rank_counts(&cells, Some(1.5));
+        // LDG and Random both cap at 1.5 → tie at rank 1
+        let l = r.index_of("LDG").unwrap();
+        let rd = r.index_of("Random").unwrap();
+        assert_eq!(r.counts[l][1], 1);
+        assert_eq!(r.counts[rd][1], 1);
+    }
+
+    #[test]
+    fn mean_rank_ordering() {
+        let cells = vec![
+            cell("d1", "A", "X", 1.0),
+            cell("d1", "A", "Y", 2.0),
+            cell("d2", "A", "X", 2.0),
+            cell("d2", "A", "Y", 1.0),
+        ];
+        let r = rank_counts(&cells, None);
+        assert_eq!(r.series, 2);
+        let x = r.index_of("X").unwrap();
+        assert!((r.mean_rank(x) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_series_skipped() {
+        let cells = vec![
+            cell("d", "A", "X", 1.0),
+            cell("d", "A", "Y", 2.0),
+            cell("d", "B", "X", 1.0), // Y missing for (d, B)
+        ];
+        let r = rank_counts(&cells, None);
+        assert_eq!(r.series, 1);
+    }
+
+    #[test]
+    fn multiple_algorithms_count_separately() {
+        let cells = vec![
+            cell("d", "A", "X", 1.0),
+            cell("d", "A", "Y", 2.0),
+            cell("d", "B", "X", 3.0),
+            cell("d", "B", "Y", 1.0),
+        ];
+        let r = rank_counts(&cells, None);
+        assert_eq!(r.series, 2);
+        let x = r.index_of("X").unwrap();
+        assert_eq!(r.counts[x], vec![1, 1]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Wall-clock measurement helpers.
+//!
+//! The paper reports wall time of whole algorithm runs (seconds to
+//! minutes), so plain `Instant` around the run is the right tool; medians
+//! over a few repetitions absorb scheduler noise. Checksums returned by
+//! the measured closures flow into a black-box sink so the optimiser
+//! cannot delete the work.
+
+use std::time::Instant;
+
+/// Median of `reps` timed runs of `f`, in seconds, plus the checksum of
+/// the last run.
+pub fn median_secs<F: FnMut() -> u64>(mut f: F, reps: u32) -> (f64, u64) {
+    assert!(reps >= 1, "need at least one repetition");
+    let mut times = Vec::with_capacity(reps as usize);
+    let mut checksum = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        checksum = std::hint::black_box(f());
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
+    (times[times.len() / 2], checksum)
+}
+
+/// Times a single run of `f` returning `(seconds, value)`.
+pub fn time_once<T, F: FnOnce() -> T>(f: F) -> (f64, T) {
+    let start = Instant::now();
+    let v = f();
+    (start.elapsed().as_secs_f64(), v)
+}
+
+/// Human-friendly duration: `421ms`, `3.2s`, `4m07s`.
+pub fn pretty_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.0}ms", s * 1e3)
+    } else if s < 60.0 {
+        format!("{s:.1}s")
+    } else {
+        let m = (s / 60.0).floor();
+        format!("{}m{:02.0}s", m as u64, s - m * 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_orders_runs() {
+        let mut calls = 0;
+        let (t, c) = median_secs(
+            || {
+                calls += 1;
+                calls
+            },
+            5,
+        );
+        assert_eq!(calls, 5);
+        assert_eq!(c, 5);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn time_once_returns_value() {
+        let (t, v) = time_once(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn pretty_formats() {
+        assert_eq!(pretty_secs(0.004), "4ms");
+        assert_eq!(pretty_secs(3.25), "3.2s");
+        assert_eq!(pretty_secs(247.0), "4m07s");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_reps_rejected() {
+        median_secs(|| 0, 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Latency model: converting hit/miss counts into CPU vs. stall time.
+//!
+//! Figure 1 of the paper (and of the replication) splits each algorithm's
+//! runtime into *CPU execute* and *cache stall*. The replication's
+//! footnote gives the latency arithmetic for a Skylake-class part — L1
+//! 4 cycles, L2 12, L3 42, DRAM ≈ 62 ns (≈ 250 cycles at 4 GHz) — which we
+//! adopt as the default [`StallModel`].
+//!
+//! The model is deliberately simple (no MLP/overlap): CPU-execute time is
+//! one cycle per executed operation plus the pipelined L1 latency share,
+//! and every access that leaves L1 stalls for the latency of wherever it
+//! hit. Simplicity is fine here because Figure 1 only needs the *shares*
+//! and their movement under reordering, not absolute times.
+
+use crate::hierarchy::CacheStats;
+
+/// Per-level access latencies in CPU cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallModel {
+    /// Latency per hit at each level, L1 first.
+    pub level_cycles: Vec<f64>,
+    /// Latency of a full miss to memory.
+    pub memory_cycles: f64,
+}
+
+impl StallModel {
+    /// Replication footnote values (Skylake-class at 4 GHz).
+    pub fn skylake() -> Self {
+        StallModel {
+            level_cycles: vec![4.0, 12.0, 42.0],
+            memory_cycles: 250.0,
+        }
+    }
+}
+
+impl Default for StallModel {
+    fn default() -> Self {
+        StallModel::skylake()
+    }
+}
+
+/// Cycle totals split the way Figure 1 plots them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallBreakdown {
+    /// Cycles attributed to executing instructions (incl. L1 hits).
+    pub cpu_cycles: f64,
+    /// Cycles attributed to waiting for data beyond L1.
+    pub stall_cycles: f64,
+}
+
+impl StallBreakdown {
+    /// Total modelled cycles.
+    pub fn total(&self) -> f64 {
+        self.cpu_cycles + self.stall_cycles
+    }
+
+    /// Fraction of time stalled, in `[0, 1]`.
+    pub fn stall_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.stall_cycles / t
+        }
+    }
+}
+
+impl StallModel {
+    /// Computes the breakdown for a finished run.
+    ///
+    /// `ops` is the number of non-memory operations the replayer counted
+    /// (arithmetic, compares, bookkeeping — one cycle each). L1 hits are
+    /// folded into CPU time (they pipeline); anything deeper stalls for
+    /// that level's latency.
+    pub fn breakdown(&self, stats: &CacheStats, ops: u64) -> StallBreakdown {
+        let l1_hits = stats.hits_per_level.first().copied().unwrap_or(0);
+        let l1_lat = self.level_cycles.first().copied().unwrap_or(1.0);
+        let mut stall = 0.0;
+        for (i, &hits) in stats.hits_per_level.iter().enumerate().skip(1) {
+            let lat = self
+                .level_cycles
+                .get(i)
+                .copied()
+                .unwrap_or(self.memory_cycles);
+            stall += hits as f64 * lat;
+        }
+        stall += stats.memory_accesses as f64 * self.memory_cycles;
+        StallBreakdown {
+            cpu_cycles: ops as f64 + l1_hits as f64 * l1_lat,
+            stall_cycles: stall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(hits: Vec<u64>, memory: u64) -> CacheStats {
+        let l1_refs: u64 = hits.iter().sum::<u64>() + memory;
+        CacheStats {
+            l1_refs,
+            l1_miss_rate: 0.0,
+            llc_refs: 0,
+            llc_ratio: 0.0,
+            cache_miss_rate: 0.0,
+            hits_per_level: hits,
+            memory_accesses: memory,
+        }
+    }
+
+    #[test]
+    fn all_l1_hits_is_pure_cpu() {
+        let m = StallModel::skylake();
+        let b = m.breakdown(&stats(vec![100, 0, 0], 0), 50);
+        assert_eq!(b.stall_cycles, 0.0);
+        assert_eq!(b.cpu_cycles, 50.0 + 100.0 * 4.0);
+        assert_eq!(b.stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn memory_accesses_dominate_stall() {
+        let m = StallModel::skylake();
+        let b = m.breakdown(&stats(vec![0, 0, 0], 10), 0);
+        assert_eq!(b.stall_cycles, 2500.0);
+        assert_eq!(b.stall_fraction(), 1.0);
+    }
+
+    #[test]
+    fn mixed_levels_add_up() {
+        let m = StallModel::skylake();
+        let b = m.breakdown(&stats(vec![10, 5, 2], 1), 100);
+        assert_eq!(b.cpu_cycles, 100.0 + 40.0);
+        assert_eq!(b.stall_cycles, 5.0 * 12.0 + 2.0 * 42.0 + 250.0);
+    }
+
+    #[test]
+    fn better_locality_lowers_stall_share() {
+        let m = StallModel::skylake();
+        let good = m.breakdown(&stats(vec![90, 8, 2], 0), 100);
+        let bad = m.breakdown(&stats(vec![50, 20, 20], 10), 100);
+        assert!(good.stall_fraction() < bad.stall_fraction());
+    }
+
+    #[test]
+    fn empty_run() {
+        let m = StallModel::skylake();
+        let b = m.breakdown(&stats(vec![0, 0, 0], 0), 0);
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.stall_fraction(), 0.0);
+    }
+}

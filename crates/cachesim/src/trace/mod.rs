@@ -1,0 +1,196 @@
+//! Per-algorithm memory-access replayers.
+//!
+//! Each replayer *is* the benchmark algorithm — same loops, same
+//! tie-breaks, same checksum as its `gorder-algos` twin (the test suites
+//! assert checksum equality) — except that every data reference is also
+//! pushed through the [`Tracer`]'s cache hierarchy at the address the real
+//! implementation would touch. CSR arrays and property arrays are laid out
+//! by a bump allocator exactly as consecutively allocated `Vec`s would be.
+//!
+//! Instruction fetch and stack spill traffic are not modelled; the paper's
+//! counters likewise focus on data cache (`L1-dcache-loads`, `LLC-loads`).
+
+mod extension;
+mod select;
+mod traversal;
+mod value;
+
+pub use extension::{betweenness, labelprop, triangles, wcc};
+pub use select::{ds, kcore};
+pub use traversal::{bfs, dfs, scc};
+pub use value::{diam, nq, pagerank, sp};
+
+use crate::tracer::{Tracer, VArray};
+use gorder_graph::{Graph, NodeId};
+
+/// Run parameters, mirroring `gorder_algos::RunCtx` field for field (the
+/// crates don't depend on each other, so the struct is duplicated here).
+#[derive(Debug, Clone)]
+pub struct TraceCtx {
+    /// Source node for BFS/SP (`None` → max-degree node).
+    pub source: Option<NodeId>,
+    /// PageRank iterations.
+    pub pr_iterations: u32,
+    /// PageRank damping factor.
+    pub damping: f64,
+    /// Diameter source count.
+    pub diameter_samples: u32,
+    /// Seed for diameter sampling.
+    pub seed: u64,
+}
+
+impl Default for TraceCtx {
+    fn default() -> Self {
+        TraceCtx {
+            source: None,
+            pr_iterations: 100,
+            damping: 0.85,
+            diameter_samples: 16,
+            seed: 0xD1A,
+        }
+    }
+}
+
+impl TraceCtx {
+    /// Effective source for `g`.
+    pub fn source_for(&self, g: &Graph) -> NodeId {
+        self.source.or_else(|| g.max_degree_node()).unwrap_or(0)
+    }
+}
+
+/// The algorithm labels with replayers, in paper order.
+pub const TRACED_ALGOS: [&str; 9] = ["NQ", "BFS", "DFS", "SCC", "SP", "PR", "DS", "Kcore", "Diam"];
+
+/// The extension algorithms with replayers (DESIGN.md §8).
+pub const TRACED_EXTENSIONS: [&str; 4] = ["WCC", "Tri", "LP", "BC"];
+
+/// Dispatches a replayer by its paper label. Returns the checksum, or
+/// `None` for an unknown label.
+pub fn replay(name: &str, g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> Option<u64> {
+    Some(match name {
+        "NQ" => nq(g, t),
+        "BFS" => bfs(g, t, ctx),
+        "DFS" => dfs(g, t, ctx),
+        "SCC" => scc(g, t),
+        "SP" => sp(g, t, ctx),
+        "PR" => pagerank(g, t, ctx),
+        "DS" => ds(g, t),
+        "Kcore" => kcore(g, t),
+        "Diam" => diam(g, t, ctx),
+        "WCC" => wcc(g, t),
+        "Tri" => triangles(g, t),
+        "LP" => labelprop(g, t),
+        "BC" => betweenness(g, t, ctx),
+        _ => return None,
+    })
+}
+
+/// The four CSR arrays of a graph, allocated in the tracer's address
+/// space. Offsets are `u64` (8 B), targets `u32` (4 B), matching
+/// `gorder_graph::Graph`'s real layout.
+pub(crate) struct GraphArrays {
+    pub out_off: VArray,
+    pub out_tgt: VArray,
+    pub in_off: VArray,
+    pub in_tgt: VArray,
+}
+
+impl GraphArrays {
+    pub fn new(t: &mut Tracer, g: &Graph) -> Self {
+        let n = g.n() as usize;
+        let m = g.m() as usize;
+        GraphArrays {
+            out_off: t.alloc(n + 1, 8),
+            out_tgt: t.alloc(m, 4),
+            in_off: t.alloc(n + 1, 8),
+            in_tgt: t.alloc(m, 4),
+        }
+    }
+
+    /// Touches the offset pair bounding `u`'s out-list and returns the
+    /// list plus its global CSR base index.
+    pub fn out_list<'g>(&self, t: &mut Tracer, g: &'g Graph, u: NodeId) -> (&'g [NodeId], usize) {
+        t.touch(&self.out_off, u as usize);
+        t.touch(&self.out_off, u as usize + 1);
+        let (off, _) = g.out_csr();
+        (g.out_neighbors(u), off[u as usize] as usize)
+    }
+
+    /// Same for the in-list.
+    pub fn in_list<'g>(&self, t: &mut Tracer, g: &'g Graph, u: NodeId) -> (&'g [NodeId], usize) {
+        t.touch(&self.in_off, u as usize);
+        t.touch(&self.in_off, u as usize + 1);
+        let (off, _) = g.in_csr();
+        (g.in_neighbors(u), off[u as usize] as usize)
+    }
+}
+
+/// Touches a binary-heap sift path for a push into a heap of `len`
+/// elements (positions `len, len/2, …, root`).
+pub(crate) fn heap_push_touch(t: &mut Tracer, heap: &VArray, len: usize) {
+    let mut p = len;
+    loop {
+        t.touch(heap, p.min(heap.len().saturating_sub(1) as usize));
+        t.op(1);
+        if p == 0 {
+            break;
+        }
+        p /= 2;
+    }
+}
+
+/// Touches a sift-down path for a pop from a heap of `len` elements.
+pub(crate) fn heap_pop_touch(t: &mut Tracer, heap: &VArray, len: usize) {
+    if heap.is_empty() {
+        return;
+    }
+    let mut p = 0usize;
+    while p < len {
+        t.touch(heap, p.min(heap.len() as usize - 1));
+        t.op(1);
+        p = 2 * p + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::CacheHierarchy;
+
+    #[test]
+    fn replay_dispatches_extensions() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let ctx = TraceCtx::default();
+        for name in TRACED_EXTENSIONS {
+            let mut t = Tracer::new(CacheHierarchy::xeon_e5());
+            assert!(replay(name, &g, &mut t, &ctx).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn replay_dispatches_all_nine() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)]);
+        let ctx = TraceCtx {
+            pr_iterations: 3,
+            diameter_samples: 2,
+            ..Default::default()
+        };
+        for name in TRACED_ALGOS {
+            let mut t = Tracer::new(CacheHierarchy::xeon_e5());
+            assert!(replay(name, &g, &mut t, &ctx).is_some(), "{name}");
+            assert!(t.stats().l1_refs > 0, "{name} produced no references");
+        }
+        let mut t = Tracer::new(CacheHierarchy::xeon_e5());
+        assert!(replay("nope", &g, &mut t, &ctx).is_none());
+    }
+
+    #[test]
+    fn empty_graph_replays() {
+        let g = Graph::empty(0);
+        let ctx = TraceCtx::default();
+        for name in TRACED_ALGOS {
+            let mut t = Tracer::new(CacheHierarchy::xeon_e5());
+            replay(name, &g, &mut t, &ctx);
+        }
+    }
+}

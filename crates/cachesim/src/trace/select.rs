@@ -1,0 +1,217 @@
+//! Replayers for the greedy-selection workloads: DS, Kcore.
+
+use super::{heap_pop_touch, heap_push_touch, GraphArrays};
+use crate::tracer::Tracer;
+use gorder_graph::{Graph, NodeId};
+use std::collections::BinaryHeap;
+
+/// DS — greedy dominating set with a lazy max-heap. Checksum-compatible
+/// with `gorder_algos::domset`.
+pub fn ds(g: &Graph, t: &mut Tracer) -> u64 {
+    let n = g.n() as usize;
+    let ga = GraphArrays::new(t, g);
+    let gain_arr = t.alloc(n, 4);
+    let covered_arr = t.alloc(n, 1);
+    let coveredby_arr = t.alloc(n, 4);
+    let heap_arr = t.alloc(n.max(1), 8);
+
+    let mut gain: Vec<u32> = g
+        .nodes()
+        .map(|u| {
+            t.touch(&ga.out_off, u as usize);
+            t.touch(&ga.out_off, u as usize + 1);
+            t.touch(&gain_arr, u as usize);
+            g.out_degree(u) + 1
+        })
+        .collect();
+    let mut covered = vec![false; n];
+    let mut set_size = 0u64;
+    let mut heap: BinaryHeap<(u32, NodeId)> = BinaryHeap::with_capacity(n);
+    for u in 0..n as u32 {
+        heap.push((gain[u as usize], u));
+        heap_push_touch(t, &heap_arr, heap.len() - 1);
+    }
+    let mut remaining = n;
+
+    while remaining > 0 {
+        let (claimed, u) = heap.pop().expect("uncovered nodes imply positive gains");
+        heap_pop_touch(t, &heap_arr, heap.len());
+        t.touch(&gain_arr, u as usize);
+        let current = gain[u as usize];
+        if claimed != current {
+            heap.push((current, u));
+            heap_push_touch(t, &heap_arr, heap.len() - 1);
+            continue;
+        }
+        if current == 0 {
+            continue;
+        }
+        set_size += 1;
+        let mut newly: Vec<NodeId> = Vec::with_capacity(g.out_degree(u) as usize + 1);
+        t.touch(&covered_arr, u as usize);
+        if !covered[u as usize] {
+            newly.push(u);
+        }
+        let (list, base) = ga.out_list(t, g, u);
+        for (k, &w) in list.iter().enumerate() {
+            t.touch(&ga.out_tgt, base + k);
+            t.touch(&covered_arr, w as usize);
+            if !covered[w as usize] {
+                newly.push(w);
+            }
+        }
+        for &w in &newly {
+            covered[w as usize] = true;
+            t.touch(&covered_arr, w as usize);
+            t.touch(&coveredby_arr, w as usize);
+            remaining -= 1;
+            gain[w as usize] -= 1;
+            t.touch(&gain_arr, w as usize);
+            let (in_list, in_base) = ga.in_list(t, g, w);
+            for (k, &z) in in_list.iter().enumerate() {
+                t.touch(&ga.in_tgt, in_base + k);
+                gain[z as usize] -= 1;
+                t.touch(&gain_arr, z as usize);
+                t.op(1);
+            }
+        }
+    }
+    set_size
+}
+
+/// Kcore — bucket-queue peeling (Batagelj–Zaveršnik). Checksum-compatible
+/// with `gorder_algos::kcore`.
+pub fn kcore(g: &Graph, t: &mut Tracer) -> u64 {
+    let n = g.n() as usize;
+    if n == 0 {
+        return 0;
+    }
+    let ga = GraphArrays::new(t, g);
+    let deg_arr = t.alloc(n, 4);
+    let pos_arr = t.alloc(n, 4);
+    let vert_arr = t.alloc(n, 4);
+    let core_arr = t.alloc(n, 4);
+
+    let mut deg: Vec<u32> = g
+        .nodes()
+        .map(|u| {
+            t.touch(&ga.out_off, u as usize);
+            t.touch(&ga.out_off, u as usize + 1);
+            t.touch(&ga.in_off, u as usize);
+            t.touch(&ga.in_off, u as usize + 1);
+            t.touch(&deg_arr, u as usize);
+            g.degree(u)
+        })
+        .collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+    let bin_arr = t.alloc(max_deg + 2, 8);
+    let mut bin = vec![0u32; max_deg + 2];
+    for &d in &deg {
+        bin[d as usize + 1] += 1;
+        t.touch(&bin_arr, d as usize + 1);
+    }
+    for d in 0..=max_deg {
+        bin[d + 1] += bin[d];
+        t.touch(&bin_arr, d + 1);
+    }
+    let mut pos = vec![0u32; n];
+    let mut vert = vec![0 as NodeId; n];
+    {
+        let mut cursor = bin.clone();
+        for u in 0..n as u32 {
+            let d = deg[u as usize] as usize;
+            pos[u as usize] = cursor[d];
+            vert[cursor[d] as usize] = u;
+            t.touch(&pos_arr, u as usize);
+            t.touch(&vert_arr, cursor[d] as usize);
+            t.touch(&bin_arr, d);
+            cursor[d] += 1;
+        }
+    }
+    let mut checksum = 0u64;
+    for i in 0..n {
+        t.touch(&vert_arr, i);
+        let u = vert[i];
+        t.touch(&deg_arr, u as usize);
+        let core = u64::from(deg[u as usize]);
+        checksum = checksum.wrapping_add(core * core);
+        t.touch(&core_arr, u as usize);
+        let (out_list, out_base) = ga.out_list(t, g, u);
+        let (in_list, in_base) = ga.in_list(t, g, u);
+        let touches = out_list
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (v, (&ga.out_tgt, out_base + k)))
+            .chain(
+                in_list
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &v)| (v, (&ga.in_tgt, in_base + k))),
+            )
+            .collect::<Vec<_>>();
+        for (v, (tgt_arr, tgt_idx)) in touches {
+            t.touch(tgt_arr, tgt_idx);
+            t.touch(&deg_arr, v as usize);
+            t.op(1);
+            if deg[v as usize] > deg[u as usize] {
+                let dv = deg[v as usize] as usize;
+                let pv = pos[v as usize];
+                t.touch(&bin_arr, dv);
+                let pw = bin[dv];
+                t.touch(&vert_arr, pw as usize);
+                let w = vert[pw as usize];
+                if v != w {
+                    vert.swap(pv as usize, pw as usize);
+                    pos[v as usize] = pw;
+                    pos[w as usize] = pv;
+                    t.touch(&vert_arr, pv as usize);
+                    t.touch(&pos_arr, v as usize);
+                    t.touch(&pos_arr, w as usize);
+                }
+                bin[dv] += 1;
+                t.touch(&bin_arr, dv);
+                deg[v as usize] -= 1;
+                t.touch(&deg_arr, v as usize);
+            }
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::CacheHierarchy;
+
+    fn tracer() -> Tracer {
+        Tracer::new(CacheHierarchy::xeon_e5())
+    }
+
+    #[test]
+    fn ds_star_is_one() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut t = tracer();
+        assert_eq!(ds(&g, &mut t), 1);
+    }
+
+    #[test]
+    fn ds_isolated_count() {
+        let g = Graph::empty(4);
+        let mut t = tracer();
+        assert_eq!(ds(&g, &mut t), 4);
+    }
+
+    #[test]
+    fn kcore_triangle_checksum() {
+        // all three nodes have core 2 → Σ core² = 12
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut t = tracer();
+        assert_eq!(kcore(&g, &mut t), 12);
+    }
+
+    #[test]
+    fn kcore_empty() {
+        let mut t = tracer();
+        assert_eq!(kcore(&Graph::empty(0), &mut t), 0);
+    }
+}

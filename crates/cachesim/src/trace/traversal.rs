@@ -1,0 +1,267 @@
+//! Replayers for the traversal workloads: BFS, DFS, SCC.
+
+use super::{GraphArrays, TraceCtx};
+use crate::tracer::Tracer;
+use gorder_graph::{Graph, NodeId};
+
+/// BFS — full-coverage breadth-first search. Checksum-compatible with
+/// `gorder_algos::bfs`.
+pub fn bfs(g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> u64 {
+    let n = g.n() as usize;
+    if n == 0 {
+        return 0;
+    }
+    let source = ctx.source_for(g);
+    let ga = GraphArrays::new(t, g);
+    let depth_arr = t.alloc(n, 4);
+    let order_arr = t.alloc(n, 4);
+    let mut depth = vec![u32::MAX; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut primary_reached = 0u32;
+    for s in std::iter::once(source).chain(g.nodes()) {
+        t.touch(&depth_arr, s as usize);
+        if depth[s as usize] != u32::MAX {
+            continue;
+        }
+        depth[s as usize] = 0;
+        let frontier_start = order.len();
+        t.touch(&order_arr, order.len().min(n - 1));
+        order.push(s);
+        let mut head = frontier_start;
+        while head < order.len() {
+            t.touch(&order_arr, head);
+            let u = order[head];
+            head += 1;
+            let du = depth[u as usize];
+            let (list, base) = ga.out_list(t, g, u);
+            for (k, &v) in list.iter().enumerate() {
+                t.touch(&ga.out_tgt, base + k);
+                t.touch(&depth_arr, v as usize);
+                t.op(1);
+                if depth[v as usize] == u32::MAX {
+                    depth[v as usize] = du + 1;
+                    t.touch(&depth_arr, v as usize); // write
+                    t.touch(&order_arr, order.len().min(n - 1));
+                    order.push(v);
+                }
+            }
+        }
+        if s == source {
+            primary_reached = (order.len() - frontier_start) as u32;
+        }
+    }
+    order[..primary_reached as usize]
+        .iter()
+        .fold(u64::from(primary_reached), |acc, &u| {
+            acc.wrapping_add(u64::from(depth[u as usize]))
+        })
+}
+
+/// DFS — full-coverage iterative depth-first search. Checksum-compatible
+/// with `gorder_algos::dfs`.
+pub fn dfs(g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> u64 {
+    let n = g.n() as usize;
+    if n == 0 {
+        return 0;
+    }
+    let source = ctx.source_for(g);
+    let ga = GraphArrays::new(t, g);
+    let disc_arr = t.alloc(n, 4);
+    let stack_arr = t.alloc(n, 8);
+    let mut discovery = vec![u32::MAX; n];
+    let mut visited = 0u64;
+    let mut tree_edges = 0u32;
+    let mut stack: Vec<(NodeId, u32)> = Vec::new();
+    for s in std::iter::once(source).chain(g.nodes()) {
+        t.touch(&disc_arr, s as usize);
+        if discovery[s as usize] != u32::MAX {
+            continue;
+        }
+        discovery[s as usize] = visited as u32;
+        visited += 1;
+        stack.push((s, 0));
+        t.touch(&stack_arr, stack.len() - 1);
+        while !stack.is_empty() {
+            let top = stack.len() - 1;
+            t.touch(&stack_arr, top);
+            let (u, mut next) = stack[top];
+            let (list, base) = ga.out_list(t, g, u);
+            let mut advanced = false;
+            while (next as usize) < list.len() {
+                let k = next as usize;
+                let v = list[k];
+                next += 1;
+                t.touch(&ga.out_tgt, base + k);
+                t.touch(&disc_arr, v as usize);
+                t.op(1);
+                if discovery[v as usize] == u32::MAX {
+                    discovery[v as usize] = visited as u32;
+                    t.touch(&disc_arr, v as usize); // write
+                    visited += 1;
+                    tree_edges += 1;
+                    stack[top].1 = next;
+                    stack.push((v, 0));
+                    t.touch(&stack_arr, stack.len() - 1);
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                stack.pop();
+            }
+        }
+    }
+    visited.wrapping_mul(0x9E3779B97F4A7C15) ^ u64::from(tree_edges)
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+/// SCC — iterative Tarjan. Checksum-compatible with `gorder_algos::scc`.
+pub fn scc(g: &Graph, t: &mut Tracer) -> u64 {
+    let n = g.n() as usize;
+    let ga = GraphArrays::new(t, g);
+    let index_arr = t.alloc(n, 4);
+    let lowlink_arr = t.alloc(n, 4);
+    let onstack_arr = t.alloc(n, 1);
+    let comp_arr = t.alloc(n, 4);
+    let stack_arr = t.alloc(n, 4);
+    let frames_arr = t.alloc(n, 8);
+
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut sizes: Vec<u32> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut frames: Vec<(NodeId, u32)> = Vec::new();
+
+    for root in g.nodes() {
+        t.touch(&index_arr, root as usize);
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        t.touch(&frames_arr, frames.len() - 1);
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        t.touch(&lowlink_arr, root as usize);
+        next_index += 1;
+        stack.push(root);
+        t.touch(&stack_arr, stack.len() - 1);
+        on_stack[root as usize] = true;
+        t.touch(&onstack_arr, root as usize);
+
+        while !frames.is_empty() {
+            let top = frames.len() - 1;
+            t.touch(&frames_arr, top);
+            let (u, child) = frames[top];
+            let (list, base) = ga.out_list(t, g, u);
+            if (child as usize) < list.len() {
+                let k = child as usize;
+                let v = list[k];
+                frames[top].1 = child + 1;
+                t.touch(&ga.out_tgt, base + k);
+                t.touch(&index_arr, v as usize);
+                t.op(1);
+                if index[v as usize] == UNVISITED {
+                    index[v as usize] = next_index;
+                    lowlink[v as usize] = next_index;
+                    t.touch(&index_arr, v as usize);
+                    t.touch(&lowlink_arr, v as usize);
+                    next_index += 1;
+                    stack.push(v);
+                    t.touch(&stack_arr, stack.len() - 1);
+                    on_stack[v as usize] = true;
+                    t.touch(&onstack_arr, v as usize);
+                    frames.push((v, 0));
+                    t.touch(&frames_arr, frames.len() - 1);
+                } else {
+                    t.touch(&onstack_arr, v as usize);
+                    if on_stack[v as usize] {
+                        lowlink[u as usize] = lowlink[u as usize].min(index[v as usize]);
+                        t.touch(&lowlink_arr, u as usize);
+                    }
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[u as usize]);
+                    t.touch(&lowlink_arr, parent as usize);
+                    t.touch(&lowlink_arr, u as usize);
+                }
+                t.touch(&lowlink_arr, u as usize);
+                t.touch(&index_arr, u as usize);
+                if lowlink[u as usize] == index[u as usize] {
+                    let mut size = 0u32;
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        t.touch(&stack_arr, stack.len().min(n.saturating_sub(1)));
+                        on_stack[w as usize] = false;
+                        t.touch(&onstack_arr, w as usize);
+                        t.touch(&comp_arr, w as usize);
+                        size += 1;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    sizes.push(size);
+                }
+            }
+        }
+    }
+    sizes.iter().fold(sizes.len() as u64, |acc, &s| {
+        acc.wrapping_add(u64::from(s) * u64::from(s))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::CacheHierarchy;
+
+    fn tracer() -> Tracer {
+        Tracer::new(CacheHierarchy::xeon_e5())
+    }
+
+    #[test]
+    fn bfs_checksum_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut t = tracer();
+        let ctx = TraceCtx {
+            source: Some(0),
+            ..Default::default()
+        };
+        // primary_reached = 4, depths sum = 0+1+2+3 = 6 → 10
+        assert_eq!(bfs(&g, &mut t, &ctx), 10);
+    }
+
+    #[test]
+    fn dfs_checksum_matches_formula() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut t = tracer();
+        let ctx = TraceCtx {
+            source: Some(0),
+            ..Default::default()
+        };
+        let expected = 4u64.wrapping_mul(0x9E3779B97F4A7C15) ^ 3;
+        assert_eq!(dfs(&g, &mut t, &ctx), expected);
+    }
+
+    #[test]
+    fn scc_checksum_two_components() {
+        // 3-cycle + 2-cycle: count 2, Σ size² = 9 + 4 → 15
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)]);
+        let mut t = tracer();
+        assert_eq!(scc(&g, &mut t), 15);
+    }
+
+    #[test]
+    fn traversals_touch_every_edge() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (3, 4), (2, 4)]);
+        let ctx = TraceCtx::default();
+        let mut t = tracer();
+        bfs(&g, &mut t, &ctx);
+        // at least one target read per edge
+        assert!(t.stats().l1_refs >= g.m());
+    }
+}

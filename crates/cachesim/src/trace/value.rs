@@ -1,0 +1,272 @@
+//! Replayers for the value-propagation workloads: NQ, SP, PR, Diam.
+
+use super::{GraphArrays, TraceCtx};
+use crate::tracer::{Tracer, VArray};
+use gorder_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// NQ — neighbour query: `q_u = Σ_{v ∈ out(u)} out_degree(v)`.
+/// Checksum-compatible with `gorder_algos::nq`.
+pub fn nq(g: &Graph, t: &mut Tracer) -> u64 {
+    let n = g.n() as usize;
+    let ga = GraphArrays::new(t, g);
+    let degree = t.alloc(n, 4);
+    // materialise the degree array (sequential offsets reads + writes)
+    for u in g.nodes() {
+        t.touch(&ga.out_off, u as usize);
+        t.touch(&ga.out_off, u as usize + 1);
+        t.touch(&degree, u as usize);
+        t.op(1);
+    }
+    let q = t.alloc(n, 8);
+    let mut checksum = 0u64;
+    for u in g.nodes() {
+        let (list, base) = ga.out_list(t, g, u);
+        let mut sum = 0u64;
+        for (k, &v) in list.iter().enumerate() {
+            t.touch(&ga.out_tgt, base + k);
+            t.touch(&degree, v as usize); // the cache-sensitive access
+            t.op(1);
+            sum += u64::from(g.out_degree(v));
+        }
+        t.touch(&q, u as usize);
+        checksum = checksum.wrapping_add(sum);
+    }
+    checksum
+}
+
+/// One round-based Bellman–Ford pass over `dist`; returns the eccentricity
+/// and the sum-of-(dist+1) checksum component.
+fn sp_body(
+    g: &Graph,
+    t: &mut Tracer,
+    ga: &GraphArrays,
+    dist: &VArray,
+    source: NodeId,
+) -> (u32, u64) {
+    const UNREACHABLE: u32 = u32::MAX;
+    let n = g.n() as usize;
+    let mut d = vec![UNREACHABLE; n];
+    if n == 0 {
+        return (0, 0);
+    }
+    d[source as usize] = 0;
+    t.touch(dist, source as usize);
+    loop {
+        let mut changed = false;
+        for u in g.nodes() {
+            t.touch(dist, u as usize);
+            let du = d[u as usize];
+            if du == UNREACHABLE {
+                continue;
+            }
+            let cand = du + 1;
+            let (list, base) = ga.out_list(t, g, u);
+            for (k, &v) in list.iter().enumerate() {
+                t.touch(&ga.out_tgt, base + k);
+                t.touch(dist, v as usize);
+                t.op(1);
+                if cand < d[v as usize] {
+                    d[v as usize] = cand;
+                    t.touch(dist, v as usize); // the write
+                    changed = true;
+                }
+            }
+        }
+        t.op(1);
+        if !changed {
+            break;
+        }
+    }
+    let mut ecc = 0u32;
+    let mut sum = 0u64;
+    for &x in &d {
+        if x != UNREACHABLE {
+            ecc = ecc.max(x);
+            sum = sum.wrapping_add(u64::from(x)).wrapping_add(1);
+        }
+    }
+    (ecc, sum)
+}
+
+/// SP — round-based Bellman–Ford. Checksum-compatible with
+/// `gorder_algos::sp`.
+pub fn sp(g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> u64 {
+    if g.n() == 0 {
+        return 0;
+    }
+    let ga = GraphArrays::new(t, g);
+    let dist = t.alloc(g.n() as usize, 4);
+    sp_body(g, t, &ga, &dist, ctx.source_for(g)).1
+}
+
+/// Diam — max eccentricity over sampled sources. Checksum-compatible with
+/// `gorder_algos::diameter` (same RNG discipline).
+pub fn diam(g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> u64 {
+    if g.n() == 0 {
+        return 0;
+    }
+    let ga = GraphArrays::new(t, g);
+    let dist = t.alloc(g.n() as usize, 4);
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let sources: Vec<NodeId> = (0..ctx.diameter_samples)
+        .map(|_| rng.gen_range(0..g.n()))
+        .collect();
+    let mut best = 0u32;
+    for s in sources {
+        best = best.max(sp_body(g, t, &ga, &dist, s).0);
+    }
+    u64::from(best)
+}
+
+/// PR — pull-based PageRank power iteration. Checksum-compatible with
+/// `gorder_algos::pagerank`.
+pub fn pagerank(g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> u64 {
+    let n = g.n() as usize;
+    if n == 0 {
+        return 0;
+    }
+    let alpha = ctx.damping;
+    let inv_n = 1.0 / n as f64;
+    let ga = GraphArrays::new(t, g);
+    let inv_out_arr = t.alloc(n, 8);
+    let inv_out: Vec<f64> = g
+        .nodes()
+        .map(|u| {
+            t.touch(&ga.out_off, u as usize);
+            t.touch(&ga.out_off, u as usize + 1);
+            t.touch(&inv_out_arr, u as usize);
+            t.op(1);
+            let d = g.out_degree(u);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / f64::from(d)
+            }
+        })
+        .collect();
+    let rank_arr = t.alloc(n, 8);
+    let next_arr = t.alloc(n, 8);
+    let mut rank = vec![inv_n; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..ctx.pr_iterations {
+        let mut dangling = 0.0;
+        for u in g.nodes() {
+            t.touch(&ga.out_off, u as usize);
+            t.touch(&ga.out_off, u as usize + 1);
+            if g.out_degree(u) == 0 {
+                t.touch(&rank_arr, u as usize);
+                dangling += rank[u as usize];
+            }
+        }
+        let base_rank = (1.0 - alpha) * inv_n + alpha * dangling * inv_n;
+        for u in g.nodes() {
+            let (list, base) = ga.in_list(t, g, u);
+            let mut acc = 0.0;
+            for (k, &x) in list.iter().enumerate() {
+                t.touch(&ga.in_tgt, base + k);
+                t.touch(&rank_arr, x as usize); // the cache-sensitive pulls
+                t.touch(&inv_out_arr, x as usize);
+                t.op(2);
+                acc += rank[x as usize] * inv_out[x as usize];
+            }
+            t.touch(&next_arr, u as usize);
+            next[u as usize] = base_rank + alpha * acc;
+        }
+        std::mem::swap(&mut rank, &mut next);
+        t.op(1);
+    }
+    let total: f64 = rank.iter().sum();
+    (total * 1e6).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::CacheHierarchy;
+
+    fn tracer() -> Tracer {
+        Tracer::new(CacheHierarchy::xeon_e5())
+    }
+
+    fn g() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 0), (5, 3)])
+    }
+
+    #[test]
+    fn nq_checksum_value() {
+        // recompute by hand: sum over u of Σ out_degree(v)
+        let gg = g();
+        let expected: u64 = gg
+            .nodes()
+            .flat_map(|u| {
+                gg.out_neighbors(u)
+                    .iter()
+                    .map(|&v| u64::from(gg.out_degree(v)))
+            })
+            .sum();
+        let mut t = tracer();
+        assert_eq!(nq(&gg, &mut t), expected);
+    }
+
+    #[test]
+    fn sp_eccentricity_path() {
+        let gg = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut t = tracer();
+        let ctx = TraceCtx {
+            source: Some(0),
+            ..Default::default()
+        };
+        // Σ (dist + 1) = (0+1)+(1+1)+(2+1)+(3+1) = 10
+        assert_eq!(sp(&gg, &mut t, &ctx), 10);
+    }
+
+    #[test]
+    fn diam_on_cycle() {
+        let edges: Vec<(NodeId, NodeId)> = (0..8u32).map(|u| (u, (u + 1) % 8)).collect();
+        let gg = Graph::from_edges(8, &edges);
+        let mut t = tracer();
+        let ctx = TraceCtx {
+            diameter_samples: 3,
+            ..Default::default()
+        };
+        assert_eq!(diam(&gg, &mut t, &ctx), 7);
+    }
+
+    #[test]
+    fn pagerank_mass_checksum() {
+        let mut t = tracer();
+        let ctx = TraceCtx {
+            pr_iterations: 20,
+            ..Default::default()
+        };
+        // mass conserved → checksum ≈ 1e6
+        let c = pagerank(&g(), &mut t, &ctx);
+        assert_eq!(c, 1_000_000);
+    }
+
+    #[test]
+    fn pr_reference_counts_scale_with_iterations() {
+        let gg = g();
+        let mut t1 = tracer();
+        pagerank(
+            &gg,
+            &mut t1,
+            &TraceCtx {
+                pr_iterations: 1,
+                ..Default::default()
+            },
+        );
+        let mut t10 = tracer();
+        pagerank(
+            &gg,
+            &mut t10,
+            &TraceCtx {
+                pr_iterations: 10,
+                ..Default::default()
+            },
+        );
+        assert!(t10.stats().l1_refs > 5 * t1.stats().l1_refs);
+    }
+}

@@ -1,0 +1,247 @@
+//! # gorder-cli — command-line front end
+//!
+//! The workflows the original Gorder release supported (reorder an edge
+//! list), plus the ones this reproduction adds: inspect, convert between
+//! formats, run the benchmark algorithms, and cache-profile a graph under
+//! any ordering. The binary is a thin `main` over this library so every
+//! piece is unit-testable.
+//!
+//! ```text
+//! gorder-cli stats    <input>
+//! gorder-cli order    <input> <output> [--method Gorder] [--window 5]
+//! gorder-cli convert  <input> <output>
+//! gorder-cli run      <algo> <input> [--method NAME]
+//! gorder-cli simulate <algo> <input> [--method NAME]
+//! ```
+//!
+//! Formats are chosen by extension: `.mtx` Matrix Market, `.bin` the
+//! compact binary format, anything else a whitespace edge list.
+
+use gorder_algos::RunCtx;
+use gorder_cachesim::trace::{replay, TraceCtx};
+use gorder_cachesim::{CacheHierarchy, HierarchyConfig, StallModel, Tracer};
+use gorder_core::GorderBuilder;
+use gorder_graph::io::GraphIoError;
+use gorder_graph::stats::{degree_gini, GraphStats};
+use gorder_graph::{io, io_mm, Graph};
+use gorder_orders::OrderingAlgorithm;
+use std::path::Path;
+
+/// Graph file formats the CLI understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Whitespace-separated `u v` pairs (default).
+    EdgeList,
+    /// Matrix Market coordinate.
+    MatrixMarket,
+    /// This crate's compact binary CSR.
+    Binary,
+}
+
+/// Picks a format from a path's extension.
+pub fn format_of(path: &Path) -> Format {
+    match path
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(|e| e.to_ascii_lowercase())
+        .as_deref()
+    {
+        Some("mtx") => Format::MatrixMarket,
+        Some("bin") => Format::Binary,
+        _ => Format::EdgeList,
+    }
+}
+
+/// Loads a graph, dispatching on extension.
+pub fn load(path: &Path) -> Result<Graph, GraphIoError> {
+    match format_of(path) {
+        Format::EdgeList => io::read_edge_list_path(path),
+        Format::MatrixMarket => io_mm::read_matrix_market_path(path),
+        Format::Binary => io::read_binary_path(path),
+    }
+}
+
+/// Saves a graph, dispatching on extension.
+pub fn save(g: &Graph, path: &Path) -> Result<(), GraphIoError> {
+    match format_of(path) {
+        Format::EdgeList => io::write_edge_list_path(g, path),
+        Format::MatrixMarket => io_mm::write_matrix_market_path(g, path),
+        Format::Binary => io::write_binary_path(g, path),
+    }
+}
+
+/// Resolves an ordering by name; `Gorder` honours `--window`.
+pub fn ordering_by_name(name: &str, window: u32, seed: u64) -> Option<Box<dyn OrderingAlgorithm>> {
+    if name.eq_ignore_ascii_case("gorder") {
+        return Some(Box::new(
+            gorder_orders::gorder_impl::GorderOrdering::from_gorder(
+                GorderBuilder::new().window(window).build(),
+            ),
+        ));
+    }
+    gorder_orders::extensions::extended(seed)
+        .into_iter()
+        .find(|o| o.name().eq_ignore_ascii_case(name))
+}
+
+/// Names of every ordering the CLI accepts.
+pub fn ordering_names() -> Vec<&'static str> {
+    gorder_orders::extensions::extended(0)
+        .iter()
+        .map(|o| o.name())
+        .collect()
+}
+
+/// Names of every algorithm the CLI accepts.
+pub fn algorithm_names() -> Vec<&'static str> {
+    gorder_algos::extended().iter().map(|a| a.name()).collect()
+}
+
+/// `stats` subcommand: one human-readable block.
+pub fn stats_report(g: &Graph) -> String {
+    let s = GraphStats::compute(g);
+    format!(
+        "nodes            {}\n\
+         edges            {}\n\
+         mean out-degree  {:.2}\n\
+         max out-degree   {}\n\
+         max in-degree    {}\n\
+         reciprocity      {:.1}%\n\
+         isolated nodes   {}\n\
+         degree gini      {:.3}\n\
+         csr memory       {:.1} MB",
+        s.n,
+        s.m,
+        s.mean_degree,
+        s.max_out_degree,
+        s.max_in_degree,
+        s.reciprocity * 100.0,
+        s.isolated,
+        degree_gini(g),
+        g.memory_bytes() as f64 / 1e6,
+    )
+}
+
+/// `run` subcommand: execute an algorithm (optionally after reordering),
+/// returning a report line.
+pub fn run_algorithm(
+    g: &Graph,
+    algo: &str,
+    ordering: Option<&str>,
+    window: u32,
+    seed: u64,
+) -> Result<String, String> {
+    let a = gorder_algos::by_name(algo)
+        .ok_or_else(|| format!("unknown algorithm {algo:?}; known: {:?}", algorithm_names()))?;
+    let (graph, note) = match ordering {
+        None => (g.clone(), "original order".to_string()),
+        Some(name) => {
+            let o = ordering_by_name(name, window, seed).ok_or_else(|| {
+                format!("unknown ordering {name:?}; known: {:?}", ordering_names())
+            })?;
+            (g.relabel(&o.compute(g)), format!("{} order", o.name()))
+        }
+    };
+    let ctx = RunCtx {
+        seed,
+        ..Default::default()
+    };
+    let t = std::time::Instant::now();
+    let checksum = a.run(&graph, &ctx);
+    Ok(format!(
+        "{algo} over {note}: checksum {checksum:#x} in {:.3}s",
+        t.elapsed().as_secs_f64()
+    ))
+}
+
+/// `simulate` subcommand: cache profile of an algorithm under an ordering.
+pub fn simulate_algorithm(
+    g: &Graph,
+    algo: &str,
+    ordering: Option<&str>,
+    window: u32,
+    seed: u64,
+) -> Result<String, String> {
+    let (graph, note) = match ordering {
+        None => (g.clone(), "original order".to_string()),
+        Some(name) => {
+            let o = ordering_by_name(name, window, seed).ok_or_else(|| {
+                format!("unknown ordering {name:?}; known: {:?}", ordering_names())
+            })?;
+            (g.relabel(&o.compute(g)), format!("{} order", o.name()))
+        }
+    };
+    let ctx = TraceCtx {
+        pr_iterations: 5,
+        diameter_samples: 4,
+        seed,
+        ..Default::default()
+    };
+    let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
+    replay(algo, &graph, &mut tracer, &ctx)
+        .ok_or_else(|| format!("no replayer for {algo:?}; known: {:?}", algorithm_names()))?;
+    let s = tracer.stats();
+    let b = tracer.breakdown(&StallModel::skylake());
+    Ok(format!(
+        "{algo} over {note}: {:.1}M refs, L1-mr {:.1}%, cache-mr {:.1}%, stall share {:.0}%",
+        s.l1_refs as f64 / 1e6,
+        s.l1_miss_rate * 100.0,
+        s.cache_miss_rate * 100.0,
+        b.stall_fraction() * 100.0
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_detection() {
+        assert_eq!(format_of(Path::new("a.mtx")), Format::MatrixMarket);
+        assert_eq!(format_of(Path::new("a.MTX")), Format::MatrixMarket);
+        assert_eq!(format_of(Path::new("a.bin")), Format::Binary);
+        assert_eq!(format_of(Path::new("a.txt")), Format::EdgeList);
+        assert_eq!(format_of(Path::new("noext")), Format::EdgeList);
+    }
+
+    #[test]
+    fn load_save_roundtrip_all_formats() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (4, 0)]);
+        let dir = std::env::temp_dir().join("gorder_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["g.txt", "g.mtx", "g.bin"] {
+            let p = dir.join(name);
+            save(&g, &p).unwrap();
+            assert_eq!(load(&p).unwrap(), g, "{name}");
+        }
+    }
+
+    #[test]
+    fn ordering_resolution() {
+        assert!(ordering_by_name("Gorder", 5, 1).is_some());
+        assert!(ordering_by_name("gorder", 9, 1).is_some());
+        assert!(ordering_by_name("rcm", 5, 1).is_some());
+        assert!(ordering_by_name("DBG", 5, 1).is_some());
+        assert!(ordering_by_name("nope", 5, 1).is_none());
+        assert!(ordering_names().contains(&"SlashBurn"));
+    }
+
+    #[test]
+    fn stats_report_contains_counts() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let r = stats_report(&g);
+        assert!(r.contains("nodes            3"));
+        assert!(r.contains("edges            2"));
+    }
+
+    #[test]
+    fn run_and_simulate_work() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)]);
+        let run = run_algorithm(&g, "BFS", Some("Gorder"), 5, 1).unwrap();
+        assert!(run.contains("BFS over Gorder order"));
+        let sim = simulate_algorithm(&g, "PR", None, 5, 1).unwrap();
+        assert!(sim.contains("L1-mr"));
+        assert!(run_algorithm(&g, "XX", None, 5, 1).is_err());
+        assert!(simulate_algorithm(&g, "PR", Some("zzz"), 5, 1).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! `gorder-cli` — thin argument dispatcher over the library (see
+//! `lib.rs` for the testable logic and the usage synopsis).
+
+use gorder_cli::{
+    algorithm_names, load, ordering_by_name, ordering_names, run_algorithm, save,
+    simulate_algorithm, stats_report,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     gorder-cli stats    <input>\n  \
+     gorder-cli order    <input> <output> [--method Gorder] [--window 5] [--seed 42]\n  \
+     gorder-cli convert  <input> <output>\n  \
+     gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42]\n  \
+     gorder-cli simulate <algo> <input> [--method NAME] [--window 5] [--seed 42]\n\n\
+     formats by extension: .mtx (Matrix Market), .bin (compact CSR), else edge list"
+}
+
+struct Flags {
+    method: Option<String>,
+    window: u32,
+    seed: u64,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        method: None,
+        window: 5,
+        seed: 42,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--method" => {
+                flags.method = Some(it.next().ok_or("--method needs a value")?.clone());
+            }
+            "--window" => {
+                flags.window = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--window needs a positive integer")?;
+            }
+            "--seed" => {
+                flags.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(flags)
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "stats" => {
+            let input = args.get(1).ok_or_else(|| usage().to_string())?;
+            let g = load(&PathBuf::from(input)).map_err(|e| e.to_string())?;
+            println!("{}", stats_report(&g));
+            Ok(())
+        }
+        "order" => {
+            let input = args.get(1).ok_or_else(|| usage().to_string())?;
+            let output = args.get(2).ok_or_else(|| usage().to_string())?;
+            let flags = parse_flags(&args[3..])?;
+            let method = flags.method.as_deref().unwrap_or("Gorder");
+            let ordering = ordering_by_name(method, flags.window, flags.seed).ok_or_else(|| {
+                format!("unknown ordering {method:?}; known: {:?}", ordering_names())
+            })?;
+            let g = load(&PathBuf::from(input)).map_err(|e| e.to_string())?;
+            eprintln!("loaded {}: n = {}, m = {}", input, g.n(), g.m());
+            let t = std::time::Instant::now();
+            let perm = ordering.compute(&g);
+            eprintln!("{} computed in {:.2?}", ordering.name(), t.elapsed());
+            save(&g.relabel(&perm), &PathBuf::from(output)).map_err(|e| e.to_string())?;
+            println!("wrote {output}");
+            Ok(())
+        }
+        "convert" => {
+            let input = args.get(1).ok_or_else(|| usage().to_string())?;
+            let output = args.get(2).ok_or_else(|| usage().to_string())?;
+            let g = load(&PathBuf::from(input)).map_err(|e| e.to_string())?;
+            save(&g, &PathBuf::from(output)).map_err(|e| e.to_string())?;
+            println!("wrote {output} ({} nodes, {} edges)", g.n(), g.m());
+            Ok(())
+        }
+        "run" | "simulate" => {
+            let algo = args.get(1).ok_or_else(|| usage().to_string())?;
+            let input = args.get(2).ok_or_else(|| usage().to_string())?;
+            let flags = parse_flags(&args[3..])?;
+            let g = load(&PathBuf::from(input)).map_err(|e| e.to_string())?;
+            let report = if cmd == "run" {
+                run_algorithm(&g, algo, flags.method.as_deref(), flags.window, flags.seed)?
+            } else {
+                simulate_algorithm(&g, algo, flags.method.as_deref(), flags.window, flags.seed)?
+            };
+            println!("{report}");
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            println!("\norderings: {:?}", ordering_names());
+            println!("algorithms: {:?}", algorithm_names());
+            Ok(())
+        }
+        _ => Err(usage().to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

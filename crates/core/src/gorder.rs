@@ -1,0 +1,395 @@
+//! The Gorder windowed greedy (Algorithm GO of the paper).
+//!
+//! Gorder lays nodes out one at a time. At every step it appends the
+//! unplaced node with the highest total proximity `Σ S(·, v)` to the nodes
+//! `v` currently inside the trailing window of size `w`. Because each
+//! window entry/exit changes any candidate's score by exactly ±1 per shared
+//! relationship, all score maintenance runs on the O(1)-update
+//! [`UnitHeap`]:
+//!
+//! * when `v` **enters** the window: `+1` to every out-neighbour of `v`
+//!   (edge `v → u`), `+1` to every in-neighbour of `v` (edge `u → v`), and
+//!   `+1` to every other out-neighbour `u` of every in-neighbour `x` of `v`
+//!   (the common in-neighbour `x` makes `u` and `v` siblings);
+//! * when `v` **exits** the window (it was placed `w` steps ago): the same
+//!   updates with `−1`.
+//!
+//! The paper proves this greedy achieves at least `1/(2w)` of the optimal
+//! `F(π)` and observes that propagating sibling updates *through* very
+//! high-degree hubs dominates the running time on power-law graphs, so the
+//! implementation may skip propagation through hubs above a degree
+//! threshold (see [`GorderBuilder::hub_threshold`]).
+
+use crate::unitheap::UnitHeap;
+use gorder_graph::{Graph, NodeId, Permutation};
+
+/// Configuration builder for [`Gorder`].
+///
+/// ```
+/// use gorder_core::GorderBuilder;
+/// let gorder = GorderBuilder::new().window(5).build();
+/// ```
+#[derive(Debug, Clone)]
+pub struct GorderBuilder {
+    window: u32,
+    hub_threshold: Option<u32>,
+}
+
+impl GorderBuilder {
+    /// Defaults: `window = 5` (the paper's choice), exact sibling
+    /// propagation (no hub skipping). Skipping saves time on graphs whose
+    /// hubs have extreme *out*-degree, but silently weakens the sibling
+    /// signal exactly where it is strongest (e.g. hub-centred blocks), so
+    /// it is opt-in via [`GorderBuilder::hub_threshold`].
+    pub fn new() -> Self {
+        GorderBuilder {
+            window: 5,
+            hub_threshold: None,
+        }
+    }
+
+    /// Window size `w ≥ 1`. The paper tunes this on PageRank/flickr and
+    /// settles on 5 (its Figure 8; the replication's Figure 4 finds a
+    /// slightly better plateau at 64–2048, at higher ordering cost).
+    pub fn window(mut self, w: u32) -> Self {
+        assert!(w >= 1, "window must be at least 1");
+        self.window = w;
+        self
+    }
+
+    /// Sibling updates are not propagated through in-neighbours whose
+    /// out-degree exceeds this threshold (`None` = exact, the default).
+    /// This is the paper's practical optimisation for power-law hubs;
+    /// enable it when `Σ out-degree²` makes exact propagation too slow,
+    /// at some cost in ordering quality around hub-centred blocks.
+    pub fn hub_threshold(mut self, t: Option<u32>) -> Self {
+        self.hub_threshold = t;
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> Gorder {
+        Gorder {
+            window: self.window,
+            hub_threshold: self.hub_threshold,
+        }
+    }
+}
+
+impl Default for GorderBuilder {
+    fn default() -> Self {
+        GorderBuilder::new()
+    }
+}
+
+/// Counters describing one Gorder run (for tests, ablations and the
+/// scalability analysis of Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GorderStats {
+    /// Total key increments applied to the unit heap.
+    pub increments: u64,
+    /// Total key decrements applied to the unit heap.
+    pub decrements: u64,
+    /// Sibling propagations skipped due to the hub threshold.
+    pub hub_skips: u64,
+}
+
+/// The configured Gorder ordering algorithm. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Gorder {
+    window: u32,
+    hub_threshold: Option<u32>,
+}
+
+impl Gorder {
+    /// Gorder with the paper's defaults (`w = 5`).
+    pub fn with_defaults() -> Self {
+        GorderBuilder::new().build()
+    }
+
+    /// The configured window size.
+    pub fn window_size(&self) -> u32 {
+        self.window
+    }
+
+    /// Computes the Gorder permutation (`old id → new id`).
+    pub fn compute(&self, g: &Graph) -> Permutation {
+        self.compute_with_stats(g).0
+    }
+
+    /// Computes the permutation along with update counters.
+    pub fn compute_with_stats(&self, g: &Graph) -> (Permutation, GorderStats) {
+        let n = g.n();
+        let mut stats = GorderStats::default();
+        if n == 0 {
+            return (Permutation::identity(0), stats);
+        }
+        let w = self.window as usize;
+        let hub = self.hub_threshold.unwrap_or(u32::MAX);
+        let mut heap = UnitHeap::new(n);
+        let mut placement: Vec<NodeId> = Vec::with_capacity(n as usize);
+
+        // Seed with the highest in-degree node: it has the most siblings to
+        // pull in behind it. Ties break toward the smallest id.
+        let seed = (0..n)
+            .max_by_key(|&u| (g.in_degree(u), std::cmp::Reverse(u)))
+            .expect("non-empty graph");
+        heap.remove(seed);
+        placement.push(seed);
+        apply_delta(g, seed, true, hub, &mut heap, &mut stats);
+
+        while let Some(v) = heap.pop_max() {
+            placement.push(v);
+            apply_delta(g, v, true, hub, &mut heap, &mut stats);
+            if placement.len() > w {
+                let expiring = placement[placement.len() - 1 - w];
+                apply_delta(g, expiring, false, hub, &mut heap, &mut stats);
+            }
+        }
+        let perm = Permutation::from_placement(&placement)
+            .expect("greedy placement covers every node exactly once");
+        (perm, stats)
+    }
+}
+
+/// Applies the ±1 score updates triggered by `v` entering (`add = true`)
+/// or leaving (`add = false`) the window.
+fn apply_delta(
+    g: &Graph,
+    v: NodeId,
+    add: bool,
+    hub_threshold: u32,
+    heap: &mut UnitHeap,
+    stats: &mut GorderStats,
+) {
+    let mut bump = |heap: &mut UnitHeap, u: NodeId| {
+        if add {
+            heap.increment(u);
+            stats.increments += 1;
+        } else {
+            heap.decrement(u);
+            stats.decrements += 1;
+        }
+    };
+    // Neighbour score via out-edges of v: S_n(u, v) counts edge v → u.
+    for &u in g.out_neighbors(v) {
+        bump(heap, u);
+    }
+    for &x in g.in_neighbors(v) {
+        // Neighbour score via in-edges of v: S_n counts edge x → v.
+        bump(heap, x);
+        // Sibling score: x is a common in-neighbour of v and of every
+        // other out-neighbour u of x.
+        if g.out_degree(x) > hub_threshold {
+            stats.hub_skips += 1;
+            continue;
+        }
+        for &u in g.out_neighbors(x) {
+            if u != v {
+                bump(heap, u);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::{f_score_of, pair_score};
+    use gorder_graph::gen::{copying_model, preferential_attachment, PrefAttachConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn social(n: u32) -> Graph {
+        preferential_attachment(PrefAttachConfig {
+            n,
+            out_degree: 6,
+            reciprocity: 0.3,
+            uniform_mix: 0.1,
+            closure_prob: 0.3,
+            recency_bias: 0.3,
+            seed: 13,
+        })
+    }
+
+    fn assert_valid_perm(perm: &Permutation, n: u32) {
+        assert_eq!(perm.len(), n);
+        let mut seen = vec![false; n as usize];
+        for u in 0..n {
+            let p = perm.apply(u) as usize;
+            assert!(!seen[p], "duplicate target {p}");
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn produces_valid_permutation() {
+        let g = social(500);
+        let perm = Gorder::with_defaults().compute(&g);
+        assert_valid_perm(&perm, 500);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = social(300);
+        let gorder = Gorder::with_defaults();
+        assert_eq!(gorder.compute(&g).as_slice(), gorder.compute(&g).as_slice());
+    }
+
+    #[test]
+    fn beats_random_on_f_score() {
+        let g = copying_model(600, 8, 0.7, 21);
+        let w = 5;
+        let perm = GorderBuilder::new().window(w).build().compute(&g);
+        let random = Permutation::random(g.n(), &mut StdRng::seed_from_u64(3));
+        let f_gorder = f_score_of(&g, &perm, w);
+        let f_random = f_score_of(&g, &random, w);
+        assert!(
+            f_gorder > 2 * f_random,
+            "gorder F = {f_gorder} should dominate random F = {f_random}"
+        );
+    }
+
+    #[test]
+    fn beats_original_on_f_score_for_shuffled_input() {
+        // Shuffle a structured graph so the identity order carries no
+        // signal, then check Gorder rediscovers locality.
+        let g0 = copying_model(500, 6, 0.7, 5);
+        let shuffle = Permutation::random(g0.n(), &mut StdRng::seed_from_u64(17));
+        let g = g0.relabel(&shuffle);
+        let w = 5;
+        let perm = GorderBuilder::new().window(w).build().compute(&g);
+        let f_gorder = f_score_of(&g, &perm, w);
+        let f_identity = f_score_of(&g, &Permutation::identity(g.n()), w);
+        assert!(
+            f_gorder > f_identity,
+            "gorder F = {f_gorder} vs identity F = {f_identity}"
+        );
+    }
+
+    #[test]
+    fn greedy_picks_max_score_neighbor_on_toy_graph() {
+        // Star with a tail: node 0 points at 1..=4; node 5 shares all of
+        // 0's targets (siblings). Greedy seeded at the max in-degree node
+        // must keep sibling-rich nodes adjacent.
+        let mut edges = vec![];
+        for t in 1..=4 {
+            edges.push((0u32, t));
+            edges.push((5u32, t));
+        }
+        let g = Graph::from_edges(6, &edges);
+        let perm = GorderBuilder::new().window(3).build().compute(&g);
+        let placement = perm.placement();
+        // 0 and 5 both have in-degree 0 and share 4 sibling relations with
+        // each of 1..=4; whichever of 1..=4 is placed first, the strong
+        // mutual siblings 1..=4 must cluster: check that consecutive
+        // placement pairs have positive scores where possible.
+        let mut positive_adjacent = 0;
+        for pair in placement.windows(2) {
+            if pair_score(&g, pair[0], pair[1]) > 0 {
+                positive_adjacent += 1;
+            }
+        }
+        assert!(positive_adjacent >= 4, "placement {placement:?}");
+    }
+
+    #[test]
+    fn greedy_always_picks_a_max_score_node() {
+        // Oracle: replay the placement and verify every chosen node ties
+        // the true maximum of Σ_{v ∈ window} S(·, v) over unplaced nodes.
+        let g = copying_model(60, 4, 0.6, 11);
+        let w = 4usize;
+        let placement = GorderBuilder::new()
+            .window(w as u32)
+            .build()
+            .compute(&g)
+            .placement();
+        let mut placed = vec![false; g.n() as usize];
+        placed[placement[0] as usize] = true;
+        for i in 1..placement.len() {
+            let window = &placement[i.saturating_sub(w)..i];
+            let score_of = |u: u32| -> u64 { window.iter().map(|&v| pair_score(&g, u, v)).sum() };
+            let chosen = score_of(placement[i]);
+            let best = (0..g.n())
+                .filter(|&u| !placed[u as usize])
+                .map(score_of)
+                .max()
+                .unwrap();
+            assert_eq!(
+                chosen, best,
+                "step {i}: picked {} with score {chosen}, max was {best}",
+                placement[i]
+            );
+            placed[placement[i] as usize] = true;
+        }
+    }
+
+    #[test]
+    fn window_one_and_huge_window_work() {
+        let g = social(200);
+        for w in [1, 2, 199, 500] {
+            let perm = GorderBuilder::new().window(w).build().compute(&g);
+            assert_valid_perm(&perm, 200);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let perm = Gorder::with_defaults().compute(&Graph::empty(0));
+        assert_eq!(perm.len(), 0);
+        let perm = Gorder::with_defaults().compute(&Graph::empty(1));
+        assert_eq!(perm.apply(0), 0);
+    }
+
+    #[test]
+    fn disconnected_components_all_placed() {
+        // two disjoint triangles + isolated nodes
+        let g = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let perm = Gorder::with_defaults().compute(&g);
+        assert_valid_perm(&perm, 8);
+    }
+
+    #[test]
+    fn hub_threshold_preserves_validity_and_counts_skips() {
+        let g = social(400);
+        let (perm, stats) = GorderBuilder::new()
+            .hub_threshold(Some(2))
+            .build()
+            .compute_with_stats(&g);
+        assert_valid_perm(&perm, 400);
+        assert!(stats.hub_skips > 0, "threshold 2 must skip some hubs");
+    }
+
+    #[test]
+    fn exact_mode_has_no_skips() {
+        let g = social(300);
+        let (_, stats) = GorderBuilder::new()
+            .hub_threshold(None)
+            .build()
+            .compute_with_stats(&g);
+        assert_eq!(stats.hub_skips, 0);
+    }
+
+    #[test]
+    fn increments_bounded_by_decrements() {
+        // Every decrement reverses an earlier increment on a still-present
+        // node, so decrements ≤ increments.
+        let g = social(300);
+        let (_, stats) = Gorder::with_defaults().compute_with_stats(&g);
+        assert!(stats.decrements <= stats.increments);
+        assert!(stats.increments > 0);
+    }
+
+    #[test]
+    fn larger_window_does_not_reduce_f_at_same_window() {
+        // Orderings built with larger w should score at least comparably
+        // on their own objective... strictly this is heuristic; we assert
+        // the weaker, stable property that both beat random.
+        let g = copying_model(400, 6, 0.7, 9);
+        let random = Permutation::random(g.n(), &mut StdRng::seed_from_u64(2));
+        for w in [2, 8] {
+            let perm = GorderBuilder::new().window(w).build().compute(&g);
+            assert!(f_score_of(&g, &perm, w) > f_score_of(&g, &random, w));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Incremental Gorder — ordering maintenance for evolving graphs.
+//!
+//! The paper's discussion (and the replication's) flags Gorder's biggest
+//! practical weakness: the ordering is expensive to compute, so "in the
+//! case where networks evolve and require constant recomputation … Gorder
+//! needs to be adapted to integrate the modifications without running the
+//! whole process again". This module implements that adaptation.
+//!
+//! Strategy: **anchor-sorted append**. The existing layout is kept
+//! byte-for-byte (no dilution of its dense windows — splicing nodes *into*
+//! a chain pushes its high-score pairs out of the window and costs more
+//! F than the splice gains). Each new node picks an *anchor*: the placed
+//! node maximising the paper's proximity `S(u, ·)` over its neighbours
+//! and one-hop siblings. The new block is then appended sorted by anchor
+//! position, so new nodes that share (or have nearby) anchors — which is
+//! exactly when they share in-neighbours, i.e. score as siblings — become
+//! adjacent in the layout.
+//!
+//! The quality/time trade-off is measured by the `dynamic` harness
+//! binary: anchor-sorted appends retain most of the full recompute's
+//! `F(π)` at a small fraction of its cost and clearly beat the naive
+//! id-order append.
+
+use crate::score::pair_score;
+use gorder_graph::{Graph, NodeId, Permutation};
+
+/// Incremental ordering maintainer.
+///
+/// Holds order keys for every placed node; [`extend`](Self::extend)
+/// splices the nodes a grown graph added, and
+/// [`permutation`](Self::permutation) materialises the current order.
+#[derive(Debug, Clone)]
+pub struct IncrementalGorder {
+    /// `key[u]` = position key of node `u` (ascending = layout order).
+    keys: Vec<f64>,
+}
+
+impl IncrementalGorder {
+    /// Starts from a graph and its (full) Gorder permutation — or any
+    /// other permutation worth preserving.
+    pub fn new(base: &Permutation) -> Self {
+        let n = base.len();
+        let mut keys = vec![0.0; n as usize];
+        for u in 0..n {
+            keys[u as usize] = f64::from(base.apply(u));
+        }
+        IncrementalGorder { keys }
+    }
+
+    /// Number of nodes currently placed.
+    pub fn len(&self) -> u32 {
+        self.keys.len() as u32
+    }
+
+    /// Whether no nodes are placed.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Integrates every node of `grown` with id ≥ `self.len()`: the new
+    /// block is appended after the existing layout, ordered by each new
+    /// node's anchor position. `grown` must contain the previously placed
+    /// nodes with unchanged ids (new edges incident to old nodes are fine
+    /// — they influence anchor scores).
+    pub fn extend(&mut self, grown: &Graph) {
+        let old_n = self.len();
+        assert!(
+            grown.n() >= old_n,
+            "grown graph has {} nodes but {} are already placed",
+            grown.n(),
+            old_n
+        );
+        let tail_base = self.keys.iter().copied().fold(0.0, f64::max) + 1.0;
+        // anchor key per new node; anchorless nodes sort last
+        let mut anchored: Vec<(f64, NodeId)> = (old_n..grown.n())
+            .map(|u| {
+                let key = self
+                    .anchor_of(grown, u)
+                    .map_or(f64::INFINITY, |a| self.keys[a as usize]);
+                (key, u)
+            })
+            .collect();
+        anchored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("keys finite or inf")
+                .then(a.1.cmp(&b.1))
+        });
+        self.keys.resize(grown.n() as usize, 0.0);
+        for (rank, &(_, u)) in anchored.iter().enumerate() {
+            self.keys[u as usize] = tail_base + rank as f64;
+        }
+    }
+
+    /// The placed node with the highest proximity `S(u, ·)` among `u`'s
+    /// neighbours and one-hop siblings, or `None` if `u` relates to no
+    /// placed node.
+    fn anchor_of(&self, g: &Graph, u: NodeId) -> Option<NodeId> {
+        let placed = self.len();
+        let mut best: Option<(u64, NodeId)> = None;
+        let consider = |v: NodeId, best: &mut Option<(u64, NodeId)>| {
+            if v >= placed || v == u {
+                return;
+            }
+            let s = pair_score(g, u, v);
+            if s > 0 && best.is_none_or(|(bs, bv)| s > bs || (s == bs && v < bv)) {
+                *best = Some((s, v));
+            }
+        };
+        for &v in g.out_neighbors(u) {
+            consider(v, &mut best);
+        }
+        for &x in g.in_neighbors(u) {
+            consider(x, &mut best);
+            // siblings through x (capped: hubs would make integration
+            // super-linear, and a few sibling candidates suffice)
+            for &v in g.out_neighbors(x).iter().take(16) {
+                consider(v, &mut best);
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// Materialises the current order as a permutation over `self.len()`
+    /// nodes.
+    pub fn permutation(&self) -> Permutation {
+        let mut order: Vec<NodeId> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.keys[a as usize]
+                .partial_cmp(&self.keys[b as usize])
+                .expect("keys are finite")
+                .then(a.cmp(&b))
+        });
+        Permutation::from_placement(&order).expect("every node has exactly one key")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gorder::Gorder;
+    use crate::score::f_score_of;
+    use gorder_graph::gen::{copying_model, preferential_attachment, PrefAttachConfig};
+    use gorder_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A growing social graph: `prefix(k)` is the same generator stopped
+    /// at k nodes (edges among the first k nodes only).
+    fn grown_pair(n_old: u32, n_new: u32) -> (Graph, Graph) {
+        let full = preferential_attachment(PrefAttachConfig {
+            n: n_new,
+            out_degree: 5,
+            reciprocity: 0.3,
+            uniform_mix: 0.1,
+            closure_prob: 0.4,
+            recency_bias: 0.3,
+            seed: 21,
+        });
+        let mut b = GraphBuilder::new(n_old);
+        for (u, v) in full.edges().filter(|&(u, v)| u < n_old && v < n_old) {
+            b.add_edge(u, v);
+        }
+        (b.build(), full)
+    }
+
+    #[test]
+    fn extend_produces_valid_permutation() {
+        let (old, grown) = grown_pair(200, 300);
+        let base = Gorder::with_defaults().compute(&old);
+        let mut inc = IncrementalGorder::new(&base);
+        inc.extend(&grown);
+        let perm = inc.permutation();
+        assert_eq!(perm.len(), 300);
+        let mut seen = vec![false; 300];
+        for u in 0..300u32 {
+            let p = perm.apply(u) as usize;
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn preserves_relative_order_of_old_nodes() {
+        let (old, grown) = grown_pair(150, 200);
+        let base = Gorder::with_defaults().compute(&old);
+        let mut inc = IncrementalGorder::new(&base);
+        inc.extend(&grown);
+        let perm = inc.permutation();
+        // old nodes keep their pairwise order
+        for a in 0..150u32 {
+            for b in 0..150u32 {
+                if base.apply(a) < base.apply(b) {
+                    assert!(
+                        perm.apply(a) < perm.apply(b),
+                        "old nodes {a}, {b} were reordered"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beats_append_at_end() {
+        let (old, grown) = grown_pair(300, 450);
+        // Arrival order is not structure: scramble the new block's ids so
+        // the naive append-at-end policy cannot ride the generator's
+        // cohort contiguity (real insertion streams are interleaved).
+        let mut map: Vec<NodeId> = (0..450).collect();
+        {
+            use rand::seq::SliceRandom;
+            let mut rng = StdRng::seed_from_u64(77);
+            map[300..].shuffle(&mut rng);
+        }
+        let scramble = Permutation::try_new(map).unwrap();
+        let grown = grown.relabel(&scramble);
+
+        let base = Gorder::with_defaults().compute(&old);
+        let mut inc = IncrementalGorder::new(&base);
+        inc.extend(&grown);
+        let spliced = inc.permutation();
+        // naive policy: keep old layout, append new nodes in id order
+        let mut naive_placement: Vec<NodeId> = base.placement();
+        naive_placement.extend(300..450u32);
+        let naive = Permutation::from_placement(&naive_placement).unwrap();
+        let w = 5;
+        let f_spliced = f_score_of(&grown, &spliced, w);
+        let f_naive = f_score_of(&grown, &naive, w);
+        assert!(
+            f_spliced > f_naive,
+            "splicing F = {f_spliced} must beat append-at-end F = {f_naive}"
+        );
+    }
+
+    #[test]
+    fn retains_most_of_full_recompute_quality() {
+        let (old, grown) = grown_pair(400, 500);
+        let base = Gorder::with_defaults().compute(&old);
+        let mut inc = IncrementalGorder::new(&base);
+        inc.extend(&grown);
+        let spliced = inc.permutation();
+        let full = Gorder::with_defaults().compute(&grown);
+        let w = 5;
+        let f_spliced = f_score_of(&grown, &spliced, w) as f64;
+        let f_full = f_score_of(&grown, &full, w) as f64;
+        assert!(
+            f_spliced > 0.5 * f_full,
+            "spliced F = {f_spliced} should retain most of full F = {f_full}"
+        );
+    }
+
+    #[test]
+    fn multiple_extend_rounds() {
+        let full = copying_model(500, 5, 0.6, 8);
+        let prefix = |k: u32| {
+            let mut b = GraphBuilder::new(k);
+            for (u, v) in full.edges().filter(|&(u, v)| u < k && v < k) {
+                b.add_edge(u, v);
+            }
+            b.build()
+        };
+        let base = Gorder::with_defaults().compute(&prefix(200));
+        let mut inc = IncrementalGorder::new(&base);
+        for k in [300u32, 400, 500] {
+            inc.extend(&prefix(k));
+            assert_eq!(inc.len(), k);
+        }
+        assert_eq!(inc.permutation().len(), 500);
+    }
+
+    #[test]
+    fn isolated_new_nodes_go_to_the_end() {
+        let old = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let base = Gorder::with_defaults().compute(&old);
+        let mut inc = IncrementalGorder::new(&base);
+        // grown graph adds node 3 with no edges
+        let grown = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        inc.extend(&grown);
+        let perm = inc.permutation();
+        assert_eq!(perm.apply(3), 3, "unconnected node lands last");
+    }
+
+    #[test]
+    fn extend_with_no_new_nodes_is_noop() {
+        let (old, _) = grown_pair(100, 150);
+        let base = Gorder::with_defaults().compute(&old);
+        let mut inc = IncrementalGorder::new(&base);
+        inc.extend(&old);
+        assert_eq!(inc.permutation().as_slice(), base.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "already placed")]
+    fn shrinking_graph_rejected() {
+        let (old, _) = grown_pair(100, 150);
+        let base = Gorder::with_defaults().compute(&old);
+        let mut inc = IncrementalGorder::new(&base);
+        inc.extend(&Graph::empty(50));
+    }
+}

@@ -1,0 +1,167 @@
+//! Partitioned parallel Gorder — the discussion's "a parallel version of
+//! Gorder could reduce this problem [the ordering's cost]".
+//!
+//! The greedy is inherently sequential (each placement depends on the
+//! window), so the classic parallelisation is **partition-and-conquer**:
+//!
+//! 1. split the node range into `p` contiguous chunks (input orders carry
+//!    enough coarse locality that contiguous chunking keeps most score
+//!    mass inside chunks; a smarter partitioner can be layered on top by
+//!    pre-permuting the input);
+//! 2. run the full windowed greedy *independently* on each chunk's
+//!    induced subgraph, in parallel (`std::thread::scope` — no runtime
+//!    dependency);
+//! 3. concatenate the per-chunk placements in chunk order.
+//!
+//! Edges crossing chunks are invisible to the per-chunk greedies, so the
+//! result trades a little `F(π)` for near-linear scaling of ordering
+//! time; the `parallel_gorder` bench measures both sides of the trade.
+
+use crate::gorder::Gorder;
+use gorder_graph::subgraph::induced_range;
+use gorder_graph::{Graph, NodeId, Permutation};
+
+/// Partition-parallel Gorder.
+#[derive(Debug, Clone)]
+pub struct ParallelGorder {
+    inner: Gorder,
+    partitions: u32,
+}
+
+impl ParallelGorder {
+    /// Parallel Gorder with the given sequential configuration and
+    /// partition count (≥ 1; 1 degenerates to plain sequential Gorder on
+    /// one induced copy).
+    pub fn new(inner: Gorder, partitions: u32) -> Self {
+        assert!(partitions >= 1, "need at least one partition");
+        ParallelGorder { inner, partitions }
+    }
+
+    /// Paper-default Gorder split over `partitions` chunks.
+    pub fn with_defaults(partitions: u32) -> Self {
+        ParallelGorder::new(Gorder::with_defaults(), partitions)
+    }
+
+    /// Computes the permutation; chunks run on their own threads.
+    pub fn compute(&self, g: &Graph) -> Permutation {
+        let n = g.n();
+        if n == 0 {
+            return Permutation::identity(0);
+        }
+        let p = self.partitions.min(n).max(1);
+        let chunk = n.div_ceil(p);
+        let bounds: Vec<(NodeId, NodeId)> = (0..p)
+            .map(|i| (i * chunk, ((i + 1) * chunk).min(n)))
+            .collect();
+        let mut placements: Vec<Vec<NodeId>> = vec![Vec::new(); p as usize];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for &(lo, hi) in &bounds {
+                let inner = &self.inner;
+                handles.push(scope.spawn(move || {
+                    let sub = induced_range(g, lo, hi).graph;
+                    let local = inner.compute(&sub);
+                    // local placement, mapped back to global ids
+                    local
+                        .placement()
+                        .into_iter()
+                        .map(|u| u + lo)
+                        .collect::<Vec<NodeId>>()
+                }));
+            }
+            for (slot, handle) in placements.iter_mut().zip(handles) {
+                *slot = handle.join().expect("partition worker panicked");
+            }
+        });
+        let mut placement = Vec::with_capacity(n as usize);
+        for part in placements {
+            placement.extend(part);
+        }
+        Permutation::from_placement(&placement).expect("chunks partition the node range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::f_score_of;
+    use gorder_graph::gen::copying_model;
+    use rand::SeedableRng;
+
+    fn structured() -> Graph {
+        copying_model(600, 6, 0.7, 12)
+    }
+
+    fn assert_valid(perm: &Permutation, n: u32) {
+        let mut seen = vec![false; n as usize];
+        for u in 0..n {
+            let t = perm.apply(u) as usize;
+            assert!(!seen[t]);
+            seen[t] = true;
+        }
+    }
+
+    #[test]
+    fn valid_for_various_partition_counts() {
+        let g = structured();
+        for p in [1, 2, 3, 7, 16] {
+            let perm = ParallelGorder::with_defaults(p).compute(&g);
+            assert_valid(&perm, g.n());
+        }
+    }
+
+    #[test]
+    fn single_partition_matches_sequential_on_whole_graph() {
+        let g = structured();
+        let par = ParallelGorder::with_defaults(1).compute(&g);
+        let seq = Gorder::with_defaults().compute(&g);
+        assert_eq!(par.as_slice(), seq.as_slice());
+    }
+
+    #[test]
+    fn partitions_confine_nodes_to_their_chunk_span() {
+        let g = structured();
+        let p = 4;
+        let chunk = g.n().div_ceil(p);
+        let perm = ParallelGorder::with_defaults(p).compute(&g);
+        for u in g.nodes() {
+            let c = u / chunk;
+            let new = perm.apply(u);
+            // chunk c's placement occupies exactly positions
+            // [c·chunk, min((c+1)·chunk, n)), since chunks are equal-size
+            // except possibly the last
+            assert!(
+                new >= c * chunk && new < ((c + 1) * chunk).min(g.n()),
+                "node {u} of chunk {c} landed at {new}"
+            );
+        }
+    }
+
+    #[test]
+    fn quality_close_to_sequential_and_far_above_random() {
+        let g = structured();
+        let w = 5;
+        let seq = f_score_of(&g, &Gorder::with_defaults().compute(&g), w) as f64;
+        let par = f_score_of(&g, &ParallelGorder::with_defaults(4).compute(&g), w) as f64;
+        let rnd = f_score_of(
+            &g,
+            &Permutation::random(g.n(), &mut rand::rngs::StdRng::seed_from_u64(1)),
+            w,
+        ) as f64;
+        assert!(par > 0.5 * seq, "parallel F {par} vs sequential {seq}");
+        assert!(par > 2.0 * rnd, "parallel F {par} vs random {rnd}");
+    }
+
+    #[test]
+    fn more_partitions_than_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let perm = ParallelGorder::with_defaults(64).compute(&g);
+        assert_valid(&perm, 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let perm = ParallelGorder::with_defaults(4).compute(&Graph::empty(0));
+        assert_eq!(perm.len(), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Ordering quality metrics: the paper's `S`/`F` locality objective and the
+//! arrangement energies used by the baseline orderings.
+//!
+//! * [`pair_score`] — `S(u, v) = Ss(u, v) + Sn(u, v)`.
+//! * [`f_score`] — `F(π) = Σ_{0 < π(u) − π(v) ≤ w} S(u, v)`, evaluated on a
+//!   graph *already relabelled* by π (so node ids are positions).
+//! * [`minla_energy`], [`minloga_energy`], [`bandwidth`] — the objectives
+//!   of the MinLA / MinLogA / RCM baselines (Section 2.3 of the
+//!   replication).
+//!
+//! These evaluators are deliberately simple reference implementations;
+//! they exist to *measure* orderings (tests, ablations, Figure 3), not to
+//! be fast.
+
+use gorder_graph::{Graph, NodeId, Permutation};
+
+/// Number of common in-neighbours of `u` and `v` — the sibling score
+/// `Ss(u, v)`. O(deg_in(u) + deg_in(v)) by sorted-list intersection.
+pub fn sibling_score(g: &Graph, u: NodeId, v: NodeId) -> u64 {
+    let (mut a, mut b) = (g.in_neighbors(u), g.in_neighbors(v));
+    if a.len() > b.len() {
+        std::mem::swap(&mut a, &mut b);
+    }
+    let mut count = 0;
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j < b.len() && b[j] == x {
+            count += 1;
+            j += 1;
+        }
+    }
+    count
+}
+
+/// Number of edges between `u` and `v` (0, 1, or 2) — the neighbour score
+/// `Sn(u, v)`.
+pub fn neighbor_score(g: &Graph, u: NodeId, v: NodeId) -> u64 {
+    u64::from(g.has_edge(u, v)) + u64::from(g.has_edge(v, u))
+}
+
+/// The paper's pairwise proximity `S(u, v) = Ss(u, v) + Sn(u, v)`.
+pub fn pair_score(g: &Graph, u: NodeId, v: NodeId) -> u64 {
+    sibling_score(g, u, v) + neighbor_score(g, u, v)
+}
+
+/// Evaluates `F(π)` for the *identity* arrangement of `g` — i.e. `g` must
+/// already be relabelled by the ordering under evaluation. Sums `S(u, v)`
+/// over all pairs at id distance `1..=w`.
+///
+/// O(n · w · avg-degree); fine at test scale, quadratic-ish beyond.
+pub fn f_score(g: &Graph, w: u32) -> u64 {
+    let n = g.n();
+    let mut total = 0;
+    for u in 0..n {
+        let lo = u.saturating_sub(w);
+        for v in lo..u {
+            total += pair_score(g, u, v);
+        }
+    }
+    total
+}
+
+/// Evaluates `F(π)` for an explicit permutation of `g` without
+/// materialising the relabelled graph.
+pub fn f_score_of(g: &Graph, perm: &Permutation, w: u32) -> u64 {
+    let placement = perm.placement();
+    let n = placement.len();
+    let mut total = 0;
+    for i in 0..n {
+        let lo = i.saturating_sub(w as usize);
+        for j in lo..i {
+            total += pair_score(g, placement[i], placement[j]);
+        }
+    }
+    total
+}
+
+/// MinLA energy `Σ_(u,v)∈E |π(u) − π(v)|` of the identity arrangement.
+pub fn minla_energy(g: &Graph) -> u64 {
+    g.edges().map(|(u, v)| u64::from(u.abs_diff(v))).sum()
+}
+
+/// MinLA energy under an explicit permutation.
+pub fn minla_energy_of(g: &Graph, perm: &Permutation) -> u64 {
+    g.edges()
+        .map(|(u, v)| u64::from(perm.apply(u).abs_diff(perm.apply(v))))
+        .sum()
+}
+
+/// MinLogA energy `Σ_(u,v)∈E ln |π(u) − π(v)|` of the identity arrangement.
+/// (Self-loops are excluded by construction, so the distance is ≥ 1.)
+pub fn minloga_energy(g: &Graph) -> f64 {
+    g.edges().map(|(u, v)| f64::from(u.abs_diff(v)).ln()).sum()
+}
+
+/// MinLogA energy under an explicit permutation.
+pub fn minloga_energy_of(g: &Graph, perm: &Permutation) -> f64 {
+    g.edges()
+        .map(|(u, v)| f64::from(perm.apply(u).abs_diff(perm.apply(v))).ln())
+        .sum()
+}
+
+/// Bandwidth `max_(u,v)∈E |π(u) − π(v)|` of the identity arrangement — the
+/// objective RCM heuristically minimises.
+pub fn bandwidth(g: &Graph) -> u32 {
+    g.edges().map(|(u, v)| u.abs_diff(v)).max().unwrap_or(0)
+}
+
+/// Bandwidth under an explicit permutation.
+pub fn bandwidth_of(g: &Graph, perm: &Permutation) -> u32 {
+    g.edges()
+        .map(|(u, v)| perm.apply(u).abs_diff(perm.apply(v)))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 → 2, 1 → 2, 2 → 3, 0 → 1: nodes 0 and 1 are siblings of nothing;
+    /// 2's in-neighbours are {0, 1}.
+    fn g() -> Graph {
+        Graph::from_edges(4, &[(0, 2), (1, 2), (2, 3), (0, 1)])
+    }
+
+    #[test]
+    fn sibling_counts_common_in_neighbors() {
+        // in(2) = {0, 1}, in(1) = {0} → common = {0}
+        assert_eq!(sibling_score(&g(), 2, 1), 1);
+        // in(3) = {2}, in(2) = {0,1} → none
+        assert_eq!(sibling_score(&g(), 3, 2), 0);
+        assert_eq!(sibling_score(&g(), 0, 1), 0);
+    }
+
+    #[test]
+    fn sibling_is_symmetric() {
+        let gg = g();
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(sibling_score(&gg, u, v), sibling_score(&gg, v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_score_cases() {
+        let gg = g();
+        assert_eq!(neighbor_score(&gg, 0, 2), 1);
+        assert_eq!(neighbor_score(&gg, 2, 0), 1); // symmetric
+        assert_eq!(neighbor_score(&gg, 0, 3), 0);
+        let bi = Graph::from_edges(2, &[(0, 1), (1, 0)]);
+        assert_eq!(neighbor_score(&bi, 0, 1), 2);
+    }
+
+    #[test]
+    fn f_score_small_window() {
+        let gg = g();
+        // w = 1: pairs (1,0), (2,1), (3,2)
+        let expected = pair_score(&gg, 1, 0) + pair_score(&gg, 2, 1) + pair_score(&gg, 3, 2);
+        assert_eq!(f_score(&gg, 1), expected);
+    }
+
+    #[test]
+    fn f_score_of_identity_matches_f_score() {
+        let gg = g();
+        let id = Permutation::identity(4);
+        for w in 1..5 {
+            assert_eq!(f_score(&gg, w), f_score_of(&gg, &id, w));
+        }
+    }
+
+    #[test]
+    fn f_score_of_matches_relabel_then_f_score() {
+        let gg = g();
+        let perm = Permutation::try_new(vec![2, 0, 3, 1]).unwrap();
+        let relabelled = gg.relabel(&perm);
+        for w in 1..5 {
+            assert_eq!(f_score_of(&gg, &perm, w), f_score(&relabelled, w));
+        }
+    }
+
+    #[test]
+    fn f_score_monotone_in_window() {
+        let gg = g();
+        let mut prev = 0;
+        for w in 1..6 {
+            let f = f_score(&gg, w);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn minla_energy_values() {
+        let gg = g();
+        // |0-2| + |1-2| + |2-3| + |0-1| = 2 + 1 + 1 + 1 = 5
+        assert_eq!(minla_energy(&gg), 5);
+        let id = Permutation::identity(4);
+        assert_eq!(minla_energy_of(&gg, &id), 5);
+    }
+
+    #[test]
+    fn minloga_energy_values() {
+        let gg = g();
+        let expected = (2.0f64).ln(); // three distance-1 edges contribute ln 1 = 0
+        assert!((minloga_energy(&gg) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_values() {
+        let gg = g();
+        assert_eq!(bandwidth(&gg), 2);
+        let rev = Permutation::try_new(vec![3, 2, 1, 0]).unwrap();
+        assert_eq!(bandwidth_of(&gg, &rev), 2);
+        assert_eq!(bandwidth(&Graph::empty(3)), 0);
+    }
+}

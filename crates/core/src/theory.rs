@@ -1,0 +1,144 @@
+//! Brute-force machinery for verifying the paper's theoretical claims on
+//! small instances.
+//!
+//! The paper proves two things about the windowed greedy:
+//!
+//! 1. maximising `F(π)` is NP-hard, and
+//! 2. the greedy achieves `F(greedy) ≥ OPT / (2w)`.
+//!
+//! [`optimal_f`] computes `OPT` by enumerating all `n!` arrangements
+//! (feasible to `n ≈ 9`), which lets the test suite check bound (2)
+//! directly — see `greedy_respects_approximation_bound` below. Hardness
+//! can't be unit-tested, but the enumerator also exposes how quickly the
+//! search space explodes.
+
+use crate::score::f_score_of;
+use gorder_graph::{Graph, NodeId, Permutation};
+
+/// Exact maximum of `F(π)` over all arrangements, by exhaustive
+/// enumeration. Exponential — intended for graphs with `n ≤ ~9`.
+///
+/// Returns `(OPT, an optimal permutation)`.
+///
+/// # Panics
+/// Panics if `n > 10` (guard against accidental factorial blow-up).
+pub fn optimal_f(g: &Graph, w: u32) -> (u64, Permutation) {
+    let n = g.n();
+    assert!(n <= 10, "exhaustive search is O(n!), refusing n = {n} > 10");
+    if n == 0 {
+        return (0, Permutation::identity(0));
+    }
+    let mut placement: Vec<NodeId> = (0..n).collect();
+    let mut best_f = 0;
+    let mut best: Vec<NodeId> = placement.clone();
+    // Heap's algorithm, iterative
+    let mut c = vec![0usize; n as usize];
+    let score = |pl: &[NodeId]| -> u64 {
+        let perm = Permutation::from_placement(pl).expect("placement is a permutation");
+        f_score_of(g, &perm, w)
+    };
+    best_f = best_f.max(score(&placement));
+    let mut i = 0;
+    while i < n as usize {
+        if c[i] < i {
+            if i % 2 == 0 {
+                placement.swap(0, i);
+            } else {
+                placement.swap(c[i], i);
+            }
+            let f = score(&placement);
+            if f > best_f {
+                best_f = f;
+                best.copy_from_slice(&placement);
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    (
+        best_f,
+        Permutation::from_placement(&best).expect("best placement is a permutation"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gorder::GorderBuilder;
+    use gorder_graph::gen::erdos_renyi;
+
+    #[test]
+    fn optimum_on_a_path_keeps_neighbors_adjacent() {
+        // path 0→1→2→3: identity is optimal for w = 1 (every edge in window)
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (opt, perm) = optimal_f(&g, 1);
+        // Sn contributes 1 per adjacent edge pair; siblings: none
+        assert_eq!(opt, 3);
+        // the witness achieves it
+        assert_eq!(f_score_of(&g, &perm, 1), 3);
+    }
+
+    #[test]
+    fn optimum_at_least_any_specific_arrangement() {
+        let g = Graph::from_edges(5, &[(0, 2), (1, 2), (3, 2), (2, 4), (0, 4)]);
+        for w in 1..4 {
+            let (opt, _) = optimal_f(&g, w);
+            assert!(opt >= f_score_of(&g, &Permutation::identity(5), w));
+        }
+    }
+
+    #[test]
+    fn greedy_respects_approximation_bound() {
+        // The paper's Theorem: F(greedy) ≥ OPT / (2w). Check exhaustively
+        // on a batch of random 8-node graphs for several windows.
+        for seed in 0..6 {
+            let g = erdos_renyi(8, 20, seed);
+            for w in [1u32, 2, 3] {
+                let (opt, _) = optimal_f(&g, w);
+                let greedy = GorderBuilder::new().window(w).build().compute(&g);
+                let achieved = f_score_of(&g, &greedy, w);
+                // integer-safe check of achieved ≥ opt / (2w)
+                assert!(
+                    achieved * 2 * u64::from(w) >= opt,
+                    "seed {seed}, w = {w}: greedy {achieved} < OPT {opt} / {}",
+                    2 * w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_often_near_optimal_on_tiny_graphs() {
+        // not a theorem — an empirical sanity bar well above the 1/(2w)
+        // guarantee: on tiny graphs the greedy should reach ≥ 60% of OPT
+        let mut total_ratio = 0.0;
+        let cases = 5;
+        for seed in 10..10 + cases {
+            let g = erdos_renyi(7, 14, seed);
+            let (opt, _) = optimal_f(&g, 2);
+            if opt == 0 {
+                total_ratio += 1.0;
+                continue;
+            }
+            let greedy = GorderBuilder::new().window(2).build().compute(&g);
+            total_ratio += f_score_of(&g, &greedy, 2) as f64 / opt as f64;
+        }
+        let mean = total_ratio / cases as f64;
+        assert!(mean > 0.6, "mean greedy/OPT ratio too low: {mean:.2}");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(optimal_f(&Graph::empty(0), 3).0, 0);
+        assert_eq!(optimal_f(&Graph::empty(1), 3).0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing")]
+    fn large_n_guard() {
+        optimal_f(&Graph::empty(11), 2);
+    }
+}

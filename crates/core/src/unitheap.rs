@@ -1,0 +1,319 @@
+//! The unit heap: a priority queue whose keys move by ±1.
+//!
+//! Gorder's greedy pops the unplaced node with the highest proximity score
+//! to the current window, and every score update is an increment or
+//! decrement **by exactly one** (one shared in-neighbour or one edge enters
+//! or leaves the window). The original C++ implementation exploits this
+//! with a bucketed structure — a doubly-linked list per key value — so
+//! every update is O(1) and `pop_max` is amortised O(1) (the max pointer
+//! only rises by one per increment).
+//!
+//! This is a safe-Rust re-design of that structure: intrusive links are
+//! `u32` indices instead of raw pointers, and buckets are indexed by key.
+
+use gorder_graph::NodeId;
+
+const NONE: u32 = u32::MAX;
+
+/// Bucketed max-priority queue over elements `0..n` with unit key updates.
+///
+/// All of [`increment`](UnitHeap::increment),
+/// [`decrement`](UnitHeap::decrement) and [`remove`](UnitHeap::remove) are
+/// O(1); [`pop_max`](UnitHeap::pop_max) is amortised O(1 + total
+/// increments / pops). Elements start with key 0 and are all present.
+///
+/// Within a bucket, elements pop in LIFO order of their last key change —
+/// the same (unspecified) tie-breaking freedom the paper's implementation
+/// has.
+#[derive(Clone)]
+pub struct UnitHeap {
+    key: Vec<u32>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    /// `head[k]` = first element of the bucket holding key `k`.
+    head: Vec<u32>,
+    max_key: usize,
+    in_heap: Vec<bool>,
+    len: usize,
+}
+
+impl UnitHeap {
+    /// A heap over elements `0..n`, all present with key 0.
+    pub fn new(n: u32) -> Self {
+        let n = n as usize;
+        let mut h = UnitHeap {
+            key: vec![0; n],
+            prev: vec![NONE; n],
+            next: vec![NONE; n],
+            head: vec![NONE; 1],
+            max_key: 0,
+            in_heap: vec![true; n],
+            len: n,
+        };
+        // chain all elements into bucket 0
+        for i in 0..n {
+            h.push_front(0, i as u32);
+        }
+        h
+    }
+
+    /// Number of elements still in the heap.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no elements remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `u` is still in the heap.
+    #[inline]
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.in_heap[u as usize]
+    }
+
+    /// Current key of `u` (meaningful only while `contains(u)`).
+    #[inline]
+    pub fn key(&self, u: NodeId) -> u32 {
+        self.key[u as usize]
+    }
+
+    fn push_front(&mut self, k: usize, u: u32) {
+        if k >= self.head.len() {
+            self.head.resize(k + 1, NONE);
+        }
+        let old = self.head[k];
+        self.next[u as usize] = old;
+        self.prev[u as usize] = NONE;
+        if old != NONE {
+            self.prev[old as usize] = u;
+        }
+        self.head[k] = u;
+        if k > self.max_key {
+            self.max_key = k;
+        }
+    }
+
+    fn unlink(&mut self, u: u32) {
+        let (p, nx) = (self.prev[u as usize], self.next[u as usize]);
+        if p != NONE {
+            self.next[p as usize] = nx;
+        } else {
+            let k = self.key[u as usize] as usize;
+            debug_assert_eq!(self.head[k], u);
+            self.head[k] = nx;
+        }
+        if nx != NONE {
+            self.prev[nx as usize] = p;
+        }
+    }
+
+    /// Increases `u`'s key by one. No-op if `u` was already popped/removed.
+    pub fn increment(&mut self, u: NodeId) {
+        if !self.in_heap[u as usize] {
+            return;
+        }
+        self.unlink(u);
+        self.key[u as usize] += 1;
+        self.push_front(self.key[u as usize] as usize, u);
+    }
+
+    /// Decreases `u`'s key by one. No-op if `u` was already popped/removed.
+    ///
+    /// # Panics
+    /// Debug-panics if the key would go negative (the greedy only ever
+    /// reverses previous increments).
+    pub fn decrement(&mut self, u: NodeId) {
+        if !self.in_heap[u as usize] {
+            return;
+        }
+        debug_assert!(self.key[u as usize] > 0, "decrement below zero for {u}");
+        self.unlink(u);
+        self.key[u as usize] = self.key[u as usize].saturating_sub(1);
+        self.push_front(self.key[u as usize] as usize, u);
+    }
+
+    /// Removes and returns an element with the maximum key, or `None` when
+    /// empty.
+    pub fn pop_max(&mut self) -> Option<NodeId> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.head[self.max_key] == NONE {
+            // amortised: max_key only rises on increments
+            debug_assert!(self.max_key > 0, "non-empty heap must have a head");
+            self.max_key -= 1;
+        }
+        let u = self.head[self.max_key];
+        self.unlink(u);
+        self.in_heap[u as usize] = false;
+        self.len -= 1;
+        Some(u)
+    }
+
+    /// Removes a specific element. No-op if already gone.
+    pub fn remove(&mut self, u: NodeId) {
+        if !self.in_heap[u as usize] {
+            return;
+        }
+        self.unlink(u);
+        self.in_heap[u as usize] = false;
+        self.len -= 1;
+    }
+}
+
+impl std::fmt::Debug for UnitHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnitHeap")
+            .field("len", &self.len)
+            .field("max_key", &self.max_key)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_with_zero_keys() {
+        let h = UnitHeap::new(5);
+        assert_eq!(h.len(), 5);
+        for u in 0..5 {
+            assert!(h.contains(u));
+            assert_eq!(h.key(u), 0);
+        }
+    }
+
+    #[test]
+    fn pop_returns_max() {
+        let mut h = UnitHeap::new(4);
+        h.increment(2);
+        h.increment(2);
+        h.increment(1);
+        assert_eq!(h.pop_max(), Some(2));
+        assert_eq!(h.pop_max(), Some(1));
+        // remaining two have key 0, popped in some order
+        let mut rest = vec![h.pop_max().unwrap(), h.pop_max().unwrap()];
+        rest.sort_unstable();
+        assert_eq!(rest, vec![0, 3]);
+        assert_eq!(h.pop_max(), None);
+    }
+
+    #[test]
+    fn decrement_reverses_increment() {
+        let mut h = UnitHeap::new(3);
+        h.increment(0);
+        h.increment(1);
+        h.increment(1);
+        h.decrement(1);
+        h.decrement(1);
+        assert_eq!(h.key(1), 0);
+        assert_eq!(h.pop_max(), Some(0));
+    }
+
+    #[test]
+    fn updates_after_pop_are_noops() {
+        let mut h = UnitHeap::new(3);
+        h.increment(2);
+        assert_eq!(h.pop_max(), Some(2));
+        h.increment(2);
+        h.decrement(2);
+        assert!(!h.contains(2));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn remove_specific() {
+        let mut h = UnitHeap::new(4);
+        h.increment(3);
+        h.remove(3);
+        assert!(!h.contains(3));
+        assert_eq!(h.len(), 3);
+        assert_ne!(h.pop_max(), Some(3));
+        h.remove(3); // idempotent
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_stress_matches_reference() {
+        // Reference: recompute max by scan over a plain map.
+        let n = 64u32;
+        let mut h = UnitHeap::new(n);
+        let mut keys: Vec<i64> = vec![0; n as usize];
+        let mut alive: Vec<bool> = vec![true; n as usize];
+        let mut state = 0x12345678u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..5000 {
+            let u = (rand() % u64::from(n)) as u32;
+            match rand() % 4 {
+                0 | 1 => {
+                    h.increment(u);
+                    if alive[u as usize] {
+                        keys[u as usize] += 1;
+                    }
+                }
+                2 => {
+                    if alive[u as usize] && keys[u as usize] > 0 {
+                        h.decrement(u);
+                        keys[u as usize] -= 1;
+                    }
+                }
+                _ => {
+                    if step % 7 == 0 {
+                        if let Some(popped) = h.pop_max() {
+                            let expect_max = keys
+                                .iter()
+                                .zip(&alive)
+                                .filter(|(_, &a)| a)
+                                .map(|(&k, _)| k)
+                                .max();
+                            assert_eq!(Some(keys[popped as usize]), expect_max, "step {step}");
+                            alive[popped as usize] = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_heap() {
+        let mut h = UnitHeap::new(0);
+        assert!(h.is_empty());
+        assert_eq!(h.pop_max(), None);
+    }
+
+    #[test]
+    fn lifo_within_bucket() {
+        let mut h = UnitHeap::new(3);
+        h.increment(0);
+        h.increment(1); // 1 pushed after 0 at key 1 → pops first
+        assert_eq!(h.pop_max(), Some(1));
+        assert_eq!(h.pop_max(), Some(0));
+    }
+
+    #[test]
+    fn drains_everything_exactly_once() {
+        let mut h = UnitHeap::new(100);
+        for u in 0..100 {
+            for _ in 0..(u % 5) {
+                h.increment(u);
+            }
+        }
+        let mut seen = [false; 100];
+        while let Some(u) = h.pop_max() {
+            assert!(!seen[u as usize]);
+            seen[u as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

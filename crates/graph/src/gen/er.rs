@@ -1,0 +1,61 @@
+//! Erdős–Rényi style `G(n, m)` directed graphs.
+
+use crate::csr::{Graph, GraphBuilder};
+use crate::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a directed graph with `n` nodes and (up to) `m` uniform random
+/// edges. Self-loops and duplicates are dropped by the builder, so the
+/// realised edge count can fall slightly below `m` (negligible for sparse
+/// graphs, `m ≪ n²`).
+///
+/// Used as the *unstructured* control: a graph this class has no locality
+/// for any ordering to exploit, so reordering gains should be small.
+pub fn erdos_renyi(n: u32, m: u64, seed: u64) -> Graph {
+    assert!(n > 0 || m == 0, "cannot place edges in an empty graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m as usize);
+    for _ in 0..m {
+        let u: NodeId = rng.gen_range(0..n);
+        let v: NodeId = rng.gen_range(0..n);
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_gini;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = erdos_renyi(1000, 5000, 1);
+        assert_eq!(g.n(), 1000);
+        // duplicates/self-loops remove only a tiny fraction at this density
+        assert!(g.m() > 4900 && g.m() <= 5000, "m = {}", g.m());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(100, 400, 7), erdos_renyi(100, 400, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(erdos_renyi(100, 400, 7), erdos_renyi(100, 400, 8));
+    }
+
+    #[test]
+    fn degree_distribution_not_skewed() {
+        let g = erdos_renyi(2000, 20000, 3);
+        assert!(degree_gini(&g) < 0.25, "ER should have low degree skew");
+    }
+
+    #[test]
+    fn zero_edges() {
+        let g = erdos_renyi(10, 0, 1);
+        assert_eq!(g.m(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! R-MAT (recursive matrix) generator — Chakrabarti, Zhan, Faloutsos 2004.
+//!
+//! Samples each edge by recursively descending into one of four quadrants
+//! of the adjacency matrix with probabilities `(a, b, c, d)`. The classic
+//! Graph500 parameters `(0.57, 0.19, 0.19, 0.05)` yield heavy-tailed degree
+//! distributions and community-like block structure at every scale.
+
+use crate::csr::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`rmat`].
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the node count (n = 2^scale).
+    pub scale: u32,
+    /// Number of edges to sample.
+    pub edges: u64,
+    /// Quadrant probabilities; must sum to ~1.
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 10,
+            edges: 8 << 10,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates an R-MAT graph. `d` is implied as `1 - a - b - c`.
+pub fn rmat(cfg: RmatConfig) -> Graph {
+    let RmatConfig {
+        scale,
+        edges,
+        a,
+        b,
+        c,
+        seed,
+    } = cfg;
+    let d = 1.0 - a - b - c;
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= -1e-9,
+        "quadrant probabilities must be non-negative"
+    );
+    assert!(scale <= 31, "scale must fit u32 node ids");
+    let n: u32 = 1 << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, edges as usize);
+    for _ in 0..edges {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // upper-left: no bits set
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        builder.add_edge(u, v);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_gini;
+
+    #[test]
+    fn sizes() {
+        let g = rmat(RmatConfig {
+            scale: 10,
+            edges: 10_000,
+            ..Default::default()
+        });
+        assert_eq!(g.n(), 1024);
+        // skewed quadrants concentrate edges, so dedup removes a fair share
+        assert!(
+            g.m() > 6_000,
+            "dedup should not remove most edges: m = {}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RmatConfig {
+            scale: 8,
+            edges: 2000,
+            seed: 3,
+            ..Default::default()
+        };
+        assert_eq!(rmat(cfg), rmat(cfg));
+    }
+
+    #[test]
+    fn skewed() {
+        let g = rmat(RmatConfig {
+            scale: 12,
+            edges: 40_000,
+            ..Default::default()
+        });
+        assert!(
+            degree_gini(&g) > 0.4,
+            "R-MAT must be heavy-tailed, gini = {}",
+            degree_gini(&g)
+        );
+    }
+
+    #[test]
+    fn uniform_quadrants_behave_like_er() {
+        let g = rmat(RmatConfig {
+            scale: 11,
+            edges: 20_000,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            seed: 5,
+        });
+        assert!(
+            degree_gini(&g) < 0.35,
+            "uniform R-MAT is ER-like, gini = {}",
+            degree_gini(&g)
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Graph serialisation: plain-text edge lists and a compact binary format.
+//!
+//! The paper's datasets ship as directed edge lists (`u v` per line, `#`
+//! comments), the format read here by [`read_edge_list`]. The binary format
+//! ([`write_binary`] / [`read_binary`]) stores the out-CSR directly so large
+//! graphs reload without re-sorting; the in-CSR is rebuilt on load.
+
+use crate::csr::{Graph, GraphBuilder};
+use crate::NodeId;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from reading or writing graph files.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line of an edge list could not be parsed.
+    Parse { line: usize, content: String },
+    /// Binary file did not start with the expected magic bytes/version.
+    BadMagic,
+    /// Binary file was internally inconsistent (truncated, bad offsets…).
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for GraphIoError {
+    fn from(e: io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::Parse { line, content } => {
+                write!(f, "cannot parse edge on line {line}: {content:?}")
+            }
+            GraphIoError::BadMagic => write!(f, "not a gorder binary graph file"),
+            GraphIoError::Corrupt(what) => write!(f, "corrupt binary graph file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+const MAGIC: &[u8; 8] = b"GORDERG1";
+
+/// Reads a directed edge list: one `u v` pair per line, whitespace
+/// separated; blank lines and lines starting with `#` or `%` are skipped.
+/// Node count is `max id + 1`.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: u32 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<u32> { tok.and_then(|t| t.parse().ok()) };
+        match (parse(it.next()), parse(it.next())) {
+            (Some(u), Some(v)) => {
+                max_id = max_id.max(u).max(v);
+                edges.push((u, v));
+            }
+            _ => {
+                return Err(GraphIoError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        }
+    }
+    let n = if edges.is_empty() { 0 } else { max_id + 1 };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<Graph, GraphIoError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes the graph as a `u v` edge list with a header comment.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphIoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# directed graph: {} nodes, {} edges", g.n(), g.m())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes an edge list to a file path.
+pub fn write_edge_list_path<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphIoError> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+fn put_u64(w: &mut impl Write, x: u64) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn get_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes the compact binary format (magic, n, m, out-offsets, out-targets;
+/// little endian).
+pub fn write_binary<W: Write>(g: &Graph, writer: W) -> Result<(), GraphIoError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    put_u64(&mut w, u64::from(g.n()))?;
+    put_u64(&mut w, g.m())?;
+    let (offsets, targets) = g.out_csr();
+    for &o in offsets {
+        put_u64(&mut w, o)?;
+    }
+    for &t in targets {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the compact binary format written by [`write_binary`].
+pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphIoError::BadMagic);
+    }
+    let n = get_u64(&mut r)?;
+    let m = get_u64(&mut r)?;
+    if n > u64::from(u32::MAX) {
+        return Err(GraphIoError::Corrupt("node count exceeds u32"));
+    }
+    let n32 = n as u32;
+    let mut offsets = Vec::with_capacity(n as usize + 1);
+    for _ in 0..=n {
+        offsets.push(get_u64(&mut r)?);
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
+        return Err(GraphIoError::Corrupt("offset array endpoints"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphIoError::Corrupt("offsets not monotone"));
+    }
+    let mut b = GraphBuilder::with_capacity(n32, m as usize);
+    for u in 0..n32 {
+        let lo = offsets[u as usize];
+        let hi = offsets[u as usize + 1];
+        for _ in lo..hi {
+            let mut tb = [0u8; 4];
+            r.read_exact(&mut tb)?;
+            let v = u32::from_le_bytes(tb);
+            if v >= n32 {
+                return Err(GraphIoError::Corrupt("target id out of range"));
+            }
+            b.add_edge(u, v);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Writes the binary format to a file path.
+pub fn write_binary_path<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphIoError> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Reads the binary format from a file path.
+pub fn read_binary_path<P: AsRef<Path>>(path: P) -> Result<Graph, GraphIoError> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 3)])
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blanks() {
+        let text = "# comment\n% other comment\n\n0 1\n 1 2 \n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn edge_list_reports_parse_error_line() {
+        let text = "0 1\nnot an edge\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(GraphIoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_tolerates_extra_columns() {
+        // some SNAP files carry weights/timestamps in a third column
+        let g = read_edge_list("0 1 17\n1 2 99\n".as_bytes()).unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let h = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOTAGRPH________".to_vec();
+        assert!(matches!(read_binary(&buf[..]), Err(GraphIoError::BadMagic)));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip_empty() {
+        let g = Graph::empty(3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+    }
+}

@@ -1,0 +1,195 @@
+//! Matrix Market (`.mtx`) interchange — the other format graph datasets
+//! commonly ship in (SuiteSparse, network repositories).
+//!
+//! Supported subset: `%%MatrixMarket matrix coordinate
+//! {pattern|integer|real} general` with 1-based indices. Entry `(i, j)`
+//! becomes the directed edge `i−1 → j−1`; any numeric value column is
+//! ignored (this substrate is unweighted, like the paper's graphs).
+//! `symmetric` matrices expand each off-diagonal entry to both
+//! directions.
+
+use crate::csr::{Graph, GraphBuilder};
+use crate::io::GraphIoError;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a Matrix Market coordinate file as a directed graph.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    // header line
+    let (_, header) = lines
+        .next()
+        .ok_or(GraphIoError::Corrupt("empty file"))?
+        .1
+        .map(|l| (0usize, l))
+        .map_err(GraphIoError::Io)?;
+    let header_lc = header.to_ascii_lowercase();
+    if !header_lc.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(GraphIoError::BadMagic);
+    }
+    let symmetric = header_lc.contains("symmetric");
+    if !symmetric && !header_lc.contains("general") {
+        return Err(GraphIoError::Corrupt(
+            "only general/symmetric matrices are supported",
+        ));
+    }
+
+    // size line: first non-comment line
+    let mut dims: Option<(u64, u64, u64)> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    for (idx, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<u64> { tok.and_then(|t| t.parse::<u64>().ok()) };
+        match dims {
+            None => {
+                let (r, c, nnz) = match (parse(it.next()), parse(it.next()), parse(it.next())) {
+                    (Some(r), Some(c), Some(nnz)) => (r, c, nnz),
+                    _ => {
+                        return Err(GraphIoError::Parse {
+                            line: idx + 1,
+                            content: trimmed.to_string(),
+                        })
+                    }
+                };
+                let n = r.max(c);
+                if n > u64::from(u32::MAX) {
+                    return Err(GraphIoError::Corrupt("dimension exceeds u32"));
+                }
+                dims = Some((r, c, nnz));
+                builder = Some(GraphBuilder::with_capacity(
+                    n as u32,
+                    nnz as usize * if symmetric { 2 } else { 1 },
+                ));
+            }
+            Some((r, c, _)) => {
+                let (i, j) = match (parse(it.next()), parse(it.next())) {
+                    (Some(i), Some(j)) => (i, j),
+                    _ => {
+                        return Err(GraphIoError::Parse {
+                            line: idx + 1,
+                            content: trimmed.to_string(),
+                        })
+                    }
+                };
+                if i == 0 || j == 0 || i > r || j > c {
+                    return Err(GraphIoError::Corrupt("coordinate out of bounds"));
+                }
+                let b = builder.as_mut().expect("dims parsed implies builder");
+                let (u, v) = ((i - 1) as u32, (j - 1) as u32);
+                b.add_edge(u, v);
+                if symmetric && u != v {
+                    b.add_edge(v, u);
+                }
+            }
+        }
+    }
+    match builder {
+        Some(b) => Ok(b.build()),
+        None => Err(GraphIoError::Corrupt("missing size line")),
+    }
+}
+
+/// Reads a `.mtx` file from a path.
+pub fn read_matrix_market_path<P: AsRef<Path>>(path: P) -> Result<Graph, GraphIoError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes the graph as `%%MatrixMarket matrix coordinate pattern general`.
+pub fn write_matrix_market<W: Write>(g: &Graph, writer: W) -> Result<(), GraphIoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(w, "% written by gorder-rs")?;
+    writeln!(w, "{} {} {}", g.n(), g.n(), g.m())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{} {}", u + 1, v + 1)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a `.mtx` file to a path.
+pub fn write_matrix_market_path<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphIoError> {
+    write_matrix_market(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (3, 0), (2, 2)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let h = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn one_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n3 1\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(0, 1));
+        // diagonal entry: self-loop dropped by the builder's default policy
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn values_ignored() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 3.5\n2 1 -1.0\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text =
+            "%%MatrixMarket matrix coordinate pattern general\n% a comment\n\n2 2 1\n% more\n1 2\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn rejects_non_mm() {
+        assert!(matches!(
+            read_matrix_market("1 2\n".as_bytes()),
+            Err(GraphIoError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_header_only() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rectangular_uses_max_dimension() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 5 1\n1 5\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 5);
+        assert!(g.has_edge(0, 4));
+    }
+}

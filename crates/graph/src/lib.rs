@@ -1,0 +1,59 @@
+//! # gorder-graph — directed graph substrate in Compressed Sparse Row form
+//!
+//! This crate is the storage substrate for the Gorder reproduction
+//! ("Speedup Graph Processing by Graph Ordering", SIGMOD 2016). Everything
+//! above it — the orderings, the benchmark algorithms, the cache simulator —
+//! operates on the [`Graph`] type defined here.
+//!
+//! ## Design
+//!
+//! * Node ids are [`NodeId`] (`u32`). The paper's graphs stay under 2³²
+//!   nodes, and a 4-byte id halves the memory traffic of a `usize` id,
+//!   which is itself a cache-locality optimisation in the spirit of the
+//!   paper.
+//! * A [`Graph`] stores **both** the out-adjacency and the in-adjacency in
+//!   CSR form. PageRank pulls over in-edges, Gorder scores common
+//!   in-neighbours, and InDegSort sorts by in-degree, so the reverse graph
+//!   is needed constantly; building it once up front is the only sane
+//!   layout.
+//! * Neighbour lists are sorted ascending, so "visit neighbours in
+//!   lexicographic order" (the replication's BFS/DFS convention) is the
+//!   natural CSR traversal order.
+//! * [`Permutation`] is a validated bijection `old id → new id`;
+//!   [`Graph::relabel`] materialises the reordered graph. Orderings produce
+//!   placement sequences and convert them with
+//!   [`Permutation::from_placement`].
+//!
+//! ## Modules
+//!
+//! * [`csr`] — the [`Graph`] type and its builder.
+//! * [`permutation`] — validated node permutations.
+//! * [`io`] — plain-text edge-list and compact binary graph formats.
+//! * [`io_mm`] — Matrix Market (`.mtx`) interchange.
+//! * [`gen`] — deterministic synthetic generators (preferential attachment,
+//!   copying model, RMAT, Erdős–Rényi, stochastic block model).
+//! * [`datasets`] — named recipes standing in for the paper's eight
+//!   real-world datasets (plus the replication's `epinion`).
+//! * [`stats`] — degree statistics and other quick summaries.
+//! * [`locality`] — layout-locality diagnostics (edge spans, cache-line
+//!   co-residency) used by ablations.
+//! * [`compress`] — gap + varint compressed adjacency (the
+//!   ordering/compression connection from the paper's discussion).
+//! * [`subgraph`] — induced-subgraph extraction with dense renumbering.
+
+pub mod compress;
+pub mod csr;
+pub mod datasets;
+pub mod gen;
+pub mod io;
+pub mod io_mm;
+pub mod locality;
+pub mod permutation;
+pub mod stats;
+pub mod subgraph;
+
+pub use csr::{Graph, GraphBuilder};
+pub use permutation::{Permutation, PermutationError};
+
+/// Node identifier. Dense in `0..n`.
+pub type NodeId = u32;

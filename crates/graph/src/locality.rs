@@ -1,0 +1,113 @@
+//! Layout-locality diagnostics.
+//!
+//! Cheap, ordering-sensitive metrics used by the ablation benches and the
+//! EXPERIMENTS notebook to quantify *why* one arrangement beats another
+//! without running a full cache simulation:
+//!
+//! * [`mean_edge_span`] / [`median_edge_span`] — how far apart edge
+//!   endpoints' ids are (MinLA's objective, averaged);
+//! * [`line_locality`] — fraction of edges whose endpoints share a cache
+//!   line of `line_elems` node-indexed attribute slots;
+//! * [`window_hit_ratio`] — fraction of edges whose endpoints are within
+//!   a window `w` (the unnormalised cousin of Gorder's `F`, counting
+//!   neighbour pairs only).
+
+use crate::csr::Graph;
+
+/// Mean |u − v| over all directed edges. 0 on an edgeless graph.
+pub fn mean_edge_span(g: &Graph) -> f64 {
+    if g.m() == 0 {
+        return 0.0;
+    }
+    let total: u64 = g.edges().map(|(u, v)| u64::from(u.abs_diff(v))).sum();
+    total as f64 / g.m() as f64
+}
+
+/// Median |u − v| over all directed edges. 0 on an edgeless graph.
+pub fn median_edge_span(g: &Graph) -> u32 {
+    let mut spans: Vec<u32> = g.edges().map(|(u, v)| u.abs_diff(v)).collect();
+    if spans.is_empty() {
+        return 0;
+    }
+    let mid = spans.len() / 2;
+    *spans.select_nth_unstable(mid).1
+}
+
+/// Fraction of edges whose endpoints fall on the same cache line, where a
+/// line holds `line_elems` consecutive node-indexed elements (e.g. 16 for
+/// `u32` attributes on 64-byte lines).
+pub fn line_locality(g: &Graph, line_elems: u32) -> f64 {
+    assert!(line_elems > 0, "a cache line holds at least one element");
+    if g.m() == 0 {
+        return 0.0;
+    }
+    let same = g
+        .edges()
+        .filter(|&(u, v)| u / line_elems == v / line_elems)
+        .count();
+    same as f64 / g.m() as f64
+}
+
+/// Fraction of edges with |u − v| ≤ w.
+pub fn window_hit_ratio(g: &Graph, w: u32) -> f64 {
+    if g.m() == 0 {
+        return 0.0;
+    }
+    let close = g.edges().filter(|&(u, v)| u.abs_diff(v) <= w).count();
+    close as f64 / g.m() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path() -> Graph {
+        Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)])
+    }
+
+    #[test]
+    fn spans_on_path() {
+        let g = path();
+        assert_eq!(mean_edge_span(&g), 1.0);
+        assert_eq!(median_edge_span(&g), 1);
+    }
+
+    #[test]
+    fn spans_on_long_jump() {
+        let g = Graph::from_edges(10, &[(0, 9), (0, 1)]);
+        assert_eq!(mean_edge_span(&g), 5.0);
+        // two spans {1, 9} → upper median 9
+        assert_eq!(median_edge_span(&g), 9);
+    }
+
+    #[test]
+    fn line_locality_bounds() {
+        let g = path();
+        assert_eq!(line_locality(&g, 8), 1.0, "whole path fits one 8-slot line");
+        let jump = Graph::from_edges(32, &[(0, 31)]);
+        assert_eq!(line_locality(&jump, 8), 0.0);
+    }
+
+    #[test]
+    fn window_ratio() {
+        let g = Graph::from_edges(10, &[(0, 1), (0, 5), (0, 9)]);
+        assert!((window_hit_ratio(&g, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((window_hit_ratio(&g, 5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(window_hit_ratio(&g, 9), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let g = Graph::empty(4);
+        assert_eq!(mean_edge_span(&g), 0.0);
+        assert_eq!(median_edge_span(&g), 0);
+        assert_eq!(line_locality(&g, 16), 0.0);
+        assert_eq!(window_hit_ratio(&g, 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_line_rejected() {
+        line_locality(&path(), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Validated node permutations.
+//!
+//! Every ordering method in this reproduction produces a [`Permutation`]:
+//! a bijection from *old* node ids to *new* node ids. The paper's notation
+//! `π(u)` (written `πu`) is [`Permutation::apply`]`(u)`.
+//!
+//! Two constructions cover every ordering in the paper:
+//!
+//! * [`Permutation::try_new`] from an explicit `old → new` map, and
+//! * [`Permutation::from_placement`] from a *placement sequence* — the list
+//!   of old ids in the order they are laid out (`placement[i]` receives new
+//!   id `i`). Greedy orderings (Gorder, RCM, ChDFS, SlashBurn, …) naturally
+//!   emit placement sequences.
+
+use crate::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Errors from checked permutation construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermutationError {
+    /// A target id was `>= n`.
+    OutOfRange { index: usize, value: NodeId, n: u32 },
+    /// Two source ids mapped to the same target id.
+    Duplicate { value: NodeId },
+}
+
+impl std::fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PermutationError::OutOfRange { index, value, n } => {
+                write!(
+                    f,
+                    "permutation entry {index} has value {value}, out of range for n = {n}"
+                )
+            }
+            PermutationError::Duplicate { value } => {
+                write!(f, "permutation maps two nodes to the same target {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PermutationError {}
+
+/// A bijection `old id → new id` over `0..n`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Permutation {
+    map: Box<[NodeId]>,
+}
+
+impl Permutation {
+    /// Checked construction from an `old → new` map.
+    pub fn try_new(map: Vec<NodeId>) -> Result<Self, PermutationError> {
+        let n = map.len() as u32;
+        let mut seen = vec![false; map.len()];
+        for (index, &value) in map.iter().enumerate() {
+            if value >= n {
+                return Err(PermutationError::OutOfRange { index, value, n });
+            }
+            if std::mem::replace(&mut seen[value as usize], true) {
+                return Err(PermutationError::Duplicate { value });
+            }
+        }
+        Ok(Permutation {
+            map: map.into_boxed_slice(),
+        })
+    }
+
+    /// The identity permutation on `n` nodes (the paper's "Original" order).
+    pub fn identity(n: u32) -> Self {
+        Permutation {
+            map: (0..n).collect(),
+        }
+    }
+
+    /// A uniformly random permutation (the replication's "Random" order).
+    pub fn random<R: Rng>(n: u32, rng: &mut R) -> Self {
+        let mut map: Vec<NodeId> = (0..n).collect();
+        map.shuffle(rng);
+        Permutation {
+            map: map.into_boxed_slice(),
+        }
+    }
+
+    /// Builds the permutation that assigns new id `i` to node
+    /// `placement[i]`.
+    ///
+    /// `placement` must contain every node id in `0..n` exactly once
+    /// (checked).
+    pub fn from_placement(placement: &[NodeId]) -> Result<Self, PermutationError> {
+        let n = placement.len() as u32;
+        let mut map = vec![NodeId::MAX; placement.len()];
+        for (new_id, &old_id) in placement.iter().enumerate() {
+            if old_id >= n {
+                return Err(PermutationError::OutOfRange {
+                    index: new_id,
+                    value: old_id,
+                    n,
+                });
+            }
+            if map[old_id as usize] != NodeId::MAX {
+                return Err(PermutationError::Duplicate { value: old_id });
+            }
+            map[old_id as usize] = new_id as NodeId;
+        }
+        Ok(Permutation {
+            map: map.into_boxed_slice(),
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.map.len() as u32
+    }
+
+    /// True iff this permutes zero nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// New id of old node `u`.
+    #[inline]
+    pub fn apply(&self, u: NodeId) -> NodeId {
+        self.map[u as usize]
+    }
+
+    /// The full `old → new` map as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.map
+    }
+
+    /// The inverse permutation (`new id → old id`).
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0 as NodeId; self.map.len()];
+        for (old_id, &new_id) in self.map.iter().enumerate() {
+            inv[new_id as usize] = old_id as NodeId;
+        }
+        Permutation {
+            map: inv.into_boxed_slice(),
+        }
+    }
+
+    /// Composition: `(self.then(other)).apply(u) == other.apply(self.apply(u))`.
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composing permutations of different sizes"
+        );
+        let map: Vec<NodeId> = self.map.iter().map(|&mid| other.apply(mid)).collect();
+        Permutation {
+            map: map.into_boxed_slice(),
+        }
+    }
+
+    /// The placement sequence: `placement()[i]` is the old id that received
+    /// new id `i`. Inverse view of [`Permutation::from_placement`].
+    pub fn placement(&self) -> Vec<NodeId> {
+        self.inverse().map.into_vec()
+    }
+
+    /// True iff this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &v)| i as NodeId == v)
+    }
+}
+
+impl std::fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.map.len() <= 16 {
+            write!(f, "Permutation({:?})", &self.map)
+        } else {
+            write!(f, "Permutation(n = {})", self.map.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_applies() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        for u in 0..5 {
+            assert_eq!(p.apply(u), u);
+        }
+    }
+
+    #[test]
+    fn try_new_accepts_valid() {
+        let p = Permutation::try_new(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.apply(0), 2);
+        assert_eq!(p.apply(1), 0);
+        assert_eq!(p.apply(2), 1);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range() {
+        let err = Permutation::try_new(vec![0, 3, 1]).unwrap_err();
+        assert_eq!(
+            err,
+            PermutationError::OutOfRange {
+                index: 1,
+                value: 3,
+                n: 3
+            }
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_duplicate() {
+        let err = Permutation::try_new(vec![0, 1, 1]).unwrap_err();
+        assert_eq!(err, PermutationError::Duplicate { value: 1 });
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let p = Permutation::try_new(vec![2, 0, 1, 4, 3]).unwrap();
+        let inv = p.inverse();
+        for u in 0..5 {
+            assert_eq!(inv.apply(p.apply(u)), u);
+            assert_eq!(p.apply(inv.apply(u)), u);
+        }
+    }
+
+    #[test]
+    fn composition_order() {
+        let p = Permutation::try_new(vec![1, 2, 0]).unwrap();
+        let q = Permutation::try_new(vec![0, 2, 1]).unwrap();
+        let pq = p.then(&q);
+        for u in 0..3 {
+            assert_eq!(pq.apply(u), q.apply(p.apply(u)));
+        }
+    }
+
+    #[test]
+    fn compose_with_inverse_is_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Permutation::random(64, &mut rng);
+        assert!(p.then(&p.inverse()).is_identity());
+        assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn placement_roundtrip() {
+        let placement = vec![3, 1, 0, 2];
+        let p = Permutation::from_placement(&placement).unwrap();
+        // node 3 is placed first, so it gets new id 0
+        assert_eq!(p.apply(3), 0);
+        assert_eq!(p.apply(1), 1);
+        assert_eq!(p.apply(0), 2);
+        assert_eq!(p.apply(2), 3);
+        assert_eq!(p.placement(), placement);
+    }
+
+    #[test]
+    fn from_placement_rejects_missing_node() {
+        assert!(Permutation::from_placement(&[0, 0, 1]).is_err());
+        assert!(Permutation::from_placement(&[0, 1, 3]).is_err());
+    }
+
+    #[test]
+    fn random_is_valid_permutation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = Permutation::random(100, &mut rng);
+        let mut seen = [false; 100];
+        for u in 0..100 {
+            let v = p.apply(u) as usize;
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = Permutation::random(50, &mut StdRng::seed_from_u64(9));
+        let b = Permutation::random(50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.is_identity());
+        assert_eq!(p.placement(), Vec::<NodeId>::new());
+    }
+}

@@ -1,0 +1,250 @@
+//! Extension orderings from the follow-on literature.
+//!
+//! The paper's discussion (and the replication's, via Balaji & Lucia,
+//! *“When is Graph Reordering an Optimization?”*, IISWC 2018) motivates a
+//! family of lightweight, skew-aware orderings that try to capture most
+//! of Gorder's benefit at a fraction of its cost. Three canonical members
+//! are implemented here (on in-degree, like InDegSort — the pull-dominated
+//! workloads read hub attributes through in-edges):
+//!
+//! * [`HubSort`] — only the hubs (in-degree above average) are sorted by
+//!   descending degree and packed first; non-hubs keep their original
+//!   relative order. Preserves cold-region locality that a full sort
+//!   destroys.
+//! * [`HubCluster`] — hubs are packed first but *not* sorted (original
+//!   relative order within both groups). Even gentler than HubSort.
+//! * [`Dbg`] — degree-based grouping (Faldu et al.): nodes fall into
+//!   power-of-two degree bands around the average; bands are emitted
+//!   hottest-first, original order within each band.
+//!
+//! None of these is part of the paper's Figure 5 zoo; the `ablation`
+//! harness binary compares them against it.
+
+use crate::OrderingAlgorithm;
+use gorder_graph::{Graph, NodeId, Permutation};
+
+fn average_in_degree(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        0.0
+    } else {
+        g.m() as f64 / f64::from(g.n())
+    }
+}
+
+/// Sort hubs by descending in-degree, keep the tail in original order.
+pub struct HubSort;
+
+impl OrderingAlgorithm for HubSort {
+    fn name(&self) -> &'static str {
+        "HubSort"
+    }
+
+    fn compute(&self, g: &Graph) -> Permutation {
+        let avg = average_in_degree(g);
+        let mut hubs: Vec<NodeId> = g
+            .nodes()
+            .filter(|&u| f64::from(g.in_degree(u)) > avg)
+            .collect();
+        hubs.sort_by_key(|&u| std::cmp::Reverse(g.in_degree(u)));
+        let mut placement = hubs;
+        placement.extend(g.nodes().filter(|&u| f64::from(g.in_degree(u)) <= avg));
+        Permutation::from_placement(&placement).expect("hub split covers every node once")
+    }
+}
+
+/// Pack hubs first without sorting; original order within both groups.
+pub struct HubCluster;
+
+impl OrderingAlgorithm for HubCluster {
+    fn name(&self) -> &'static str {
+        "HubCluster"
+    }
+
+    fn compute(&self, g: &Graph) -> Permutation {
+        let avg = average_in_degree(g);
+        let mut placement: Vec<NodeId> = g
+            .nodes()
+            .filter(|&u| f64::from(g.in_degree(u)) > avg)
+            .collect();
+        placement.extend(g.nodes().filter(|&u| f64::from(g.in_degree(u)) <= avg));
+        Permutation::from_placement(&placement).expect("hub split covers every node once")
+    }
+}
+
+/// Degree-based grouping: power-of-two degree bands, hottest band first,
+/// original order within bands.
+pub struct Dbg {
+    bands: u32,
+}
+
+impl Dbg {
+    /// DBG with the canonical 8 bands.
+    pub fn new() -> Self {
+        Dbg { bands: 8 }
+    }
+
+    /// DBG with a custom band count (≥ 2).
+    pub fn with_bands(bands: u32) -> Self {
+        assert!(bands >= 2, "need at least a hot and a cold band");
+        Dbg { bands }
+    }
+
+    /// Band index of in-degree `d` for average degree `avg`: band 0 is the
+    /// hottest (`d ≥ avg·2^(bands−2)`), the last band holds `d < avg/2^…`.
+    fn band(&self, d: u32, avg: f64) -> u32 {
+        let d = f64::from(d);
+        // thresholds: avg·2^(bands-2), …, avg·2^0, avg·2^-1, …
+        for b in 0..self.bands - 1 {
+            let exp = i32::try_from(self.bands - 2).expect("bands is small")
+                - i32::try_from(b).expect("band is small");
+            if d >= avg * f64::powi(2.0, exp) {
+                return b;
+            }
+        }
+        self.bands - 1
+    }
+}
+
+impl Default for Dbg {
+    fn default() -> Self {
+        Dbg::new()
+    }
+}
+
+impl OrderingAlgorithm for Dbg {
+    fn name(&self) -> &'static str {
+        "DBG"
+    }
+
+    fn compute(&self, g: &Graph) -> Permutation {
+        let n = g.n();
+        if n == 0 {
+            return Permutation::identity(0);
+        }
+        let avg = average_in_degree(g).max(1.0);
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); self.bands as usize];
+        for u in g.nodes() {
+            groups[self.band(g.in_degree(u), avg) as usize].push(u);
+        }
+        let mut placement = Vec::with_capacity(n as usize);
+        for group in groups {
+            placement.extend(group);
+        }
+        Permutation::from_placement(&placement).expect("bands cover every node once")
+    }
+}
+
+/// The paper's ten orderings plus the extensions (HubSort, HubCluster,
+/// DBG, and the Metis-stand-in recursive bisection).
+pub fn extended(seed: u64) -> Vec<Box<dyn OrderingAlgorithm>> {
+    let mut all = crate::all(seed);
+    all.push(Box::new(HubSort));
+    all.push(Box::new(HubCluster));
+    all.push(Box::new(Dbg::new()));
+    all.push(Box::new(crate::bisection::Bisection::default()));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gorder_graph::gen::{preferential_attachment, PrefAttachConfig};
+
+    fn skewed() -> Graph {
+        preferential_attachment(PrefAttachConfig {
+            n: 400,
+            out_degree: 5,
+            reciprocity: 0.3,
+            uniform_mix: 0.1,
+            closure_prob: 0.3,
+            recency_bias: 0.3,
+            seed: 17,
+        })
+    }
+
+    #[test]
+    fn hubsort_places_hubs_first_sorted() {
+        let g = skewed();
+        let placement = HubSort.compute(&g).placement();
+        let avg = g.m() as f64 / f64::from(g.n());
+        // prefix = hubs in non-increasing degree order
+        let hub_count = g
+            .nodes()
+            .filter(|&u| f64::from(g.in_degree(u)) > avg)
+            .count();
+        for pair in placement[..hub_count].windows(2) {
+            assert!(g.in_degree(pair[0]) >= g.in_degree(pair[1]));
+        }
+        // suffix = non-hubs in original order
+        for pair in placement[hub_count..].windows(2) {
+            assert!(pair[0] < pair[1], "tail must keep original order");
+        }
+    }
+
+    #[test]
+    fn hubcluster_preserves_relative_order() {
+        let g = skewed();
+        let placement = HubCluster.compute(&g).placement();
+        let avg = g.m() as f64 / f64::from(g.n());
+        let is_hub = |u: NodeId| f64::from(g.in_degree(u)) > avg;
+        let hubs: Vec<NodeId> = placement.iter().copied().filter(|&u| is_hub(u)).collect();
+        let tail: Vec<NodeId> = placement.iter().copied().filter(|&u| !is_hub(u)).collect();
+        assert!(
+            hubs.windows(2).all(|w| w[0] < w[1]),
+            "hub group keeps id order"
+        );
+        assert!(tail.windows(2).all(|w| w[0] < w[1]), "tail keeps id order");
+        // and hubs all come first
+        assert_eq!(&placement[..hubs.len()], &hubs[..]);
+    }
+
+    #[test]
+    fn dbg_bands_are_monotone() {
+        let g = skewed();
+        let placement = Dbg::new().compute(&g).placement();
+        let avg = g.m() as f64 / f64::from(g.n());
+        let dbg = Dbg::new();
+        let bands: Vec<u32> = placement
+            .iter()
+            .map(|&u| dbg.band(g.in_degree(u), avg))
+            .collect();
+        assert!(
+            bands.windows(2).all(|w| w[0] <= w[1]),
+            "bands must be emitted in order"
+        );
+        assert!(
+            *bands.last().unwrap() > 0,
+            "skewed graph should span multiple bands"
+        );
+    }
+
+    #[test]
+    fn band_thresholds() {
+        let dbg = Dbg::with_bands(4);
+        let avg = 8.0;
+        // thresholds: 32 (=avg·2^2), 16, 8; below 8 → last band
+        assert_eq!(dbg.band(40, avg), 0);
+        assert_eq!(dbg.band(20, avg), 1);
+        assert_eq!(dbg.band(9, avg), 2);
+        assert_eq!(dbg.band(3, avg), 3);
+    }
+
+    #[test]
+    fn all_extensions_are_valid_permutations() {
+        for g in [Graph::empty(0), Graph::empty(3), skewed()] {
+            for o in [&HubSort as &dyn OrderingAlgorithm, &HubCluster, &Dbg::new()] {
+                crate::assert_valid_for(&o.compute(&g), &g);
+            }
+        }
+    }
+
+    #[test]
+    fn extended_registry() {
+        let names: Vec<&str> = extended(1).iter().map(|o| o.name()).collect();
+        assert_eq!(names.len(), 14);
+        assert!(names.contains(&"HubSort"));
+        assert!(names.contains(&"HubCluster"));
+        assert!(names.contains(&"DBG"));
+        assert!(names.contains(&"Bisect"));
+    }
+}

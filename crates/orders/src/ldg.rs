@@ -1,0 +1,200 @@
+//! LDG — Linear Deterministic Greedy streaming partitioning.
+//!
+//! Stanton & Kliot 2012, repurposed as an ordering: nodes stream in
+//! original id order into `⌈n/k⌉` bins of capacity `k`; node `u` joins the
+//! bin maximising
+//!
+//! ```text
+//! (1 + |N(u) ∩ B|) · (1 − |B| / k)
+//! ```
+//!
+//! — neighbour affinity times a penalty on nearly-full bins. The final
+//! ordering concatenates the bins. The paper picks `k = 64` so one bin of
+//! `u32` attributes spans a few cache lines (and one bin of 8-bit data one
+//! line); both studies find LDG barely better than Random, a negative
+//! result this reproduction also shows.
+//!
+//! Only bins already containing a neighbour of `u` can score above the
+//! best empty-intersection bin, and among empty-intersection bins the
+//! least-loaded wins — so each step inspects just the neighbour bins plus
+//! one global least-loaded candidate, keeping the stream O((n + m) log n).
+
+use crate::undirected;
+use crate::OrderingAlgorithm;
+use gorder_graph::{Graph, NodeId, Permutation};
+use std::collections::BTreeSet;
+
+/// LDG ordering with bin capacity `k`.
+pub struct Ldg {
+    k: u32,
+}
+
+impl Ldg {
+    /// Creates LDG with the given bin capacity (the paper uses 64).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        assert!(k > 0, "bin capacity must be positive");
+        Ldg { k }
+    }
+}
+
+impl OrderingAlgorithm for Ldg {
+    fn name(&self) -> &'static str {
+        "LDG"
+    }
+
+    fn compute(&self, g: &Graph) -> Permutation {
+        let n = g.n();
+        if n == 0 {
+            return Permutation::identity(0);
+        }
+        let k = self.k;
+        let bins = n.div_ceil(k) as usize;
+        let kf = f64::from(k);
+        let mut load = vec![0u32; bins];
+        let mut bin_of: Vec<u32> = vec![u32::MAX; n as usize];
+        // Least-loaded non-full bin, keyed (load, index).
+        let mut by_load: BTreeSet<(u32, u32)> = (0..bins as u32).map(|b| (0, b)).collect();
+        // Per-step neighbour-bin counts, reset via touched list.
+        let mut count = vec![0u32; bins];
+        let mut touched: Vec<u32> = Vec::new();
+
+        for u in g.nodes() {
+            touched.clear();
+            for v in undirected::neighbors(g, u) {
+                let b = bin_of[v as usize];
+                if b != u32::MAX {
+                    if count[b as usize] == 0 {
+                        touched.push(b);
+                    }
+                    count[b as usize] += 1;
+                }
+            }
+            // Candidates: neighbour bins + globally least-loaded bin.
+            let mut best_bin = u32::MAX;
+            let mut best_score = f64::NEG_INFINITY;
+            let mut consider = |b: u32, inter: u32, load: &[u32]| {
+                let l = load[b as usize];
+                if l >= k {
+                    return; // full bins score ≤ 0 and may not overflow
+                }
+                let score = (1.0 + f64::from(inter)) * (1.0 - f64::from(l) / kf);
+                if score > best_score || (score == best_score && b < best_bin) {
+                    best_score = score;
+                    best_bin = b;
+                }
+            };
+            for &b in &touched {
+                consider(b, count[b as usize], &load);
+            }
+            if let Some(&(_, b)) = by_load.iter().next() {
+                consider(b, count[b as usize], &load);
+            }
+            for &b in &touched {
+                count[b as usize] = 0;
+            }
+            let b = best_bin;
+            debug_assert_ne!(b, u32::MAX, "capacity Σk ≥ n guarantees a non-full bin");
+            by_load.remove(&(load[b as usize], b));
+            load[b as usize] += 1;
+            if load[b as usize] < k {
+                by_load.insert((load[b as usize], b));
+            }
+            bin_of[u as usize] = b;
+        }
+
+        // Concatenate bins in index order; within a bin, stream order.
+        let mut placement: Vec<NodeId> = Vec::with_capacity(n as usize);
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); bins];
+        for u in g.nodes() {
+            members[bin_of[u as usize] as usize].push(u);
+        }
+        for bin in members {
+            placement.extend(bin);
+        }
+        Permutation::from_placement(&placement).expect("every node landed in one bin")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_capacity() {
+        let g = Graph::from_edges(10, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let perm = Ldg::new(3).compute(&g);
+        crate::assert_valid_for(&perm, &g);
+        // capacity 3 → every placement block of one bin has ≤ 3 members;
+        // validated implicitly by bins ≤ ⌈10/3⌉ = 4 and coverage.
+    }
+
+    #[test]
+    fn neighbors_attract() {
+        // two cliques of 4, streaming order interleaved
+        let mut edges = Vec::new();
+        for &(a, b, c, d) in &[(0u32, 2u32, 4u32, 6u32), (1, 3, 5, 7)] {
+            for &x in &[a, b, c, d] {
+                for &y in &[a, b, c, d] {
+                    if x != y {
+                        edges.push((x, y));
+                    }
+                }
+            }
+        }
+        let g = Graph::from_edges(8, &edges);
+        let perm = Ldg::new(4).compute(&g);
+        // clique members should share a bin → consecutive ids
+        let pos: Vec<u32> = (0..8).map(|u| perm.apply(u)).collect();
+        let clique_a: Vec<u32> = vec![pos[0], pos[2], pos[4], pos[6]];
+        let spread = clique_a.iter().max().unwrap() - clique_a.iter().min().unwrap();
+        assert!(spread <= 3, "clique A spread {spread}: {pos:?}");
+    }
+
+    #[test]
+    fn k_one_degenerates_to_identity_like() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let perm = Ldg::new(1).compute(&g);
+        crate::assert_valid_for(&perm, &g);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let g = Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (0, 7),
+                (0, 8),
+            ],
+        );
+        let k = 2;
+        let perm = Ldg::new(k).compute(&g);
+        crate::assert_valid_for(&perm, &g);
+        // reconstruct loads: bin b = nodes placed at ids [b*k, (b+1)*k)
+        // cannot be checked directly post-concat (bins may be underfull),
+        // so instead recompute: at most k nodes may map into any window of
+        // size k that a single bin occupies — weaker check: valid perm +
+        // no panic from the debug_assert inside compute.
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (0, 5)]);
+        let a = Ldg::new(64).compute(&g);
+        let b = Ldg::new(64).compute(&g);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(Ldg::new(64).compute(&Graph::empty(0)).len(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! # gorder-orders — the ordering zoo
+//!
+//! Every node-ordering method of the Gorder evaluation (Section 2.3 of the
+//! replication), behind one object-safe trait so the harness can sweep
+//! them:
+//!
+//! | name | method | module |
+//! |---|---|---|
+//! | Original | identity (the order the dataset shipped in) | [`trivial`] |
+//! | Random | uniform shuffle (replication's added worst-case) | [`trivial`] |
+//! | MinLA | simulated annealing on `Σ ∣π(u) − π(v)∣` | [`annealing`] |
+//! | MinLogA | simulated annealing on `Σ ln ∣π(u) − π(v)∣` | [`annealing`] |
+//! | RCM | Reverse Cuthill–McKee (bandwidth-reducing BFS) | [`rcm`] |
+//! | InDegSort | descending in-degree sort | [`degsort`] |
+//! | ChDFS | children-first DFS discovery order | [`chdfs`] |
+//! | SlashBurn | hub/spokes separation (simplified, per replication) | [`slashburn`] |
+//! | LDG | linear deterministic greedy partitioning, k = 64 | [`ldg`] |
+//! | **Gorder** | the paper's contribution (from `gorder-core`) | [`gorder_impl`] |
+//!
+//! Metis is omitted from the headline zoo, as in the replication (it
+//! does not scale to the evaluation's graphs); [`bisection`] provides a
+//! lightweight partitioning ordering in its place, and [`extensions`]
+//! adds the follow-on literature's HubSort/HubCluster/DBG.
+
+pub mod annealing;
+pub mod bisection;
+pub mod chdfs;
+pub mod degsort;
+pub mod extensions;
+pub mod gorder_impl;
+pub mod ldg;
+pub mod rcm;
+pub mod slashburn;
+pub mod trivial;
+pub mod undirected;
+
+pub use annealing::{Annealing, EnergyModel};
+pub use bisection::Bisection;
+pub use chdfs::ChDfs;
+pub use degsort::InDegSort;
+pub use extensions::{Dbg, HubCluster, HubSort};
+pub use ldg::Ldg;
+pub use rcm::Rcm;
+pub use slashburn::SlashBurn;
+pub use trivial::{Original, RandomOrder};
+
+use gorder_graph::{Graph, Permutation};
+
+/// A node-ordering method: computes a bijection `old id → new id`.
+///
+/// Object-safe so harnesses can hold `Vec<Box<dyn OrderingAlgorithm>>`.
+pub trait OrderingAlgorithm: Send + Sync {
+    /// Name as it appears in the paper's figures.
+    fn name(&self) -> &'static str;
+    /// Computes the permutation for `g`.
+    fn compute(&self, g: &Graph) -> Permutation;
+}
+
+/// All ten orderings in the replication's presentation order, with its
+/// default parameters (`S = m`, `k = m/n` for annealing; `k = 64` bins for
+/// LDG; `w = 5` for Gorder). `seed` feeds every randomised method.
+pub fn all(seed: u64) -> Vec<Box<dyn OrderingAlgorithm>> {
+    vec![
+        Box::new(Original),
+        Box::new(RandomOrder::new(seed)),
+        Box::new(Annealing::minla(seed)),
+        Box::new(Annealing::minloga(seed)),
+        Box::new(Rcm),
+        Box::new(InDegSort),
+        Box::new(ChDfs),
+        Box::new(SlashBurn::new()),
+        Box::new(Ldg::new(64)),
+        Box::new(gorder_impl::GorderOrdering::with_defaults()),
+    ]
+}
+
+/// Looks an ordering up by its figure label.
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn OrderingAlgorithm>> {
+    all(seed).into_iter().find(|o| o.name() == name)
+}
+
+/// Checks that `perm` is a valid permutation for `g` (test helper).
+pub fn assert_valid_for(perm: &Permutation, g: &Graph) {
+    assert_eq!(perm.len(), g.n(), "permutation size mismatch");
+    let mut seen = vec![false; g.n() as usize];
+    for u in g.nodes() {
+        let p = perm.apply(u) as usize;
+        assert!(!seen[p], "duplicate image {p}");
+        seen[p] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gorder_graph::gen::{copying_model, preferential_attachment, PrefAttachConfig};
+
+    fn graphs() -> Vec<Graph> {
+        vec![
+            Graph::empty(0),
+            Graph::empty(1),
+            Graph::empty(5),
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+            preferential_attachment(PrefAttachConfig {
+                n: 300,
+                out_degree: 5,
+                reciprocity: 0.3,
+                uniform_mix: 0.2,
+                closure_prob: 0.3,
+                recency_bias: 0.3,
+                seed: 5,
+            }),
+            copying_model(250, 6, 0.6, 8),
+        ]
+    }
+
+    #[test]
+    fn registry_has_ten_in_paper_order() {
+        let names: Vec<&str> = all(1).iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Original",
+                "Random",
+                "MinLA",
+                "MinLogA",
+                "RCM",
+                "InDegSort",
+                "ChDFS",
+                "SlashBurn",
+                "LDG",
+                "Gorder"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_ordering_yields_valid_permutations() {
+        for g in graphs() {
+            for o in all(7) {
+                let perm = o.compute(&g);
+                assert_valid_for(&perm, &g);
+            }
+        }
+    }
+
+    #[test]
+    fn every_ordering_is_deterministic() {
+        let g = preferential_attachment(PrefAttachConfig {
+            n: 200,
+            out_degree: 4,
+            reciprocity: 0.3,
+            uniform_mix: 0.2,
+            closure_prob: 0.3,
+            recency_bias: 0.3,
+            seed: 9,
+        });
+        for (a, b) in all(3).into_iter().zip(all(3)) {
+            assert_eq!(
+                a.compute(&g).as_slice(),
+                b.compute(&g).as_slice(),
+                "{} not deterministic",
+                a.name()
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_finds_each() {
+        for o in all(1) {
+            assert!(by_name(o.name(), 1).is_some(), "{} missing", o.name());
+        }
+        assert!(by_name("Metis", 1).is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! RCM — Reverse Cuthill–McKee.
+//!
+//! Cuthill–McKee (1969) reduces the *bandwidth* of a sparse matrix:
+//! a BFS over the symmetrised graph in which (a) each component is rooted
+//! at a pseudo-peripheral node, and (b) each node's children are enqueued
+//! in ascending degree order. Reversing the resulting sequence (George's
+//! observation) further improves fill-in; for our purposes it is simply
+//! the variant the paper benchmarks.
+//!
+//! Roots come from the George–Liu pseudo-peripheral finder: start at a
+//! minimum-degree node, BFS, hop to a minimum-degree node of the deepest
+//! level, and repeat while the eccentricity keeps growing — the standard
+//! way to start CM near one end of the graph's longest "axis".
+//!
+//! The replication finds RCM to be Gorder's strongest challenger — best
+//! on BFS, SP and Diameter — because a bandwidth-reducing order makes
+//! every frontier's neighbourhood compact in memory.
+
+use crate::undirected;
+use crate::OrderingAlgorithm;
+use gorder_graph::{Graph, NodeId, Permutation};
+
+/// Reverse Cuthill–McKee ordering over the symmetrised view.
+pub struct Rcm;
+
+/// Shared state for the CM traversals.
+struct Cm<'a> {
+    g: &'a Graph,
+    sdeg: &'a [u32],
+}
+
+impl<'a> Cm<'a> {
+    /// CM-style BFS from `root` over nodes not yet claimed in `seen`
+    /// (claims them); children enqueued in ascending (degree, id) order.
+    fn traverse(&self, root: NodeId, seen: &mut [bool]) -> Vec<NodeId> {
+        let mut order = Vec::new();
+        seen[root as usize] = true;
+        order.push(root);
+        let mut head = 0;
+        let mut children: Vec<NodeId> = Vec::new();
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            children.clear();
+            for v in undirected::neighbors(self.g, u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    children.push(v);
+                }
+            }
+            children.sort_by_key(|&v| (self.sdeg[v as usize], v));
+            order.extend_from_slice(&children);
+        }
+        order
+    }
+
+    /// One level-structure probe: BFS from `root`, returning the
+    /// minimum-(degree, id) node of the deepest level and the
+    /// eccentricity of `root` within its component.
+    fn deepest_level_min(&self, root: NodeId) -> (NodeId, u32) {
+        let n = self.g.n() as usize;
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = vec![root];
+        dist[root as usize] = 0;
+        let mut head = 0;
+        let mut ecc = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let du = dist[u as usize];
+            ecc = ecc.max(du);
+            for v in undirected::neighbors(self.g, u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push(v);
+                }
+            }
+        }
+        let node = queue
+            .into_iter()
+            .filter(|&u| dist[u as usize] == ecc)
+            .min_by_key(|&u| (self.sdeg[u as usize], u))
+            .unwrap_or(root);
+        (node, ecc)
+    }
+
+    /// George–Liu pseudo-peripheral node search starting from `start`.
+    fn pseudo_peripheral(&self, start: NodeId) -> NodeId {
+        let mut root = start;
+        let (mut candidate, mut best_ecc) = self.deepest_level_min(root);
+        loop {
+            let (next, ecc) = self.deepest_level_min(candidate);
+            if ecc > best_ecc {
+                root = candidate;
+                candidate = next;
+                best_ecc = ecc;
+            } else {
+                // candidate is at least as eccentric as root: prefer it
+                return if ecc == best_ecc { candidate } else { root };
+            }
+        }
+    }
+}
+
+impl OrderingAlgorithm for Rcm {
+    fn name(&self) -> &'static str {
+        "RCM"
+    }
+
+    fn compute(&self, g: &Graph) -> Permutation {
+        let n = g.n();
+        if n == 0 {
+            return Permutation::identity(0);
+        }
+        let sdeg: Vec<u32> = g.nodes().map(|u| undirected::simple_degree(g, u)).collect();
+        let cm = Cm { g, sdeg: &sdeg };
+        // component seeds in (degree, id) order
+        let mut seeds: Vec<NodeId> = g.nodes().collect();
+        seeds.sort_by_key(|&u| (sdeg[u as usize], u));
+
+        let mut seen = vec![false; n as usize];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n as usize);
+        for &seed in &seeds {
+            if seen[seed as usize] {
+                continue;
+            }
+            let root = cm.pseudo_peripheral(seed);
+            order.extend(cm.traverse(root, &mut seen));
+        }
+        order.reverse();
+        Permutation::from_placement(&order).expect("CM traversal covers every node once")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gorder_core::score::bandwidth_of;
+    use gorder_graph::gen::{preferential_attachment, PrefAttachConfig};
+    use gorder_graph::Permutation as P;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_graph_stays_banded() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let perm = Rcm.compute(&g);
+        assert_eq!(
+            bandwidth_of(&g, &perm),
+            1,
+            "RCM must keep a path's bandwidth minimal"
+        );
+    }
+
+    #[test]
+    fn pseudo_peripheral_finds_path_end() {
+        // a path with scrambled labels: 3—0—5—1—6—2—4; starting from the
+        // interior, George–Liu must land on an endpoint (3 or 4)
+        let g = Graph::from_edges(7, &[(3, 0), (0, 5), (5, 1), (1, 6), (6, 2), (2, 4)]);
+        let sdeg: Vec<u32> = g
+            .nodes()
+            .map(|u| undirected::simple_degree(&g, u))
+            .collect();
+        let cm = Cm { g: &g, sdeg: &sdeg };
+        let root = cm.pseudo_peripheral(5);
+        assert!(
+            root == 3 || root == 4,
+            "pseudo-peripheral of a path must be an endpoint, got {root}"
+        );
+    }
+
+    #[test]
+    fn reduces_bandwidth_vs_random() {
+        let g = preferential_attachment(PrefAttachConfig {
+            n: 400,
+            out_degree: 4,
+            reciprocity: 0.3,
+            uniform_mix: 0.3,
+            closure_prob: 0.3,
+            recency_bias: 0.3,
+            seed: 12,
+        });
+        let rcm_bw = bandwidth_of(&g, &Rcm.compute(&g));
+        let rnd_bw = bandwidth_of(&g, &P::random(g.n(), &mut StdRng::seed_from_u64(1)));
+        assert!(
+            rcm_bw < rnd_bw,
+            "RCM bandwidth {rcm_bw} should beat random {rnd_bw}"
+        );
+    }
+
+    #[test]
+    fn grid_bandwidth_near_width() {
+        // a 4×8 grid (undirected): optimal bandwidth is the short side, 4;
+        // CM with pseudo-peripheral roots should get close
+        let (w, h) = (4u32, 8u32);
+        let idx = |x: u32, y: u32| y * w + x;
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((idx(x, y), idx(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push((idx(x, y), idx(x, y + 1)));
+                }
+            }
+        }
+        let g = Graph::from_edges(w * h, &edges);
+        let bw = bandwidth_of(&g, &Rcm.compute(&g));
+        assert!(
+            bw <= 2 * w,
+            "grid bandwidth {bw} should be near the width {w}"
+        );
+    }
+
+    #[test]
+    fn covers_disconnected() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3)]);
+        let perm = Rcm.compute(&g);
+        crate::assert_valid_for(&perm, &g);
+    }
+
+    #[test]
+    fn uses_undirected_view() {
+        // only in-edges at node 0: still reachable in the symmetrised BFS
+        let g = Graph::from_edges(3, &[(1, 0), (2, 0)]);
+        let perm = Rcm.compute(&g);
+        crate::assert_valid_for(&perm, &g);
+        assert_eq!(bandwidth_of(&g, &perm), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(Rcm.compute(&Graph::empty(0)).len(), 0);
+        assert_eq!(Rcm.compute(&Graph::empty(1)).len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! The two trivial baselines: Original (identity) and Random.
+//!
+//! *Original* keeps the order the dataset shipped in. The paper observes
+//! it performs surprisingly well — collection processes (crawls,
+//! URL-lexicographic dumps) impart locality. *Random* is the replication's
+//! added adversarial baseline: shuffling destroys all locality, making it
+//! the consistent worst performer.
+
+use crate::OrderingAlgorithm;
+use gorder_graph::{Graph, Permutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The identity ordering — "whatever order the dataset came in".
+pub struct Original;
+
+impl OrderingAlgorithm for Original {
+    fn name(&self) -> &'static str {
+        "Original"
+    }
+
+    fn compute(&self, g: &Graph) -> Permutation {
+        Permutation::identity(g.n())
+    }
+}
+
+/// A seeded uniform shuffle of the node ids.
+pub struct RandomOrder {
+    seed: u64,
+}
+
+impl RandomOrder {
+    /// Random ordering with the given seed (determinism across runs).
+    pub fn new(seed: u64) -> Self {
+        RandomOrder { seed }
+    }
+}
+
+impl OrderingAlgorithm for RandomOrder {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn compute(&self, g: &Graph) -> Permutation {
+        Permutation::random(g.n(), &mut StdRng::seed_from_u64(self.seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_is_identity() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert!(Original.compute(&g).is_identity());
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let g = Graph::empty(50);
+        let a = RandomOrder::new(4).compute(&g);
+        let b = RandomOrder::new(4).compute(&g);
+        let c = RandomOrder::new(5).compute(&g);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn random_actually_shuffles() {
+        let g = Graph::empty(100);
+        assert!(!RandomOrder::new(1).compute(&g).is_identity());
+    }
+}

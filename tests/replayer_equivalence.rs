@@ -1,0 +1,102 @@
+//! The cache-simulator replayers must *be* the algorithms: for every
+//! benchmark algorithm, the traced replayer's checksum equals the
+//! `gorder-algos` implementation's checksum, on multiple graphs and under
+//! multiple orderings. This is what licenses reading the simulator's
+//! counters as "the algorithm's cache behaviour".
+
+use gorder::cachesim::trace::{replay, TraceCtx, TRACED_ALGOS};
+use gorder::cachesim::{CacheHierarchy, HierarchyConfig, Tracer};
+use gorder::prelude::*;
+use gorder_algos::RunCtx;
+
+fn graphs() -> Vec<Graph> {
+    vec![
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (0, 3), (4, 5)]),
+        gorder::graph::datasets::epinion_like().build(0.06),
+        gorder::graph::gen::copying_model(300, 5, 0.6, 9),
+    ]
+}
+
+fn contexts(seed: u64) -> (RunCtx, TraceCtx) {
+    let a = RunCtx {
+        source: None,
+        pr_iterations: 7,
+        damping: 0.85,
+        diameter_samples: 3,
+        seed,
+    };
+    let t = TraceCtx {
+        source: None,
+        pr_iterations: 7,
+        damping: 0.85,
+        diameter_samples: 3,
+        seed,
+    };
+    (a, t)
+}
+
+#[test]
+fn replayers_match_algorithms_on_plain_graphs() {
+    let (actx, tctx) = contexts(5);
+    for (gi, g) in graphs().iter().enumerate() {
+        for name in TRACED_ALGOS {
+            let expected = gorder::algos::by_name(name).unwrap().run(g, &actx);
+            let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
+            let traced = replay(name, g, &mut tracer, &tctx).unwrap();
+            assert_eq!(traced, expected, "{name} diverges on graph {gi}");
+        }
+    }
+}
+
+#[test]
+fn replayers_match_algorithms_under_reordering() {
+    let g = gorder::graph::datasets::epinion_like().build(0.05);
+    let (mut actx, mut tctx) = contexts(8);
+    let logical = g.max_degree_node().unwrap();
+    for ordering in ["Random", "RCM", "Gorder"] {
+        let perm = gorder::orders::by_name(ordering, 2).unwrap().compute(&g);
+        let rg = g.relabel(&perm);
+        actx.source = Some(perm.apply(logical));
+        tctx.source = Some(perm.apply(logical));
+        for name in TRACED_ALGOS {
+            let expected = gorder::algos::by_name(name).unwrap().run(&rg, &actx);
+            let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
+            let traced = replay(name, &rg, &mut tracer, &tctx).unwrap();
+            assert_eq!(traced, expected, "{name} diverges under {ordering}");
+        }
+    }
+}
+
+#[test]
+fn extension_replayers_match_algorithms() {
+    use gorder::cachesim::trace::TRACED_EXTENSIONS;
+    let (actx, tctx) = contexts(3);
+    for (gi, g) in graphs().iter().enumerate() {
+        for name in TRACED_EXTENSIONS {
+            let expected = gorder::algos::by_name(name).unwrap().run(g, &actx);
+            let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
+            let traced = replay(name, g, &mut tracer, &tctx).unwrap();
+            assert_eq!(traced, expected, "{name} diverges on graph {gi}");
+        }
+    }
+}
+
+/// The simulator actually exercises deeper levels on a graph bigger than
+/// its scaled-down L1.
+#[test]
+fn replays_produce_plausible_cache_traffic() {
+    let g = gorder::graph::datasets::epinion_like().build(0.3);
+    let (_, tctx) = contexts(1);
+    for name in TRACED_ALGOS {
+        let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
+        replay(name, &g, &mut tracer, &tctx).unwrap();
+        let s = tracer.stats();
+        assert!(s.l1_refs > u64::from(g.n()), "{name}: too few references");
+        assert!(s.l1_miss_rate > 0.0, "{name}: suspiciously perfect L1");
+        assert!(s.l1_miss_rate < 0.9, "{name}: suspiciously terrible L1");
+        assert!(
+            s.cache_miss_rate <= s.l1_miss_rate,
+            "{name}: level filter inverted"
+        );
+    }
+}
