@@ -12,6 +12,9 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Quick smoke-run mode: tiny datasets, light algorithm parameters.
     pub quick: bool,
+    /// Per-cell watchdog deadline in seconds (`--cell-timeout`); `None`
+    /// runs unguarded, preserving the historical fail-fast behaviour.
+    pub cell_timeout: Option<f64>,
     /// Extra free-standing flags the binary may interpret (e.g.
     /// `--by-ordering` for the S1 grouping).
     pub extra: Vec<String>,
@@ -24,6 +27,7 @@ impl Default for HarnessArgs {
             reps: 3,
             seed: 42,
             quick: false,
+            cell_timeout: None,
             extra: Vec::new(),
         }
     }
@@ -60,6 +64,15 @@ impl HarnessArgs {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| die("--seed needs an integer"));
                 }
+                "--cell-timeout" => {
+                    let secs: f64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        die("--cell-timeout needs a positive number of seconds")
+                    });
+                    if !secs.is_finite() || secs <= 0.0 {
+                        die::<f64>("--cell-timeout must be positive");
+                    }
+                    out.cell_timeout = Some(secs);
+                }
                 "--quick" => {
                     out.quick = true;
                     out.scale = out.scale.min(0.05);
@@ -81,6 +94,11 @@ impl HarnessArgs {
     /// True if an extra flag like `--by-ordering` was passed.
     pub fn has_flag(&self, flag: &str) -> bool {
         self.extra.iter().any(|e| e == flag)
+    }
+
+    /// `--cell-timeout` as a [`std::time::Duration`], if given.
+    pub fn cell_timeout_duration(&self) -> Option<std::time::Duration> {
+        self.cell_timeout.map(std::time::Duration::from_secs_f64)
     }
 }
 
@@ -126,6 +144,17 @@ mod tests {
         let a = parse(&["--full"]);
         assert_eq!(a.scale, 1.0);
         assert_eq!(a.reps, 5);
+    }
+
+    #[test]
+    fn cell_timeout_parses() {
+        let a = parse(&["--cell-timeout", "2.5"]);
+        assert_eq!(a.cell_timeout, Some(2.5));
+        assert_eq!(
+            a.cell_timeout_duration(),
+            Some(std::time::Duration::from_millis(2500))
+        );
+        assert_eq!(parse(&[]).cell_timeout, None);
     }
 
     #[test]

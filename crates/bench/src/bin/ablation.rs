@@ -10,12 +10,16 @@
 
 use gorder_algos::{GraphAlgorithm, RunCtx};
 use gorder_bench::fmt::{write_csv, Table};
+use gorder_bench::robust::guarded_ordering;
 use gorder_bench::timing::{median_secs, pretty_secs, time_once};
 use gorder_bench::HarnessArgs;
 use gorder_cachesim::trace::{pagerank as traced_pr, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, Tracer};
+use gorder_core::budget::ExecOutcome;
 use gorder_core::score::{bandwidth_of, f_score_of};
 use gorder_graph::locality::mean_edge_span;
+use gorder_orders::OrderingAlgorithm;
+use std::sync::Arc;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -29,11 +33,12 @@ fn main() {
     };
     let pr = gorder_algos::pagerank::Pr;
     let mut csv_rows = Vec::new();
+    let timeout = args.cell_timeout_duration();
     for d in [
         gorder_graph::datasets::flickr_like(),
         gorder_graph::datasets::pldarc_like(),
     ] {
-        let g = d.build(args.scale);
+        let g = Arc::new(d.build(args.scale));
         println!(
             "Ablation on {} ({}, n = {}, m = {})\n",
             d.name,
@@ -51,7 +56,32 @@ fn main() {
             "bandwidth",
         ]);
         for o in gorder_orders::extensions::extended(args.seed) {
-            let (order_secs, perm) = time_once(|| o.compute(&g));
+            let o: Arc<dyn OrderingAlgorithm> = Arc::from(o);
+            // Guarded: a misbehaving ordering loses its row, not the run.
+            let (order_secs, outcome) = time_once(|| guarded_ordering(&o, &g, timeout));
+            let perm = match outcome {
+                ExecOutcome::Completed(p) => p,
+                ExecOutcome::Degraded(p, reason) => {
+                    eprintln!("[ablation] {} on {} degraded: {reason}", o.name(), d.name);
+                    p
+                }
+                ExecOutcome::TimedOut => {
+                    eprintln!(
+                        "[ablation] {} on {} timed out — row skipped",
+                        o.name(),
+                        d.name
+                    );
+                    continue;
+                }
+                ExecOutcome::Failed(msg) => {
+                    eprintln!(
+                        "[ablation] {} on {} failed: {msg} — row skipped",
+                        o.name(),
+                        d.name
+                    );
+                    continue;
+                }
+            };
             let rg = g.relabel(&perm);
             let (pr_secs, _) = median_secs(|| pr.run(&rg, &ctx), args.reps);
             let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));

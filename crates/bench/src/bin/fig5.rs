@@ -17,6 +17,7 @@
 
 use gorder_bench::experiment::run_grid_sim;
 use gorder_bench::fmt::{write_csv, Table};
+use gorder_bench::robust::run_grid_robust;
 use gorder_bench::timing::pretty_secs;
 use gorder_bench::{run_grid, CellResult, GridConfig, HarnessArgs};
 
@@ -28,13 +29,29 @@ fn main() {
     // Default: modelled time via the cache simulator (reproduces the
     // paper's cache-bound regime regardless of host hardware). Pass
     // --wall for raw wall-clock — meaningful only when the datasets
-    // exceed the machine's real LLC.
-    let cells = if args.has_flag("--wall") {
-        println!("(mode: wall-clock)");
-        run_grid(&cfg)
+    // exceed the machine's real LLC. With `--cell-timeout <secs>`, every
+    // ordering and cell runs fault-isolated: panicking or runaway cells
+    // are skipped (reported at the end), the sweep always finishes.
+    let wall = args.has_flag("--wall");
+    let mode_note = if wall {
+        "(mode: wall-clock)".to_string()
     } else {
-        println!("(mode: simulated — stall-model cycles at 4 GHz; pass --wall for wall-clock)");
-        run_grid_sim(&cfg)
+        "(mode: simulated — stall-model cycles at 4 GHz; pass --wall for wall-clock)".to_string()
+    };
+    println!("{mode_note}");
+    let cells = match args.cell_timeout_duration() {
+        Some(timeout) => {
+            let report = run_grid_robust(&cfg, Some(timeout), !wall);
+            report.print_skip_report();
+            report.usable()
+        }
+        None => {
+            if wall {
+                run_grid(&cfg)
+            } else {
+                run_grid_sim(&cfg)
+            }
+        }
     };
 
     let csv_rows: Vec<Vec<String>> = cells

@@ -6,8 +6,12 @@
 //! expensive and visibly super-linear in m.
 
 use gorder_bench::fmt::{write_csv, Table};
+use gorder_bench::robust::guarded_ordering;
 use gorder_bench::timing::{pretty_secs, time_once};
 use gorder_bench::HarnessArgs;
+use gorder_core::budget::ExecOutcome;
+use gorder_orders::OrderingAlgorithm;
+use std::sync::Arc;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -15,8 +19,12 @@ fn main() {
         "Table 2: ordering computation time in seconds (scale = {})\n",
         args.scale
     );
+    let timeout = args.cell_timeout_duration();
     let datasets = gorder_graph::datasets::all();
-    let orderings = gorder_orders::all(args.seed);
+    let orderings: Vec<Arc<dyn OrderingAlgorithm>> = gorder_orders::all(args.seed)
+        .into_iter()
+        .map(Arc::from)
+        .collect();
     // Original and Random cost nothing interesting; the paper's table
     // starts at MinLA. Keep them anyway — they are part of the zoo.
     let mut header = vec!["Ordering".to_string()];
@@ -24,32 +32,47 @@ fn main() {
     let mut t = Table::new(header);
     let mut csv_rows = Vec::new();
 
-    let graphs: Vec<_> = datasets
+    let graphs: Vec<Arc<_>> = datasets
         .iter()
         .map(|d| {
             let g = d.build(args.scale);
             eprintln!("[table2] {}: n = {}, m = {}", d.name, g.n(), g.m());
-            g
+            Arc::new(g)
         })
         .collect();
 
+    let mut skips: Vec<String> = Vec::new();
     for o in &orderings {
         let mut cells = vec![o.name().to_string()];
         for (d, g) in datasets.iter().zip(&graphs) {
-            let (secs, perm) = time_once(|| o.compute(g));
-            assert_eq!(perm.len(), g.n(), "invalid permutation from {}", o.name());
-            cells.push(pretty_secs(secs));
+            // Guarded: a panicking or runaway ordering marks its cell
+            // and the table continues, instead of the whole run dying.
+            let (secs, outcome) = time_once(|| guarded_ordering(o, g, timeout));
+            let (shown, note) = match outcome {
+                ExecOutcome::Completed(perm) => {
+                    assert_eq!(perm.len(), g.n(), "invalid permutation from {}", o.name());
+                    (pretty_secs(secs), None)
+                }
+                ExecOutcome::Degraded(perm, reason) => {
+                    assert_eq!(perm.len(), g.n(), "invalid permutation from {}", o.name());
+                    (
+                        format!("{}*", pretty_secs(secs)),
+                        Some(format!("degraded: {reason}")),
+                    )
+                }
+                ExecOutcome::TimedOut => ("timeout".to_string(), Some("timed out".to_string())),
+                ExecOutcome::Failed(msg) => ("failed".to_string(), Some(msg)),
+            };
+            if let Some(note) = note {
+                skips.push(format!("{} on {}: {note}", o.name(), d.name));
+            }
+            cells.push(shown.clone());
             csv_rows.push(vec![
                 o.name().to_string(),
                 d.name.to_string(),
                 format!("{secs:.6}"),
             ]);
-            eprintln!(
-                "[table2]   {} on {}: {}",
-                o.name(),
-                d.name,
-                pretty_secs(secs)
-            );
+            eprintln!("[table2]   {} on {}: {shown}", o.name(), d.name);
         }
         t.row(cells);
     }
@@ -59,6 +82,12 @@ fn main() {
     t.row(m_row);
 
     t.print();
+    if !skips.is_empty() {
+        eprintln!("\n[table2] cells that did not complete cleanly:");
+        for s in &skips {
+            eprintln!("[table2]   {s}");
+        }
+    }
     match write_csv("table2.csv", &["ordering", "dataset", "seconds"], &csv_rows) {
         Ok(p) => println!("\nwrote {}", p.display()),
         Err(e) => eprintln!("csv write failed: {e}"),

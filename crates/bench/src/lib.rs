@@ -22,8 +22,12 @@ pub mod args;
 pub mod experiment;
 pub mod fmt;
 pub mod ranking;
+pub mod robust;
 pub mod timing;
 
 pub use args::HarnessArgs;
 pub use experiment::{run_grid, CellResult, GridConfig};
 pub use ranking::{rank_counts, Ranking};
+pub use robust::{
+    run_grid_robust, run_grid_robust_with, run_guarded, CellStatus, RobustCell, SweepReport,
+};

@@ -1,0 +1,551 @@
+//! Fault-isolated sweep execution.
+//!
+//! [`run_grid`](crate::run_grid) dies with the first panicking ordering
+//! or runaway cell; this module runs the same grid so that **no single
+//! cell can take down the sweep**. Every ordering computation and every
+//! algorithm cell runs through [`run_guarded`]: on its own thread, under
+//! `catch_unwind`, watched by a deadline. Cooperative work (the anytime
+//! orderings) receives a [`Budget`] and degrades on its own; a panicking
+//! cell is recorded as failed; a cell that ignores its budget past the
+//! grace period is abandoned as timed out. The sweep then continues, and
+//! a skip report lists everything that did not complete.
+
+use crate::experiment::{CellResult, GridConfig};
+use crate::timing::median_secs;
+use gorder_algos::{GraphAlgorithm, RunCtx};
+use gorder_cachesim::trace::{replay, TraceCtx};
+use gorder_cachesim::{CacheHierarchy, HierarchyConfig, StallModel, Tracer};
+use gorder_core::budget::{Budget, DegradeReason, ExecOutcome};
+use gorder_graph::Graph;
+use gorder_orders::OrderingAlgorithm;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// How one sweep cell ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Ran to completion.
+    Completed,
+    /// Its ordering ran out of budget and fell back to a weaker, still
+    /// valid layout; the cell's numbers describe that layout.
+    Degraded(DegradeReason),
+    /// Produced nothing before the watchdog gave up on it.
+    TimedOut,
+    /// Panicked or hit an internal error (message attached).
+    Failed(String),
+}
+
+impl CellStatus {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellStatus::Completed => "completed",
+            CellStatus::Degraded(_) => "degraded",
+            CellStatus::TimedOut => "timed-out",
+            CellStatus::Failed(_) => "failed",
+        }
+    }
+
+    /// Whether the cell produced usable numbers (completed or degraded).
+    pub fn is_usable(&self) -> bool {
+        matches!(self, CellStatus::Completed | CellStatus::Degraded(_))
+    }
+}
+
+/// One cell of a guarded sweep: the usual [`CellResult`] numbers plus how
+/// the cell ended. Timed-out and failed cells carry zeroed numbers.
+#[derive(Debug, Clone)]
+pub struct RobustCell {
+    /// The timing/checksum payload (zeroed unless the status is usable).
+    pub result: CellResult,
+    /// How the cell ended.
+    pub status: CellStatus,
+}
+
+/// Everything a guarded sweep produced.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// All cells, in grid order — including the unusable ones.
+    pub cells: Vec<RobustCell>,
+}
+
+impl SweepReport {
+    /// The usable cells (completed + degraded), as plain results.
+    pub fn usable(&self) -> Vec<CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.status.is_usable())
+            .map(|c| c.result.clone())
+            .collect()
+    }
+
+    /// The cells that produced no numbers.
+    pub fn skipped(&self) -> Vec<&RobustCell> {
+        self.cells
+            .iter()
+            .filter(|c| !c.status.is_usable())
+            .collect()
+    }
+
+    /// Prints one stderr line per non-completed cell (degradations and
+    /// skips), then a one-line summary. Prints nothing when every cell
+    /// completed.
+    pub fn print_skip_report(&self) {
+        let mut degraded = 0usize;
+        let mut skipped = 0usize;
+        for cell in &self.cells {
+            let r = &cell.result;
+            match &cell.status {
+                CellStatus::Completed => {}
+                CellStatus::Degraded(reason) => {
+                    degraded += 1;
+                    eprintln!(
+                        "[sweep] degraded {}/{}/{}: {}",
+                        r.dataset, r.ordering, r.algo, reason
+                    );
+                }
+                CellStatus::TimedOut => {
+                    skipped += 1;
+                    eprintln!(
+                        "[sweep] skipped {}/{}/{}: timed out",
+                        r.dataset, r.ordering, r.algo
+                    );
+                }
+                CellStatus::Failed(msg) => {
+                    skipped += 1;
+                    eprintln!(
+                        "[sweep] skipped {}/{}/{}: failed: {}",
+                        r.dataset, r.ordering, r.algo, msg
+                    );
+                }
+            }
+        }
+        if degraded + skipped > 0 {
+            eprintln!(
+                "[sweep] {} of {} cells completed ({} degraded, {} skipped)",
+                self.cells.len() - skipped,
+                self.cells.len(),
+                degraded,
+                skipped
+            );
+        }
+    }
+}
+
+/// Extra time the watchdog allows beyond the budget deadline: first for
+/// the worker to finish normally or notice the deadline cooperatively,
+/// then again after an explicit cancellation before the worker is
+/// abandoned. Large enough that sub-millisecond cells never time out
+/// spuriously on a loaded machine.
+const WATCHDOG_GRACE: Duration = Duration::from_millis(250);
+
+/// Runs `f` isolated on its own thread under `catch_unwind` and a
+/// watchdog deadline. `f` receives a [`Budget`] carrying the deadline so
+/// cooperative work can degrade instead of being abandoned. A panic maps
+/// to [`ExecOutcome::Failed`]; a worker that is still running one grace
+/// period after the deadline is cancelled, and abandoned (the thread is
+/// detached — it parks no resources beyond what it captured) one grace
+/// period later with [`ExecOutcome::TimedOut`].
+///
+/// With `timeout = None` the closure simply runs on the current thread
+/// under `catch_unwind` with an unlimited budget.
+pub fn run_guarded<T, F>(timeout: Option<Duration>, f: F) -> ExecOutcome<T>
+where
+    T: Send + 'static,
+    F: FnOnce(&Budget) -> ExecOutcome<T> + Send + 'static,
+{
+    let Some(timeout) = timeout else {
+        let budget = Budget::unlimited();
+        return match catch_unwind(AssertUnwindSafe(|| f(&budget))) {
+            Ok(outcome) => outcome,
+            Err(payload) => ExecOutcome::Failed(panic_message(payload.as_ref())),
+        };
+    };
+    let budget = Budget::unlimited().with_timeout(timeout);
+    let worker_budget = budget.clone();
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| f(&worker_budget))) {
+            Ok(outcome) => outcome,
+            Err(payload) => ExecOutcome::Failed(panic_message(payload.as_ref())),
+        };
+        // the watchdog may already have walked away; that's fine
+        let _ = tx.send(outcome);
+    });
+    match rx.recv_timeout(timeout + WATCHDOG_GRACE) {
+        Ok(outcome) => {
+            let _ = worker.join();
+            outcome
+        }
+        Err(_) => {
+            budget.cancel();
+            match rx.recv_timeout(WATCHDOG_GRACE) {
+                Ok(outcome) => {
+                    let _ = worker.join();
+                    outcome
+                }
+                Err(_) => {
+                    drop(worker); // detach: the runaway thread dies with the process
+                    ExecOutcome::TimedOut
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+/// Computes `o.compute_budgeted(&g, …)` under [`run_guarded`]. The shared
+/// helper behind the guarded grid and the `table2`/`ablation` binaries.
+pub fn guarded_ordering(
+    o: &Arc<dyn OrderingAlgorithm>,
+    g: &Arc<Graph>,
+    timeout: Option<Duration>,
+) -> ExecOutcome<gorder_graph::Permutation> {
+    let o = Arc::clone(o);
+    let g = Arc::clone(g);
+    run_guarded(timeout, move |budget| o.compute_budgeted(&g, budget))
+}
+
+/// Guarded counterpart of [`run_grid`](crate::run_grid) /
+/// [`run_grid_sim`](crate::experiment::run_grid_sim), using the pool of
+/// orderings implied by `cfg`.
+pub fn run_grid_robust(cfg: &GridConfig, timeout: Option<Duration>, sim: bool) -> SweepReport {
+    let pool = if cfg.extended {
+        gorder_orders::extensions::extended(cfg.seed)
+    } else {
+        gorder_orders::all(cfg.seed)
+    };
+    let pool = pool
+        .into_iter()
+        .filter(|o| match &cfg.orderings {
+            None => true,
+            Some(keep) => keep.iter().any(|k| k == o.name()),
+        })
+        .map(Arc::from)
+        .collect();
+    run_grid_robust_with(cfg, timeout, sim, pool)
+}
+
+/// Guarded sweep over an explicit ordering pool — the entry point the
+/// fault-injection tests use to plant panicking or never-terminating
+/// orderings among the real ones. `cfg.orderings` is ignored (the pool
+/// *is* the selection); `cfg.algos` still filters the algorithms.
+pub fn run_grid_robust_with(
+    cfg: &GridConfig,
+    timeout: Option<Duration>,
+    sim: bool,
+    orderings: Vec<Arc<dyn OrderingAlgorithm>>,
+) -> SweepReport {
+    let algos: Vec<Arc<dyn GraphAlgorithm>> = if cfg.extended {
+        gorder_algos::extended()
+    } else {
+        gorder_algos::all()
+    }
+    .into_iter()
+    .filter(|a| match &cfg.algos {
+        None => true,
+        Some(keep) => keep.iter().any(|k| k == a.name()),
+    })
+    .map(Arc::from)
+    .collect();
+    let base_ctx = cfg.run_ctx();
+    let mut report = SweepReport::default();
+    for d in &cfg.datasets {
+        let g = Arc::new(d.build(cfg.scale));
+        eprintln!("[grid/robust] {}: n = {}, m = {}", d.name, g.n(), g.m());
+        let logical_source = g.max_degree_node().unwrap_or(0);
+        for o in &orderings {
+            let blank = |algo: &str| CellResult {
+                dataset: d.name.to_string(),
+                algo: algo.to_string(),
+                ordering: o.name().to_string(),
+                seconds: 0.0,
+                checksum: 0,
+            };
+            let (perm, ordering_status) = match guarded_ordering(o, &g, timeout) {
+                ExecOutcome::Completed(p) => (p, CellStatus::Completed),
+                ExecOutcome::Degraded(p, reason) => (p, CellStatus::Degraded(reason)),
+                ExecOutcome::TimedOut => {
+                    for a in &algos {
+                        report.cells.push(RobustCell {
+                            result: blank(a.name()),
+                            status: CellStatus::TimedOut,
+                        });
+                    }
+                    eprintln!("[grid/robust]   {} timed out", o.name());
+                    continue;
+                }
+                ExecOutcome::Failed(msg) => {
+                    for a in &algos {
+                        report.cells.push(RobustCell {
+                            result: blank(a.name()),
+                            status: CellStatus::Failed(msg.clone()),
+                        });
+                    }
+                    eprintln!("[grid/robust]   {} failed: {msg}", o.name());
+                    continue;
+                }
+            };
+            if perm.len() != g.n() {
+                let msg = format!(
+                    "returned a permutation over {} nodes for a {}-node graph",
+                    perm.len(),
+                    g.n()
+                );
+                for a in &algos {
+                    report.cells.push(RobustCell {
+                        result: blank(a.name()),
+                        status: CellStatus::Failed(msg.clone()),
+                    });
+                }
+                eprintln!("[grid/robust]   {} {msg}", o.name());
+                continue;
+            }
+            let rg = Arc::new(g.relabel(&perm));
+            let mapped_source = perm.apply(logical_source);
+            for a in &algos {
+                let cell = run_algo_cell(cfg, &base_ctx, a, &rg, mapped_source, timeout, sim);
+                let status = match cell {
+                    ExecOutcome::Completed((seconds, checksum)) => {
+                        let mut result = blank(a.name());
+                        result.seconds = seconds;
+                        result.checksum = checksum;
+                        report.cells.push(RobustCell {
+                            result,
+                            status: ordering_status.clone(),
+                        });
+                        continue;
+                    }
+                    ExecOutcome::Degraded(_, reason) => CellStatus::Degraded(reason),
+                    ExecOutcome::TimedOut => CellStatus::TimedOut,
+                    ExecOutcome::Failed(msg) => CellStatus::Failed(msg),
+                };
+                report.cells.push(RobustCell {
+                    result: blank(a.name()),
+                    status,
+                });
+            }
+            eprintln!(
+                "[grid/robust]   {} done ({})",
+                o.name(),
+                ordering_status.label()
+            );
+        }
+    }
+    report
+}
+
+/// One guarded algorithm cell: wall-clock timing or a cache-simulator
+/// replay, on a watchdog thread.
+fn run_algo_cell(
+    cfg: &GridConfig,
+    base_ctx: &RunCtx,
+    a: &Arc<dyn GraphAlgorithm>,
+    rg: &Arc<Graph>,
+    mapped_source: u32,
+    timeout: Option<Duration>,
+    sim: bool,
+) -> ExecOutcome<(f64, u64)> {
+    let a = Arc::clone(a);
+    let rg = Arc::clone(rg);
+    if sim {
+        let tctx = TraceCtx {
+            source: Some(mapped_source),
+            pr_iterations: (base_ctx.pr_iterations / 5).max(2),
+            damping: base_ctx.damping,
+            diameter_samples: (base_ctx.diameter_samples / 4).max(2),
+            seed: base_ctx.seed,
+        };
+        run_guarded(timeout, move |_budget| {
+            let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
+            match replay(a.name(), &rg, &mut tracer, &tctx) {
+                Some(checksum) => {
+                    let cycles = tracer.breakdown(&StallModel::skylake()).total();
+                    ExecOutcome::Completed((cycles / 4e9, checksum))
+                }
+                None => ExecOutcome::Failed(format!("no cache-sim replayer for {}", a.name())),
+            }
+        })
+    } else {
+        let ctx = RunCtx {
+            source: Some(mapped_source),
+            ..base_ctx.clone()
+        };
+        let reps = cfg.reps;
+        run_guarded(timeout, move |_budget| {
+            ExecOutcome::Completed(median_secs(|| a.run(&rg, &ctx), reps))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gorder_graph::datasets::epinion_like;
+    use gorder_graph::Permutation;
+
+    struct Panicker;
+    impl OrderingAlgorithm for Panicker {
+        fn name(&self) -> &'static str {
+            "Panicker"
+        }
+        fn compute(&self, _g: &Graph) -> Permutation {
+            panic!("injected ordering fault")
+        }
+    }
+
+    struct Hang;
+    impl OrderingAlgorithm for Hang {
+        fn name(&self) -> &'static str {
+            "Hang"
+        }
+        fn compute(&self, g: &Graph) -> Permutation {
+            // non-cooperative: ignores every budget signal
+            std::thread::sleep(Duration::from_secs(600));
+            Permutation::identity(g.n())
+        }
+        fn compute_budgeted(&self, g: &Graph, _budget: &Budget) -> ExecOutcome<Permutation> {
+            ExecOutcome::Completed(self.compute(g))
+        }
+    }
+
+    fn tiny_cfg() -> GridConfig {
+        GridConfig {
+            scale: 0.02,
+            reps: 1,
+            seed: 1,
+            quick: true,
+            datasets: vec![epinion_like()],
+            orderings: None,
+            algos: Some(vec!["NQ".into(), "BFS".into()]),
+            extended: false,
+        }
+    }
+
+    #[test]
+    fn guarded_closure_completes() {
+        let out = run_guarded(Some(Duration::from_secs(5)), |_b| {
+            ExecOutcome::Completed(41 + 1)
+        });
+        assert_eq!(out, ExecOutcome::Completed(42));
+    }
+
+    #[test]
+    fn guarded_panic_is_failed_not_fatal() {
+        let out: ExecOutcome<u32> = run_guarded(Some(Duration::from_secs(5)), |_b| panic!("boom"));
+        match out {
+            ExecOutcome::Failed(msg) => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("expected Failed, got {}", other.status_label()),
+        }
+    }
+
+    #[test]
+    fn guarded_panic_without_watchdog() {
+        let out: ExecOutcome<u32> = run_guarded(None, |_b| panic!("inline boom"));
+        match out {
+            ExecOutcome::Failed(msg) => assert!(msg.contains("inline boom"), "{msg}"),
+            other => panic!("expected Failed, got {}", other.status_label()),
+        }
+    }
+
+    #[test]
+    fn guarded_hang_times_out() {
+        let out: ExecOutcome<u32> = run_guarded(Some(Duration::from_millis(10)), |_b| {
+            std::thread::sleep(Duration::from_secs(600));
+            ExecOutcome::Completed(0)
+        });
+        assert_eq!(out, ExecOutcome::TimedOut);
+    }
+
+    #[test]
+    fn guarded_cooperative_degrade_survives_deadline() {
+        // A worker that honours cancellation returns Degraded, not
+        // TimedOut: it notices the cancel flag during the grace period.
+        let out = run_guarded(Some(Duration::from_millis(10)), |budget| loop {
+            if let Some(reason) = budget.exhausted(0) {
+                return ExecOutcome::Degraded(7u32, reason);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        match out {
+            ExecOutcome::Degraded(7, _) => {}
+            other => panic!("expected Degraded(7), got {}", other.status_label()),
+        }
+    }
+
+    #[test]
+    fn sweep_survives_panicking_and_hanging_orderings() {
+        let cfg = tiny_cfg();
+        let pool: Vec<Arc<dyn OrderingAlgorithm>> = vec![
+            Arc::new(gorder_orders::Original),
+            Arc::new(Panicker),
+            Arc::new(Hang),
+            Arc::new(gorder_orders::ChDfs),
+        ];
+        let report = run_grid_robust_with(&cfg, Some(Duration::from_millis(50)), false, pool);
+        // 4 orderings × 2 algos, every cell present
+        assert_eq!(report.cells.len(), 8);
+        let by = |ordering: &str| -> Vec<&RobustCell> {
+            report
+                .cells
+                .iter()
+                .filter(|c| c.result.ordering == ordering)
+                .collect()
+        };
+        for c in by("Original").iter().chain(by("ChDFS").iter()) {
+            assert_eq!(c.status, CellStatus::Completed, "{:?}", c.result);
+        }
+        for c in by("Panicker") {
+            match &c.status {
+                CellStatus::Failed(msg) => {
+                    assert!(msg.contains("injected ordering fault"), "{msg}")
+                }
+                other => panic!("Panicker cell should fail, got {}", other.label()),
+            }
+        }
+        for c in by("Hang") {
+            assert_eq!(c.status, CellStatus::TimedOut, "{:?}", c.result);
+        }
+        // the skip report names exactly the unusable cells
+        assert_eq!(report.skipped().len(), 4);
+        assert_eq!(report.usable().len(), 4);
+        report.print_skip_report();
+    }
+
+    #[test]
+    fn robust_grid_matches_plain_grid_when_nothing_fails() {
+        let mut cfg = tiny_cfg();
+        cfg.orderings = Some(vec!["Original".into(), "ChDFS".into()]);
+        let plain = crate::run_grid(&cfg);
+        let robust = run_grid_robust(&cfg, Some(Duration::from_secs(60)), false);
+        assert_eq!(robust.cells.len(), plain.len());
+        for (r, p) in robust.usable().iter().zip(&plain) {
+            assert_eq!(r.dataset, p.dataset);
+            assert_eq!(r.algo, p.algo);
+            assert_eq!(r.ordering, p.ordering);
+            assert_eq!(r.checksum, p.checksum, "{}/{}", p.ordering, p.algo);
+        }
+    }
+
+    #[test]
+    fn robust_sim_grid_produces_modelled_times() {
+        let mut cfg = tiny_cfg();
+        cfg.orderings = Some(vec!["Original".into()]);
+        let report = run_grid_robust(&cfg, Some(Duration::from_secs(60)), true);
+        assert_eq!(report.cells.len(), 2);
+        for c in &report.cells {
+            assert_eq!(c.status, CellStatus::Completed);
+            assert!(c.result.seconds > 0.0, "{:?}", c.result);
+        }
+    }
+}

@@ -20,12 +20,79 @@
 use gorder_algos::RunCtx;
 use gorder_cachesim::trace::{replay, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, StallModel, Tracer};
+use gorder_core::budget::{Budget, DegradeReason, ExecOutcome};
 use gorder_core::GorderBuilder;
 use gorder_graph::io::GraphIoError;
 use gorder_graph::stats::{degree_gini, GraphStats};
+use gorder_graph::Permutation;
 use gorder_graph::{io, io_mm, Graph};
 use gorder_orders::OrderingAlgorithm;
 use std::path::Path;
+use std::time::Duration;
+
+/// Structured CLI failure. Each variant maps to a distinct process exit
+/// code so scripts can tell bad usage from bad input from exhausted
+/// budgets (see [`CliError::exit_code`]).
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown command, flag, algorithm, or ordering — exit 2.
+    Usage(String),
+    /// A budgeted stage hit its deadline with nothing usable — exit 4.
+    TimedOut,
+    /// A stage failed outright — exit 5.
+    Failed(String),
+    /// Reading or writing a graph file failed — exit 6.
+    GraphIo(GraphIoError),
+}
+
+impl CliError {
+    /// The process exit code for this failure. Exit 0 is success, exit 3
+    /// is reserved for "succeeded but degraded" (see [`CmdOutput`]);
+    /// exit 1 is left to panics/aborts so it never aliases a clean error.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::TimedOut => 4,
+            CliError::Failed(_) => 5,
+            CliError::GraphIo(_) => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::TimedOut => write!(f, "timed out before producing a usable result"),
+            CliError::Failed(msg) => write!(f, "failed: {msg}"),
+            CliError::GraphIo(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<GraphIoError> for CliError {
+    fn from(e: GraphIoError) -> Self {
+        CliError::GraphIo(e)
+    }
+}
+
+/// A successful command body: the report text plus a marker when any
+/// budgeted stage returned a degraded (anytime) result. Degradation is
+/// still success — the output is valid — but the process exits 3 and the
+/// reason goes to stderr, so callers can notice.
+#[derive(Debug)]
+pub struct CmdOutput {
+    pub report: String,
+    pub degraded: Option<DegradeReason>,
+}
+
+/// Builds the [`Budget`] for a `--timeout` flag; `None` is unlimited.
+pub fn budget_from(timeout: Option<Duration>) -> Budget {
+    match timeout {
+        Some(t) => Budget::unlimited().with_timeout(t),
+        None => Budget::unlimited(),
+    }
+}
 
 /// Graph file formats the CLI understands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,8 +189,57 @@ pub fn stats_report(g: &Graph) -> String {
     )
 }
 
+/// Computes the named ordering under an optional timeout. A degraded
+/// result (the anytime prefix completed by a cheaper fallback) is still a
+/// valid permutation and is returned alongside its reason; an empty-handed
+/// timeout or failure becomes a [`CliError`].
+pub fn compute_ordering_budgeted(
+    g: &Graph,
+    method: &str,
+    window: u32,
+    seed: u64,
+    timeout: Option<Duration>,
+) -> Result<(Permutation, Option<DegradeReason>), CliError> {
+    let o = ordering_by_name(method, window, seed).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown ordering {method:?}; known: {:?}",
+            ordering_names()
+        ))
+    })?;
+    match o.compute_budgeted(g, &budget_from(timeout)) {
+        ExecOutcome::Completed(perm) => Ok((perm, None)),
+        ExecOutcome::Degraded(perm, reason) => Ok((perm, Some(reason))),
+        ExecOutcome::TimedOut => Err(CliError::TimedOut),
+        ExecOutcome::Failed(msg) => Err(CliError::Failed(msg)),
+    }
+}
+
+/// Resolves and applies the optional `--method` ordering under an optional
+/// timeout, returning the (re)labelled graph, a report note, and the
+/// degradation marker if the ordering ran out of budget partway.
+fn ordered_graph(
+    g: &Graph,
+    ordering: Option<&str>,
+    window: u32,
+    seed: u64,
+    timeout: Option<Duration>,
+) -> Result<(Graph, String, Option<DegradeReason>), CliError> {
+    match ordering {
+        None => Ok((g.clone(), "original order".to_string(), None)),
+        Some(name) => {
+            let (perm, degraded) = compute_ordering_budgeted(g, name, window, seed, timeout)?;
+            let note = match degraded {
+                None => format!("{name} order"),
+                Some(reason) => format!("{name} order (degraded: {reason})"),
+            };
+            Ok((g.relabel(&perm), note, degraded))
+        }
+    }
+}
+
 /// `run` subcommand: execute an algorithm (optionally after reordering),
-/// returning a report line.
+/// returning a report line. Unbudgeted compatibility wrapper around
+/// [`run_algorithm_budgeted`].
 pub fn run_algorithm(
     g: &Graph,
     algo: &str,
@@ -131,30 +247,46 @@ pub fn run_algorithm(
     window: u32,
     seed: u64,
 ) -> Result<String, String> {
-    let a = gorder_algos::by_name(algo)
-        .ok_or_else(|| format!("unknown algorithm {algo:?}; known: {:?}", algorithm_names()))?;
-    let (graph, note) = match ordering {
-        None => (g.clone(), "original order".to_string()),
-        Some(name) => {
-            let o = ordering_by_name(name, window, seed).ok_or_else(|| {
-                format!("unknown ordering {name:?}; known: {:?}", ordering_names())
-            })?;
-            (g.relabel(&o.compute(g)), format!("{} order", o.name()))
-        }
-    };
+    run_algorithm_budgeted(g, algo, ordering, window, seed, None)
+        .map(|o| o.report)
+        .map_err(|e| e.to_string())
+}
+
+/// `run` subcommand under an optional `--timeout`: the ordering phase is
+/// budgeted; a degraded ordering still runs the algorithm and is flagged
+/// in [`CmdOutput::degraded`].
+pub fn run_algorithm_budgeted(
+    g: &Graph,
+    algo: &str,
+    ordering: Option<&str>,
+    window: u32,
+    seed: u64,
+    timeout: Option<Duration>,
+) -> Result<CmdOutput, CliError> {
+    let a = gorder_algos::by_name(algo).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown algorithm {algo:?}; known: {:?}",
+            algorithm_names()
+        ))
+    })?;
+    let (graph, note, degraded) = ordered_graph(g, ordering, window, seed, timeout)?;
     let ctx = RunCtx {
         seed,
         ..Default::default()
     };
     let t = std::time::Instant::now();
     let checksum = a.run(&graph, &ctx);
-    Ok(format!(
-        "{algo} over {note}: checksum {checksum:#x} in {:.3}s",
-        t.elapsed().as_secs_f64()
-    ))
+    Ok(CmdOutput {
+        report: format!(
+            "{algo} over {note}: checksum {checksum:#x} in {:.3}s",
+            t.elapsed().as_secs_f64()
+        ),
+        degraded,
+    })
 }
 
 /// `simulate` subcommand: cache profile of an algorithm under an ordering.
+/// Unbudgeted compatibility wrapper around [`simulate_algorithm_budgeted`].
 pub fn simulate_algorithm(
     g: &Graph,
     algo: &str,
@@ -162,15 +294,22 @@ pub fn simulate_algorithm(
     window: u32,
     seed: u64,
 ) -> Result<String, String> {
-    let (graph, note) = match ordering {
-        None => (g.clone(), "original order".to_string()),
-        Some(name) => {
-            let o = ordering_by_name(name, window, seed).ok_or_else(|| {
-                format!("unknown ordering {name:?}; known: {:?}", ordering_names())
-            })?;
-            (g.relabel(&o.compute(g)), format!("{} order", o.name()))
-        }
-    };
+    simulate_algorithm_budgeted(g, algo, ordering, window, seed, None)
+        .map(|o| o.report)
+        .map_err(|e| e.to_string())
+}
+
+/// `simulate` subcommand under an optional `--timeout` on the ordering
+/// phase.
+pub fn simulate_algorithm_budgeted(
+    g: &Graph,
+    algo: &str,
+    ordering: Option<&str>,
+    window: u32,
+    seed: u64,
+    timeout: Option<Duration>,
+) -> Result<CmdOutput, CliError> {
+    let (graph, note, degraded) = ordered_graph(g, ordering, window, seed, timeout)?;
     let ctx = TraceCtx {
         pr_iterations: 5,
         diameter_samples: 4,
@@ -178,17 +317,24 @@ pub fn simulate_algorithm(
         ..Default::default()
     };
     let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
-    replay(algo, &graph, &mut tracer, &ctx)
-        .ok_or_else(|| format!("no replayer for {algo:?}; known: {:?}", algorithm_names()))?;
+    replay(algo, &graph, &mut tracer, &ctx).ok_or_else(|| {
+        CliError::Usage(format!(
+            "no replayer for {algo:?}; known: {:?}",
+            algorithm_names()
+        ))
+    })?;
     let s = tracer.stats();
     let b = tracer.breakdown(&StallModel::skylake());
-    Ok(format!(
-        "{algo} over {note}: {:.1}M refs, L1-mr {:.1}%, cache-mr {:.1}%, stall share {:.0}%",
-        s.l1_refs as f64 / 1e6,
-        s.l1_miss_rate * 100.0,
-        s.cache_miss_rate * 100.0,
-        b.stall_fraction() * 100.0
-    ))
+    Ok(CmdOutput {
+        report: format!(
+            "{algo} over {note}: {:.1}M refs, L1-mr {:.1}%, cache-mr {:.1}%, stall share {:.0}%",
+            s.l1_refs as f64 / 1e6,
+            s.l1_miss_rate * 100.0,
+            s.cache_miss_rate * 100.0,
+            b.stall_fraction() * 100.0
+        ),
+        degraded,
+    })
 }
 
 #[cfg(test)]
@@ -243,5 +389,68 @@ mod tests {
         assert!(sim.contains("L1-mr"));
         assert!(run_algorithm(&g, "XX", None, 5, 1).is_err());
         assert!(simulate_algorithm(&g, "PR", Some("zzz"), 5, 1).is_err());
+    }
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        let errs = [
+            CliError::Usage("x".into()),
+            CliError::TimedOut,
+            CliError::Failed("y".into()),
+            CliError::GraphIo(GraphIoError::BadMagic),
+        ];
+        let mut codes: Vec<u8> = errs.iter().map(CliError::exit_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len(), "exit codes must not alias");
+        // 0 = success, 1 = panic/abort, 3 = degraded are reserved.
+        assert!(!codes.contains(&0) && !codes.contains(&1) && !codes.contains(&3));
+    }
+
+    #[test]
+    fn zero_timeout_gorder_degrades_but_still_runs() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)]);
+        let out = run_algorithm_budgeted(
+            &g,
+            "BFS",
+            Some("Gorder"),
+            5,
+            1,
+            Some(Duration::from_secs(0)),
+        )
+        .unwrap();
+        assert!(out.degraded.is_some(), "zero budget must degrade");
+        assert!(out.report.contains("degraded"));
+    }
+
+    #[test]
+    fn zero_timeout_without_anytime_path_times_out() {
+        // RCM has no compute_budgeted override: the trait default returns
+        // TimedOut when the budget is exhausted before it starts.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        match run_algorithm_budgeted(&g, "BFS", Some("RCM"), 5, 1, Some(Duration::from_secs(0))) {
+            Err(CliError::TimedOut) => {}
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_budgeted_matches_unbudgeted() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)]);
+        let plain = run_algorithm(&g, "NQ", Some("ChDFS"), 5, 1).unwrap();
+        let budgeted = run_algorithm_budgeted(&g, "NQ", Some("ChDFS"), 5, 1, None).unwrap();
+        assert!(budgeted.degraded.is_none());
+        // Reports match up to the timing suffix.
+        let head = |s: &str| s.split(" in ").next().unwrap().to_string();
+        assert_eq!(head(&plain), head(&budgeted.report));
+    }
+
+    #[test]
+    fn compute_ordering_budgeted_unknown_is_usage() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        match compute_ordering_budgeted(&g, "nope", 5, 1, None) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("unknown ordering")),
+            other => panic!("expected Usage, got {other:?}"),
+        }
     }
 }

@@ -1,123 +1,167 @@
 //! `gorder-cli` — thin argument dispatcher over the library (see
 //! `lib.rs` for the testable logic and the usage synopsis).
+//!
+//! Exit codes: 0 success, 2 usage error, 3 succeeded but a budgeted
+//! stage degraded (`--timeout`), 4 timed out empty-handed, 5 stage
+//! failed, 6 graph file unreadable/unwritable. 1 is left to panics so it
+//! never aliases a clean error.
 
 use gorder_cli::{
-    algorithm_names, load, ordering_by_name, ordering_names, run_algorithm, save,
-    simulate_algorithm, stats_report,
+    algorithm_names, compute_ordering_budgeted, load, ordering_names, run_algorithm_budgeted, save,
+    simulate_algorithm_budgeted, stats_report, CliError, CmdOutput,
 };
+use gorder_core::budget::DegradeReason;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> &'static str {
     "usage:\n  \
      gorder-cli stats    <input>\n  \
-     gorder-cli order    <input> <output> [--method Gorder] [--window 5] [--seed 42]\n  \
+     gorder-cli order    <input> <output> [--method Gorder] [--window 5] [--seed 42] [--timeout SECS]\n  \
      gorder-cli convert  <input> <output>\n  \
-     gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42]\n  \
-     gorder-cli simulate <algo> <input> [--method NAME] [--window 5] [--seed 42]\n\n\
-     formats by extension: .mtx (Matrix Market), .bin (compact CSR), else edge list"
+     gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS]\n  \
+     gorder-cli simulate <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS]\n\n\
+     formats by extension: .mtx (Matrix Market), .bin (compact CSR), else edge list\n\
+     --timeout bounds the ordering phase: anytime orderings return their\n\
+     best-so-far (exit 3, reason on stderr); others exit 4"
 }
 
 struct Flags {
     method: Option<String>,
     window: u32,
     seed: u64,
+    timeout: Option<Duration>,
 }
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     let mut flags = Flags {
         method: None,
         window: 5,
         seed: 42,
+        timeout: None,
     };
+    let usage_err = |msg: &str| CliError::Usage(msg.to_string());
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--method" => {
-                flags.method = Some(it.next().ok_or("--method needs a value")?.clone());
+                flags.method = Some(
+                    it.next()
+                        .ok_or_else(|| usage_err("--method needs a value"))?
+                        .clone(),
+                );
             }
             "--window" => {
                 flags.window = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--window needs a positive integer")?;
+                    .ok_or_else(|| usage_err("--window needs a positive integer"))?;
             }
             "--seed" => {
                 flags.seed = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--seed needs an integer")?;
+                    .ok_or_else(|| usage_err("--seed needs an integer"))?;
             }
-            other => return Err(format!("unknown flag {other:?}")),
+            "--timeout" => {
+                let secs: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage_err("--timeout needs a number of seconds"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(usage_err("--timeout must be a non-negative number"));
+                }
+                flags.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
     Ok(flags)
 }
 
-fn real_main() -> Result<(), String> {
+fn real_main() -> Result<Option<DegradeReason>, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("");
+    let need = |i: usize| -> Result<&String, CliError> {
+        args.get(i).ok_or_else(|| CliError::Usage(usage().into()))
+    };
     match cmd {
         "stats" => {
-            let input = args.get(1).ok_or_else(|| usage().to_string())?;
-            let g = load(&PathBuf::from(input)).map_err(|e| e.to_string())?;
+            let g = load(&PathBuf::from(need(1)?))?;
             println!("{}", stats_report(&g));
-            Ok(())
+            Ok(None)
         }
         "order" => {
-            let input = args.get(1).ok_or_else(|| usage().to_string())?;
-            let output = args.get(2).ok_or_else(|| usage().to_string())?;
+            let input = need(1)?.clone();
+            let output = need(2)?.clone();
             let flags = parse_flags(&args[3..])?;
             let method = flags.method.as_deref().unwrap_or("Gorder");
-            let ordering = ordering_by_name(method, flags.window, flags.seed).ok_or_else(|| {
-                format!("unknown ordering {method:?}; known: {:?}", ordering_names())
-            })?;
-            let g = load(&PathBuf::from(input)).map_err(|e| e.to_string())?;
+            let g = load(&PathBuf::from(&input))?;
             eprintln!("loaded {}: n = {}, m = {}", input, g.n(), g.m());
             let t = std::time::Instant::now();
-            let perm = ordering.compute(&g);
-            eprintln!("{} computed in {:.2?}", ordering.name(), t.elapsed());
-            save(&g.relabel(&perm), &PathBuf::from(output)).map_err(|e| e.to_string())?;
+            let (perm, degraded) =
+                compute_ordering_budgeted(&g, method, flags.window, flags.seed, flags.timeout)?;
+            eprintln!("{method} computed in {:.2?}", t.elapsed());
+            save(&g.relabel(&perm), &PathBuf::from(&output))?;
             println!("wrote {output}");
-            Ok(())
+            Ok(degraded)
         }
         "convert" => {
-            let input = args.get(1).ok_or_else(|| usage().to_string())?;
-            let output = args.get(2).ok_or_else(|| usage().to_string())?;
-            let g = load(&PathBuf::from(input)).map_err(|e| e.to_string())?;
-            save(&g, &PathBuf::from(output)).map_err(|e| e.to_string())?;
+            let input = need(1)?.clone();
+            let output = need(2)?.clone();
+            let g = load(&PathBuf::from(&input))?;
+            save(&g, &PathBuf::from(&output))?;
             println!("wrote {output} ({} nodes, {} edges)", g.n(), g.m());
-            Ok(())
+            Ok(None)
         }
         "run" | "simulate" => {
-            let algo = args.get(1).ok_or_else(|| usage().to_string())?;
-            let input = args.get(2).ok_or_else(|| usage().to_string())?;
+            let algo = need(1)?.clone();
+            let input = need(2)?.clone();
             let flags = parse_flags(&args[3..])?;
-            let g = load(&PathBuf::from(input)).map_err(|e| e.to_string())?;
-            let report = if cmd == "run" {
-                run_algorithm(&g, algo, flags.method.as_deref(), flags.window, flags.seed)?
+            let g = load(&PathBuf::from(&input))?;
+            let CmdOutput { report, degraded } = if cmd == "run" {
+                run_algorithm_budgeted(
+                    &g,
+                    &algo,
+                    flags.method.as_deref(),
+                    flags.window,
+                    flags.seed,
+                    flags.timeout,
+                )?
             } else {
-                simulate_algorithm(&g, algo, flags.method.as_deref(), flags.window, flags.seed)?
+                simulate_algorithm_budgeted(
+                    &g,
+                    &algo,
+                    flags.method.as_deref(),
+                    flags.window,
+                    flags.seed,
+                    flags.timeout,
+                )?
             };
             println!("{report}");
-            Ok(())
+            Ok(degraded)
         }
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             println!("\norderings: {:?}", ordering_names());
             println!("algorithms: {:?}", algorithm_names());
-            Ok(())
+            Ok(None)
         }
-        _ => Err(usage().to_string()),
+        _ => Err(CliError::Usage(usage().to_string())),
     }
 }
 
 fn main() -> ExitCode {
     match real_main() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::from(2)
+        Ok(None) => ExitCode::SUCCESS,
+        Ok(Some(reason)) => {
+            eprintln!("warning: result is degraded ({reason}) — budget ran out partway");
+            ExitCode::from(3)
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,0 +1,288 @@
+//! Cooperative execution budgets for expensive orderings.
+//!
+//! A [`Budget`] bundles the three ways a long-running computation can be
+//! asked to stop early: a wall-clock **deadline**, a **node cap** on how
+//! many placement steps it may take, and an externally-set **cancel**
+//! flag (typically flipped by a watchdog thread). Algorithms poll
+//! [`Budget::exhausted`] at a coarse stride — every few hundred units of
+//! work — so the checks cost nothing measurable; in exchange, stop
+//! requests are honoured within one stride rather than instantly.
+//!
+//! [`ExecOutcome`] is the result vocabulary shared by budgeted orderings,
+//! the benchmark harness, and the CLI: a computation either ran to
+//! completion, **degraded** to a valid-but-weaker answer (anytime
+//! algorithms return their best-so-far), timed out with nothing usable,
+//! or failed outright.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budgeted computation stopped before finishing its full work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The computation consumed its allotted placement steps.
+    NodeCapReached,
+    /// Another thread requested cancellation.
+    Cancelled,
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::DeadlineExceeded => f.write_str("deadline exceeded"),
+            DegradeReason::NodeCapReached => f.write_str("node cap reached"),
+            DegradeReason::Cancelled => f.write_str("cancelled"),
+        }
+    }
+}
+
+/// Limits under which a computation runs.
+///
+/// The default budget is unlimited; builders add each limit:
+///
+/// ```
+/// use gorder_core::budget::Budget;
+/// use std::time::Duration;
+///
+/// let b = Budget::unlimited()
+///     .with_timeout(Duration::from_secs(30))
+///     .with_node_cap(1_000_000);
+/// assert!(b.exhausted(0).is_none());
+/// ```
+///
+/// Budgets are cheap to clone; clones share the cancellation flag, so a
+/// watchdog holding one clone can stop a worker holding another.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    node_cap: Option<u64>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no limits: `exhausted` never fires unless
+    /// [`cancel`](Budget::cancel) is called.
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            node_cap: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline to `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        let now = Instant::now();
+        self.with_deadline(now.checked_add(timeout).unwrap_or(now))
+    }
+
+    /// Caps the number of placement steps (nodes placed, annealing
+    /// sweeps, …) the computation may take.
+    pub fn with_node_cap(mut self, cap: u64) -> Self {
+        self.node_cap = Some(cap);
+        self
+    }
+
+    /// Requests cancellation; every clone of this budget observes it.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Checks every limit given `nodes_done` units of completed work.
+    /// Returns the reason to stop, or `None` to keep going. Cancellation
+    /// is reported first (it is an explicit external request), then the
+    /// node cap (cheap), then the deadline (a clock read).
+    pub fn exhausted(&self, nodes_done: u64) -> Option<DegradeReason> {
+        if self.is_cancelled() {
+            return Some(DegradeReason::Cancelled);
+        }
+        if let Some(cap) = self.node_cap {
+            if nodes_done >= cap {
+                return Some(DegradeReason::NodeCapReached);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(DegradeReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// True when no limit is set and no cancellation was requested —
+    /// callers may skip the budgeted code path entirely.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.node_cap.is_none() && !self.is_cancelled()
+    }
+}
+
+/// Result of running a computation under a [`Budget`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome<T> {
+    /// Ran to completion within the budget.
+    Completed(T),
+    /// Budget ran out, but a valid (weaker) result was salvaged.
+    Degraded(T, DegradeReason),
+    /// Budget ran out with nothing usable to return.
+    TimedOut,
+    /// The computation failed (panicked, or hit an internal error).
+    Failed(String),
+}
+
+impl<T> ExecOutcome<T> {
+    /// The value, if any was produced.
+    pub fn value(self) -> Option<T> {
+        match self {
+            ExecOutcome::Completed(v) | ExecOutcome::Degraded(v, _) => Some(v),
+            ExecOutcome::TimedOut | ExecOutcome::Failed(_) => None,
+        }
+    }
+
+    /// Borrowed view of the value, if any was produced.
+    pub fn value_ref(&self) -> Option<&T> {
+        match self {
+            ExecOutcome::Completed(v) | ExecOutcome::Degraded(v, _) => Some(v),
+            ExecOutcome::TimedOut | ExecOutcome::Failed(_) => None,
+        }
+    }
+
+    /// True only for [`ExecOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ExecOutcome::Completed(_))
+    }
+
+    /// Maps the carried value, preserving the outcome shape.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> ExecOutcome<U> {
+        match self {
+            ExecOutcome::Completed(v) => ExecOutcome::Completed(f(v)),
+            ExecOutcome::Degraded(v, r) => ExecOutcome::Degraded(f(v), r),
+            ExecOutcome::TimedOut => ExecOutcome::TimedOut,
+            ExecOutcome::Failed(e) => ExecOutcome::Failed(e),
+        }
+    }
+
+    /// Short status label for reports: `completed`, `degraded`,
+    /// `timed-out`, or `failed`.
+    pub fn status_label(&self) -> &'static str {
+        match self {
+            ExecOutcome::Completed(_) => "completed",
+            ExecOutcome::Degraded(_, _) => "degraded",
+            ExecOutcome::TimedOut => "timed-out",
+            ExecOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// How often budgeted loops poll [`Budget::exhausted`], in units of work
+/// (placed nodes, annealing steps). Coarse enough that the `Instant`
+/// read disappears in the noise, fine enough that a deadline overshoots
+/// by at most a few microseconds of extra work.
+pub const CHECK_STRIDE: u64 = 128;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert_eq!(b.exhausted(u64::MAX), None);
+    }
+
+    #[test]
+    fn node_cap_fires_at_cap() {
+        let b = Budget::unlimited().with_node_cap(100);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.exhausted(99), None);
+        assert_eq!(b.exhausted(100), Some(DegradeReason::NodeCapReached));
+        assert_eq!(b.exhausted(101), Some(DegradeReason::NodeCapReached));
+    }
+
+    #[test]
+    fn past_deadline_fires() {
+        let b = Budget::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(b.exhausted(0), Some(DegradeReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let b = Budget::unlimited().with_timeout(Duration::from_secs(3600));
+        assert_eq!(b.exhausted(0), None);
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let b = Budget::unlimited();
+        let clone = b.clone();
+        assert_eq!(clone.exhausted(0), None);
+        b.cancel();
+        assert_eq!(clone.exhausted(0), Some(DegradeReason::Cancelled));
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_outranks_other_reasons() {
+        let b = Budget::unlimited()
+            .with_node_cap(0)
+            .with_deadline(Instant::now() - Duration::from_secs(1));
+        b.cancel();
+        assert_eq!(b.exhausted(10), Some(DegradeReason::Cancelled));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let c: ExecOutcome<u32> = ExecOutcome::Completed(7);
+        assert!(c.is_completed());
+        assert_eq!(c.status_label(), "completed");
+        assert_eq!(c.clone().value(), Some(7));
+        assert_eq!(c.map(|v| v * 2), ExecOutcome::Completed(14));
+
+        let d: ExecOutcome<u32> = ExecOutcome::Degraded(3, DegradeReason::Cancelled);
+        assert!(!d.is_completed());
+        assert_eq!(d.status_label(), "degraded");
+        assert_eq!(d.value_ref(), Some(&3));
+
+        let t: ExecOutcome<u32> = ExecOutcome::TimedOut;
+        assert_eq!(t.status_label(), "timed-out");
+        assert_eq!(t.value(), None);
+
+        let f: ExecOutcome<u32> = ExecOutcome::Failed("boom".into());
+        assert_eq!(f.status_label(), "failed");
+        assert_eq!(f.value(), None);
+    }
+
+    #[test]
+    fn degrade_reason_displays() {
+        assert_eq!(
+            DegradeReason::DeadlineExceeded.to_string(),
+            "deadline exceeded"
+        );
+        assert_eq!(
+            DegradeReason::NodeCapReached.to_string(),
+            "node cap reached"
+        );
+        assert_eq!(DegradeReason::Cancelled.to_string(), "cancelled");
+    }
+}

@@ -20,6 +20,7 @@
 //! implementation may skip propagation through hubs above a degree
 //! threshold (see [`GorderBuilder::hub_threshold`]).
 
+use crate::budget::{Budget, ExecOutcome, CHECK_STRIDE};
 use crate::unitheap::UnitHeap;
 use gorder_graph::{Graph, NodeId, Permutation};
 
@@ -149,6 +150,111 @@ impl Gorder {
         let perm = Permutation::from_placement(&placement)
             .expect("greedy placement covers every node exactly once");
         (perm, stats)
+    }
+
+    /// Anytime variant of [`Gorder::compute`]: runs the greedy under a
+    /// [`Budget`], and on exhaustion appends every unplaced node in
+    /// children-first DFS discovery order (the ChDFS baseline restricted
+    /// to the unplaced remainder). The result is always a valid
+    /// permutation; a degraded one interpolates between full Gorder and
+    /// pure ChDFS — with a zero budget it *is* exactly ChDFS.
+    pub fn compute_budgeted(&self, g: &Graph, budget: &Budget) -> ExecOutcome<Permutation> {
+        if budget.is_unlimited() {
+            return ExecOutcome::Completed(self.compute(g));
+        }
+        let n = g.n();
+        if n == 0 {
+            return ExecOutcome::Completed(Permutation::identity(0));
+        }
+        let w = self.window as usize;
+        let hub = self.hub_threshold.unwrap_or(u32::MAX);
+        let mut stats = GorderStats::default();
+        let mut placement: Vec<NodeId> = Vec::with_capacity(n as usize);
+
+        // Checked before the seed is placed so that a zero budget degrades
+        // all the way down the ladder to pure ChDFS.
+        let mut stop = budget.exhausted(0);
+        if stop.is_none() {
+            let mut heap = UnitHeap::new(n);
+            let seed = (0..n)
+                .max_by_key(|&u| (g.in_degree(u), std::cmp::Reverse(u)))
+                .expect("non-empty graph");
+            heap.remove(seed);
+            placement.push(seed);
+            apply_delta(g, seed, true, hub, &mut heap, &mut stats);
+
+            while let Some(v) = heap.pop_max() {
+                placement.push(v);
+                apply_delta(g, v, true, hub, &mut heap, &mut stats);
+                if placement.len() > w {
+                    let expiring = placement[placement.len() - 1 - w];
+                    apply_delta(g, expiring, false, hub, &mut heap, &mut stats);
+                }
+                let done = placement.len() as u64;
+                if done.is_multiple_of(CHECK_STRIDE) {
+                    stop = budget.exhausted(done);
+                    if stop.is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+        match stop {
+            None => {
+                let perm = Permutation::from_placement(&placement)
+                    .expect("greedy placement covers every node exactly once");
+                ExecOutcome::Completed(perm)
+            }
+            Some(reason) => {
+                chdfs_fill(g, &mut placement);
+                let perm = Permutation::from_placement(&placement)
+                    .expect("DFS fill covers every remaining node exactly once");
+                ExecOutcome::Degraded(perm, reason)
+            }
+        }
+    }
+}
+
+/// Appends every node not yet in `placement` in children-first DFS
+/// discovery order, starting from the unplaced node of maximum total
+/// degree (ties to the smallest id) with id-order restarts — the exact
+/// traversal of the ChDFS baseline, restricted to the unplaced set.
+fn chdfs_fill(g: &Graph, placement: &mut Vec<NodeId>) {
+    let n = g.n();
+    let mut seen = vec![false; n as usize];
+    for &u in placement.iter() {
+        seen[u as usize] = true;
+    }
+    let start = (0..n)
+        .filter(|&u| !seen[u as usize])
+        .max_by_key(|&u| (g.degree(u), std::cmp::Reverse(u)));
+    let Some(start) = start else { return };
+    let mut stack: Vec<(NodeId, u32)> = Vec::new();
+    for s in std::iter::once(start).chain(g.nodes()) {
+        if seen[s as usize] {
+            continue;
+        }
+        seen[s as usize] = true;
+        placement.push(s);
+        stack.push((s, 0));
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            let ns = g.out_neighbors(u);
+            let mut advanced = false;
+            while (*next as usize) < ns.len() {
+                let v = ns[*next as usize];
+                *next += 1;
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    placement.push(v);
+                    stack.push((v, 0));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                stack.pop();
+            }
+        }
     }
 }
 
@@ -378,6 +484,69 @@ mod tests {
         let (_, stats) = Gorder::with_defaults().compute_with_stats(&g);
         assert!(stats.decrements <= stats.increments);
         assert!(stats.increments > 0);
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain_compute() {
+        let g = social(300);
+        let gorder = Gorder::with_defaults();
+        let plain = gorder.compute(&g);
+        match gorder.compute_budgeted(&g, &crate::budget::Budget::unlimited()) {
+            crate::budget::ExecOutcome::Completed(perm) => {
+                assert_eq!(perm.as_slice(), plain.as_slice());
+            }
+            other => panic!(
+                "unlimited budget must complete, got {}",
+                other.status_label()
+            ),
+        }
+    }
+
+    #[test]
+    fn budgeted_node_cap_degrades_to_valid_permutation() {
+        let g = social(600);
+        let budget = crate::budget::Budget::unlimited().with_node_cap(128);
+        match Gorder::with_defaults().compute_budgeted(&g, &budget) {
+            crate::budget::ExecOutcome::Degraded(perm, reason) => {
+                assert_eq!(reason, crate::budget::DegradeReason::NodeCapReached);
+                assert_valid_perm(&perm, 600);
+            }
+            other => panic!(
+                "128-node cap on 600 nodes must degrade, got {}",
+                other.status_label()
+            ),
+        }
+    }
+
+    #[test]
+    fn budgeted_cancellation_degrades_immediately() {
+        let g = social(400);
+        let budget = crate::budget::Budget::unlimited().with_node_cap(u64::MAX);
+        budget.cancel();
+        match Gorder::with_defaults().compute_budgeted(&g, &budget) {
+            crate::budget::ExecOutcome::Degraded(perm, reason) => {
+                assert_eq!(reason, crate::budget::DegradeReason::Cancelled);
+                assert_valid_perm(&perm, 400);
+            }
+            other => panic!(
+                "cancelled budget must degrade, got {}",
+                other.status_label()
+            ),
+        }
+    }
+
+    #[test]
+    fn zero_budget_fallback_is_pure_chdfs() {
+        // With a zero node cap nothing is greedily placed, so the
+        // fallback must reproduce the ChDFS baseline exactly: discovery
+        // order from the max-total-degree node with id-order restarts.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3)]);
+        let budget = crate::budget::Budget::unlimited().with_node_cap(0);
+        let perm = Gorder::with_defaults()
+            .compute_budgeted(&g, &budget)
+            .value()
+            .expect("degraded result still carries a permutation");
+        assert_eq!(perm.placement(), vec![0, 1, 3, 2]);
     }
 
     #[test]

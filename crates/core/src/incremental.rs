@@ -21,6 +21,7 @@
 //! `F(π)` at a small fraction of its cost and clearly beat the naive
 //! id-order append.
 
+use crate::budget::{Budget, DegradeReason, CHECK_STRIDE};
 use crate::score::pair_score;
 use gorder_graph::{Graph, NodeId, Permutation};
 
@@ -63,6 +64,16 @@ impl IncrementalGorder {
     /// nodes with unchanged ids (new edges incident to old nodes are fine
     /// — they influence anchor scores).
     pub fn extend(&mut self, grown: &Graph) {
+        self.extend_budgeted(grown, &Budget::unlimited());
+    }
+
+    /// Budgeted variant of [`extend`](Self::extend): anchor searches run
+    /// under the budget, and once it is exhausted every remaining new node
+    /// is treated as anchorless (id-order tail) — the same place a node
+    /// with no placed relations would land, so the layout stays valid and
+    /// the old prefix is never disturbed. Returns the degrade reason if
+    /// the budget ran out, `None` on full completion.
+    pub fn extend_budgeted(&mut self, grown: &Graph, budget: &Budget) -> Option<DegradeReason> {
         let old_n = self.len();
         assert!(
             grown.n() >= old_n,
@@ -71,9 +82,20 @@ impl IncrementalGorder {
             old_n
         );
         let tail_base = self.keys.iter().copied().fold(0.0, f64::max) + 1.0;
+        let unlimited = budget.is_unlimited();
+        let mut stop: Option<DegradeReason> = None;
         // anchor key per new node; anchorless nodes sort last
         let mut anchored: Vec<(f64, NodeId)> = (old_n..grown.n())
             .map(|u| {
+                if !unlimited && stop.is_none() {
+                    let done = u64::from(u - old_n);
+                    if done.is_multiple_of(CHECK_STRIDE) {
+                        stop = budget.exhausted(done);
+                    }
+                }
+                if stop.is_some() {
+                    return (f64::INFINITY, u);
+                }
                 let key = self
                     .anchor_of(grown, u)
                     .map_or(f64::INFINITY, |a| self.keys[a as usize]);
@@ -89,6 +111,7 @@ impl IncrementalGorder {
         for (rank, &(_, u)) in anchored.iter().enumerate() {
             self.keys[u as usize] = tail_base + rank as f64;
         }
+        stop
     }
 
     /// The placed node with the highest proximity `S(u, ·)` among `u`'s
@@ -286,6 +309,37 @@ mod tests {
         let mut inc = IncrementalGorder::new(&base);
         inc.extend(&old);
         assert_eq!(inc.permutation().as_slice(), base.as_slice());
+    }
+
+    #[test]
+    fn budgeted_extend_cancelled_appends_id_order_tail() {
+        let (old, grown) = grown_pair(200, 300);
+        let base = Gorder::with_defaults().compute(&old);
+        let mut inc = IncrementalGorder::new(&base);
+        let budget = Budget::unlimited().with_node_cap(u64::MAX);
+        budget.cancel();
+        let reason = inc.extend_budgeted(&grown, &budget);
+        assert_eq!(reason, Some(crate::budget::DegradeReason::Cancelled));
+        let perm = inc.permutation();
+        assert_eq!(perm.len(), 300);
+        // old prefix untouched, new block appended in id order
+        for u in 0..200u32 {
+            assert_eq!(perm.apply(u), base.apply(u));
+        }
+        for u in 200..300u32 {
+            assert_eq!(perm.apply(u), u);
+        }
+    }
+
+    #[test]
+    fn budgeted_extend_unlimited_matches_plain() {
+        let (old, grown) = grown_pair(150, 250);
+        let base = Gorder::with_defaults().compute(&old);
+        let mut a = IncrementalGorder::new(&base);
+        let mut b = IncrementalGorder::new(&base);
+        a.extend(&grown);
+        assert_eq!(b.extend_budgeted(&grown, &Budget::unlimited()), None);
+        assert_eq!(a.permutation().as_slice(), b.permutation().as_slice());
     }
 
     #[test]

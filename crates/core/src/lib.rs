@@ -31,7 +31,10 @@
 //!   future-work item).
 //! * [`theory`] — brute-force `OPT` for verifying the `1/(2w)`
 //!   approximation bound on small instances.
+//! * [`budget`] — cooperative deadlines, node caps, and cancellation for
+//!   the fault-tolerant execution layer ([`Budget`], [`ExecOutcome`]).
 
+pub mod budget;
 pub mod gorder;
 pub mod incremental;
 pub mod parallel;
@@ -39,6 +42,7 @@ pub mod score;
 pub mod theory;
 pub mod unitheap;
 
+pub use budget::{Budget, DegradeReason, ExecOutcome};
 pub use gorder::{Gorder, GorderBuilder};
 pub use incremental::IncrementalGorder;
 pub use parallel::ParallelGorder;

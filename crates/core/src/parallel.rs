@@ -17,6 +17,7 @@
 //! result trades a little `F(π)` for near-linear scaling of ordering
 //! time; the `parallel_gorder` bench measures both sides of the trade.
 
+use crate::budget::{Budget, DegradeReason, ExecOutcome};
 use crate::gorder::Gorder;
 use gorder_graph::subgraph::induced_range;
 use gorder_graph::{Graph, NodeId, Permutation};
@@ -78,6 +79,66 @@ impl ParallelGorder {
             placement.extend(part);
         }
         Permutation::from_placement(&placement).expect("chunks partition the node range")
+    }
+
+    /// Budgeted variant of [`ParallelGorder::compute`]: every worker runs
+    /// the budgeted greedy against the *shared* budget (the deadline and
+    /// cancellation flag are global; the node cap applies per worker). If
+    /// any chunk degrades, the concatenated result is reported degraded —
+    /// it is still a valid permutation, since each chunk falls back to
+    /// DFS order over its own unplaced remainder.
+    pub fn compute_budgeted(&self, g: &Graph, budget: &Budget) -> ExecOutcome<Permutation> {
+        if budget.is_unlimited() {
+            return ExecOutcome::Completed(self.compute(g));
+        }
+        let n = g.n();
+        if n == 0 {
+            return ExecOutcome::Completed(Permutation::identity(0));
+        }
+        let p = self.partitions.min(n).max(1);
+        let chunk = n.div_ceil(p);
+        let bounds: Vec<(NodeId, NodeId)> = (0..p)
+            .map(|i| (i * chunk, ((i + 1) * chunk).min(n)))
+            .collect();
+        let mut outcomes: Vec<ExecOutcome<Vec<NodeId>>> = vec![ExecOutcome::TimedOut; p as usize];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for &(lo, hi) in &bounds {
+                let inner = &self.inner;
+                handles.push(scope.spawn(move || {
+                    let sub = induced_range(g, lo, hi).graph;
+                    inner.compute_budgeted(&sub, budget).map(|local| {
+                        local
+                            .placement()
+                            .into_iter()
+                            .map(|u| u + lo)
+                            .collect::<Vec<NodeId>>()
+                    })
+                }));
+            }
+            for (slot, handle) in outcomes.iter_mut().zip(handles) {
+                *slot = handle.join().expect("partition worker panicked");
+            }
+        });
+        let mut placement = Vec::with_capacity(n as usize);
+        let mut degraded: Option<DegradeReason> = None;
+        for outcome in outcomes {
+            match outcome {
+                ExecOutcome::Completed(part) => placement.extend(part),
+                ExecOutcome::Degraded(part, reason) => {
+                    placement.extend(part);
+                    degraded.get_or_insert(reason);
+                }
+                ExecOutcome::TimedOut => return ExecOutcome::TimedOut,
+                ExecOutcome::Failed(e) => return ExecOutcome::Failed(e),
+            }
+        }
+        let perm =
+            Permutation::from_placement(&placement).expect("chunks partition the node range");
+        match degraded {
+            None => ExecOutcome::Completed(perm),
+            Some(reason) => ExecOutcome::Degraded(perm, reason),
+        }
     }
 }
 
@@ -163,5 +224,31 @@ mod tests {
     fn empty_graph() {
         let perm = ParallelGorder::with_defaults(4).compute(&Graph::empty(0));
         assert_eq!(perm.len(), 0);
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain() {
+        let g = structured();
+        let pg = ParallelGorder::with_defaults(4);
+        let plain = pg.compute(&g);
+        let outcome = pg.compute_budgeted(&g, &Budget::unlimited());
+        assert_eq!(outcome.value().unwrap().as_slice(), plain.as_slice());
+    }
+
+    #[test]
+    fn budgeted_cancellation_still_yields_valid_permutation() {
+        let g = structured();
+        let budget = Budget::unlimited().with_node_cap(u64::MAX);
+        budget.cancel();
+        match ParallelGorder::with_defaults(4).compute_budgeted(&g, &budget) {
+            ExecOutcome::Degraded(perm, reason) => {
+                assert_eq!(reason, DegradeReason::Cancelled);
+                assert_valid(&perm, g.n());
+            }
+            other => panic!(
+                "cancelled budget must degrade, got {}",
+                other.status_label()
+            ),
+        }
     }
 }

@@ -17,6 +17,17 @@ pub enum GraphIoError {
     Io(io::Error),
     /// A line of an edge list could not be parsed.
     Parse { line: usize, content: String },
+    /// A node id on `line` exceeds what this build can represent (`u32`
+    /// node ids, so `max id + 1` must fit in `u32`) or what the file's own
+    /// header permits.
+    IdOutOfRange { line: usize, value: u64, max: u64 },
+    /// A count declared in the file's header disagrees with the body
+    /// (e.g. a Matrix Market size line promising more entries than exist).
+    HeaderMismatch {
+        what: &'static str,
+        declared: u64,
+        found: u64,
+    },
     /// Binary file did not start with the expected magic bytes/version.
     BadMagic,
     /// Binary file was internally inconsistent (truncated, bad offsets…).
@@ -36,6 +47,19 @@ impl std::fmt::Display for GraphIoError {
             GraphIoError::Parse { line, content } => {
                 write!(f, "cannot parse edge on line {line}: {content:?}")
             }
+            GraphIoError::IdOutOfRange { line, value, max } => {
+                write!(f, "node id {value} on line {line} out of range (max {max})")
+            }
+            GraphIoError::HeaderMismatch {
+                what,
+                declared,
+                found,
+            } => {
+                write!(
+                    f,
+                    "header mismatch: {what} declared as {declared} but found {found}"
+                )
+            }
             GraphIoError::BadMagic => write!(f, "not a gorder binary graph file"),
             GraphIoError::Corrupt(what) => write!(f, "corrupt binary graph file: {what}"),
         }
@@ -53,6 +77,16 @@ impl std::error::Error for GraphIoError {
 
 const MAGIC: &[u8; 8] = b"GORDERG1";
 
+/// Upper bound on speculative preallocation driven by untrusted file
+/// headers: never reserve more than this many entries up front. Vectors
+/// still grow to the real size as data actually arrives, so a corrupt
+/// header claiming billions of entries cannot trigger a huge allocation.
+pub(crate) const PREALLOC_CAP: usize = 1 << 20;
+
+/// Largest node id an edge list may carry: node count is `max id + 1` and
+/// must itself fit in `u32`.
+const MAX_EDGE_LIST_ID: u64 = u32::MAX as u64 - 1;
+
 /// Reads a directed edge list: one `u v` pair per line, whitespace
 /// separated; blank lines and lines starting with `#` or `%` are skipped.
 /// Node count is `max id + 1`.
@@ -67,9 +101,20 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        let parse = |tok: Option<&str>| -> Option<u32> { tok.and_then(|t| t.parse().ok()) };
+        // Parse into u64 first so oversized ids are distinguished from
+        // unparseable garbage and reported with their line number.
+        let parse = |tok: Option<&str>| -> Option<u64> { tok.and_then(|t| t.parse().ok()) };
         match (parse(it.next()), parse(it.next())) {
             (Some(u), Some(v)) => {
+                let big = u.max(v);
+                if big > MAX_EDGE_LIST_ID {
+                    return Err(GraphIoError::IdOutOfRange {
+                        line: idx + 1,
+                        value: big,
+                        max: MAX_EDGE_LIST_ID,
+                    });
+                }
+                let (u, v) = (u as u32, v as u32);
                 max_id = max_id.max(u).max(v);
                 edges.push((u, v));
             }
@@ -152,7 +197,13 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
         return Err(GraphIoError::Corrupt("node count exceeds u32"));
     }
     let n32 = n as u32;
-    let mut offsets = Vec::with_capacity(n as usize + 1);
+    // Both counts come from an untrusted header: cap the speculative
+    // reservations and let the vectors grow as real data arrives.
+    let offsets_cap = usize::try_from(n)
+        .unwrap_or(usize::MAX)
+        .saturating_add(1)
+        .min(PREALLOC_CAP);
+    let mut offsets = Vec::with_capacity(offsets_cap);
     for _ in 0..=n {
         offsets.push(get_u64(&mut r)?);
     }
@@ -162,11 +213,17 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
     if offsets.windows(2).any(|w| w[0] > w[1]) {
         return Err(GraphIoError::Corrupt("offsets not monotone"));
     }
-    let mut b = GraphBuilder::with_capacity(n32, m as usize);
+    let edges_cap = usize::try_from(m).unwrap_or(usize::MAX).min(PREALLOC_CAP);
+    let mut b = GraphBuilder::with_capacity(n32, edges_cap);
     for u in 0..n32 {
         let lo = offsets[u as usize];
         let hi = offsets[u as usize + 1];
-        for _ in lo..hi {
+        // Monotonicity was verified above, so this never underflows; keep
+        // it checked anyway — these values came off disk.
+        let deg = hi
+            .checked_sub(lo)
+            .ok_or(GraphIoError::Corrupt("offsets not monotone"))?;
+        for _ in 0..deg {
             let mut tb = [0u8; 4];
             r.read_exact(&mut tb)?;
             let v = u32::from_le_bytes(tb);
@@ -224,6 +281,32 @@ mod tests {
     }
 
     #[test]
+    fn edge_list_rejects_oversized_ids_with_line() {
+        // u32::MAX itself is unusable: node count would be max id + 1.
+        for (text, bad_line, bad_value) in [
+            ("0 1\n7 4294967295\n", 2, u64::from(u32::MAX)),
+            ("99999999999 3\n", 1, 99_999_999_999),
+        ] {
+            match read_edge_list(text.as_bytes()) {
+                Err(GraphIoError::IdOutOfRange { line, value, max }) => {
+                    assert_eq!(line, bad_line);
+                    assert_eq!(value, bad_value);
+                    assert_eq!(max, u64::from(u32::MAX) - 1);
+                }
+                other => panic!("expected IdOutOfRange, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_rejects_negative_ids() {
+        assert!(matches!(
+            read_edge_list("0 -1\n".as_bytes()),
+            Err(GraphIoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
     fn edge_list_tolerates_extra_columns() {
         // some SNAP files carry weights/timestamps in a third column
         let g = read_edge_list("0 1 17\n1 2 99\n".as_bytes()).unwrap();
@@ -259,6 +342,41 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_oversized_node_count() {
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&(u64::from(u32::MAX) + 1).to_le_bytes()); // n
+        buf.extend_from_slice(&0u64.to_le_bytes()); // m
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphIoError::Corrupt("node count exceeds u32"))
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_nonmonotone_offsets() {
+        // n = 2, m = 1, offsets [0, 5, 1]: last != m and not monotone
+        let mut buf = MAGIC.to_vec();
+        for x in [2u64, 1, 0, 5, 1] {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphIoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn binary_huge_header_counts_fail_without_allocating() {
+        // Header claims ~4 billion nodes and u64::MAX edges but carries no
+        // data: the capped preallocation means this errors on EOF instead
+        // of attempting a giant reservation.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&u64::from(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(read_binary(&buf[..]), Err(GraphIoError::Io(_))));
     }
 
     #[test]

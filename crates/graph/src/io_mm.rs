@@ -9,7 +9,7 @@
 //! directions.
 
 use crate::csr::{Graph, GraphBuilder};
-use crate::io::GraphIoError;
+use crate::io::{GraphIoError, PREALLOC_CAP};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -35,9 +35,44 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
         ));
     }
 
+    let parse = |tok: Option<&str>| -> Option<u64> { tok.and_then(|t| t.parse::<u64>().ok()) };
+
     // size line: first non-comment line
-    let mut dims: Option<(u64, u64, u64)> = None;
-    let mut builder: Option<GraphBuilder> = None;
+    let (r, c, nnz, mut builder) = loop {
+        let (idx, line) = match lines.next() {
+            Some(x) => x,
+            None => return Err(GraphIoError::Corrupt("missing size line")),
+        };
+        let line = line.map_err(GraphIoError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (r, c, nnz) = match (parse(it.next()), parse(it.next()), parse(it.next())) {
+            (Some(r), Some(c), Some(nnz)) => (r, c, nnz),
+            _ => {
+                return Err(GraphIoError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        };
+        let n = r.max(c);
+        if n > u64::from(u32::MAX) {
+            return Err(GraphIoError::Corrupt("dimension exceeds u32"));
+        }
+        // The size line is untrusted input: cap the speculative edge
+        // reservation so a corrupt nnz cannot force a giant allocation.
+        let cap = usize::try_from(nnz)
+            .unwrap_or(usize::MAX)
+            .min(PREALLOC_CAP)
+            .saturating_mul(if symmetric { 2 } else { 1 });
+        break (r, c, nnz, GraphBuilder::with_capacity(n as u32, cap));
+    };
+
+    // entry lines
+    let mut entries: u64 = 0;
     for (idx, line) in lines {
         let line = line?;
         let trimmed = line.trim();
@@ -45,54 +80,46 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        let parse = |tok: Option<&str>| -> Option<u64> { tok.and_then(|t| t.parse::<u64>().ok()) };
-        match dims {
-            None => {
-                let (r, c, nnz) = match (parse(it.next()), parse(it.next()), parse(it.next())) {
-                    (Some(r), Some(c), Some(nnz)) => (r, c, nnz),
-                    _ => {
-                        return Err(GraphIoError::Parse {
-                            line: idx + 1,
-                            content: trimmed.to_string(),
-                        })
-                    }
-                };
-                let n = r.max(c);
-                if n > u64::from(u32::MAX) {
-                    return Err(GraphIoError::Corrupt("dimension exceeds u32"));
-                }
-                dims = Some((r, c, nnz));
-                builder = Some(GraphBuilder::with_capacity(
-                    n as u32,
-                    nnz as usize * if symmetric { 2 } else { 1 },
-                ));
+        let (i, j) = match (parse(it.next()), parse(it.next())) {
+            (Some(i), Some(j)) => (i, j),
+            _ => {
+                return Err(GraphIoError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
             }
-            Some((r, c, _)) => {
-                let (i, j) = match (parse(it.next()), parse(it.next())) {
-                    (Some(i), Some(j)) => (i, j),
-                    _ => {
-                        return Err(GraphIoError::Parse {
-                            line: idx + 1,
-                            content: trimmed.to_string(),
-                        })
-                    }
-                };
-                if i == 0 || j == 0 || i > r || j > c {
-                    return Err(GraphIoError::Corrupt("coordinate out of bounds"));
-                }
-                let b = builder.as_mut().expect("dims parsed implies builder");
-                let (u, v) = ((i - 1) as u32, (j - 1) as u32);
-                b.add_edge(u, v);
-                if symmetric && u != v {
-                    b.add_edge(v, u);
-                }
-            }
+        };
+        if i == 0 || j == 0 || i > r || j > c {
+            // Indices are 1-based, so 0 is as out-of-range as r + 1.
+            let value = if i == 0 || i > r { i } else { j };
+            return Err(GraphIoError::IdOutOfRange {
+                line: idx + 1,
+                value,
+                max: r.max(c),
+            });
+        }
+        entries += 1;
+        if entries > nnz {
+            return Err(GraphIoError::HeaderMismatch {
+                what: "entry count",
+                declared: nnz,
+                found: entries,
+            });
+        }
+        let (u, v) = ((i - 1) as u32, (j - 1) as u32);
+        builder.add_edge(u, v);
+        if symmetric && u != v {
+            builder.add_edge(v, u);
         }
     }
-    match builder {
-        Some(b) => Ok(b.build()),
-        None => Err(GraphIoError::Corrupt("missing size line")),
+    if entries != nnz {
+        return Err(GraphIoError::HeaderMismatch {
+            what: "entry count",
+            declared: nnz,
+            found: entries,
+        });
     }
+    Ok(builder.build())
 }
 
 /// Reads a `.mtx` file from a path.
@@ -174,9 +201,74 @@ mod tests {
     }
 
     #[test]
-    fn rejects_out_of_bounds() {
+    fn rejects_out_of_bounds_with_line() {
         let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
-        assert!(read_matrix_market(text.as_bytes()).is_err());
+        match read_matrix_market(text.as_bytes()) {
+            Err(GraphIoError::IdOutOfRange { line, value, max }) => {
+                assert_eq!(line, 3);
+                assert_eq!(value, 3);
+                assert_eq!(max, 2);
+            }
+            other => panic!("expected IdOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_zero_index() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 0\n";
+        match read_matrix_market(text.as_bytes()) {
+            Err(GraphIoError::IdOutOfRange { line, value, .. }) => {
+                assert_eq!(line, 3);
+                assert_eq!(value, 0);
+            }
+            other => panic!("expected IdOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_fewer_entries_than_declared() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 3\n1 2\n2 3\n";
+        match read_matrix_market(text.as_bytes()) {
+            Err(GraphIoError::HeaderMismatch {
+                declared, found, ..
+            }) => {
+                assert_eq!(declared, 3);
+                assert_eq!(found, 2);
+            }
+            other => panic!("expected HeaderMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_more_entries_than_declared() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 2\n2 3\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(GraphIoError::HeaderMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_dimension() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n5000000000 1 0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(GraphIoError::Corrupt("dimension exceeds u32"))
+        ));
+    }
+
+    #[test]
+    fn huge_declared_nnz_does_not_allocate() {
+        // nnz = u64::MAX in the header: the capped preallocation means
+        // this fails with a clean mismatch, not an OOM.
+        let text = format!(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 {}\n1 2\n",
+            u64::MAX
+        );
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(GraphIoError::HeaderMismatch { .. })
+        ));
     }
 
     #[test]

@@ -13,9 +13,15 @@
 //! Defaults follow the replication: `S = m`, `k = m/n`.
 
 use crate::OrderingAlgorithm;
+use gorder_core::budget::{Budget, DegradeReason, ExecOutcome};
 use gorder_graph::{Graph, NodeId, Permutation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// How often the annealer polls its budget and refreshes the best-so-far
+/// snapshot, in swap attempts. Coarser than the node-placement stride of
+/// Gorder because one annealing step is much cheaper than one placement.
+const ANNEAL_CHECK_STRIDE: u64 = 1024;
 
 /// Temperature schedule for the annealer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -130,13 +136,39 @@ impl Annealing {
 
     /// Runs the annealer and also returns the final arrangement energy.
     pub fn compute_with_energy(&self, g: &Graph) -> (Permutation, f64) {
+        let (perm, energy, _) = self.anneal(g, &Budget::unlimited());
+        (perm, energy)
+    }
+
+    /// Anytime variant: runs under `budget` and, if it expires, returns
+    /// the **best** arrangement seen at any budget checkpoint rather than
+    /// wherever the random walk happened to be (annealing moves uphill on
+    /// purpose, so the current state can be much worse than the best).
+    /// The degraded energy is therefore never above the starting energy.
+    /// With an unlimited budget this is exactly
+    /// [`compute_with_energy`](Self::compute_with_energy) — the budget
+    /// checks read no randomness, so the RNG stream is identical.
+    pub fn compute_budgeted_with_energy(
+        &self,
+        g: &Graph,
+        budget: &Budget,
+    ) -> ExecOutcome<(Permutation, f64)> {
+        let (perm, energy, stop) = self.anneal(g, budget);
+        match stop {
+            None => ExecOutcome::Completed((perm, energy)),
+            Some(reason) => ExecOutcome::Degraded((perm, energy), reason),
+        }
+    }
+
+    fn anneal(&self, g: &Graph, budget: &Budget) -> (Permutation, f64, Option<DegradeReason>) {
         let n = g.n();
         let m = g.m();
         if n < 2 {
-            return (Permutation::identity(n), 0.0);
+            return (Permutation::identity(n), 0.0, None);
         }
         let steps = self.steps.unwrap_or(m);
         let k = self.standard_energy.unwrap_or(m as f64 / f64::from(n));
+        let unlimited = budget.is_unlimited();
         let mut rng = StdRng::seed_from_u64(self.seed);
         // pos[u] = current index of u; start from the original arrangement.
         let mut pos: Vec<u32> = (0..n).collect();
@@ -147,30 +179,64 @@ impl Annealing {
                     .edge_cost(pos[u as usize].abs_diff(pos[v as usize]))
             })
             .sum();
+        // Best-so-far snapshot, refreshed only at budget checkpoints (an
+        // O(n) clone per refresh; checkpoints are ANNEAL_CHECK_STRIDE
+        // apart, so the amortised cost is negligible).
+        let mut best: Option<(Vec<u32>, f64)> = None;
+        let mut stop = if unlimited { None } else { budget.exhausted(0) };
 
-        for s in 0..steps {
-            let temp = self.cooling.temperature(s, steps);
-            let u: NodeId = rng.gen_range(0..n);
-            let v: NodeId = rng.gen_range(0..n);
-            if u == v {
-                continue;
+        if stop.is_none() {
+            for s in 0..steps {
+                let temp = self.cooling.temperature(s, steps);
+                let u: NodeId = rng.gen_range(0..n);
+                let v: NodeId = rng.gen_range(0..n);
+                if u != v {
+                    let delta = swap_delta(g, self.model, &pos, u, v);
+                    let accept = if delta < 0.0 {
+                        true
+                    } else if k > 0.0 && temp > 0.0 {
+                        let p = (-delta / (k * temp)).exp();
+                        rng.gen_bool(p.clamp(0.0, 1.0))
+                    } else {
+                        false
+                    };
+                    if accept {
+                        pos.swap(u as usize, v as usize);
+                        energy += delta;
+                    }
+                }
+                if !unlimited && (s + 1).is_multiple_of(ANNEAL_CHECK_STRIDE) {
+                    if best.as_ref().is_none_or(|(_, be)| energy < *be) {
+                        best = Some((pos.clone(), energy));
+                    }
+                    stop = budget.exhausted(s + 1);
+                    if stop.is_some() {
+                        break;
+                    }
+                }
             }
-            let delta = swap_delta(g, self.model, &pos, u, v);
-            let accept = if delta < 0.0 {
-                true
-            } else if k > 0.0 && temp > 0.0 {
-                let p = (-delta / (k * temp)).exp();
-                rng.gen_bool(p.clamp(0.0, 1.0))
-            } else {
-                false
-            };
-            if accept {
-                pos.swap(u as usize, v as usize);
-                energy += delta;
+        }
+        if stop.is_some() {
+            // Return whichever of (current, best snapshot, untouched
+            // start) has the lowest energy; the start qualifies because
+            // `best` is only refreshed at checkpoints.
+            let start_energy: f64 = g
+                .edges()
+                .map(|(u, v)| self.model.edge_cost(u.abs_diff(v)))
+                .sum();
+            if let Some((bpos, be)) = best {
+                if be < energy {
+                    pos = bpos;
+                    energy = be;
+                }
+            }
+            if start_energy < energy {
+                pos = (0..n).collect();
+                energy = start_energy;
             }
         }
         let perm = Permutation::try_new(pos).expect("swaps preserve bijectivity");
-        (perm, energy)
+        (perm, energy, stop)
     }
 }
 
@@ -211,6 +277,11 @@ impl OrderingAlgorithm for Annealing {
 
     fn compute(&self, g: &Graph) -> Permutation {
         self.compute_with_energy(g).0
+    }
+
+    fn compute_budgeted(&self, g: &Graph, budget: &Budget) -> ExecOutcome<Permutation> {
+        self.compute_budgeted_with_energy(g, budget)
+            .map(|(perm, _)| perm)
     }
 }
 
@@ -327,6 +398,70 @@ mod tests {
             let (perm, e) = Annealing::minla(1).compute_with_energy(&g);
             assert_eq!(perm.len(), n);
             assert_eq!(e, 0.0);
+        }
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain() {
+        let g = test_graph();
+        let annealer = Annealing::minla(5);
+        let plain = annealer.compute_with_energy(&g);
+        match annealer.compute_budgeted_with_energy(&g, &Budget::unlimited()) {
+            ExecOutcome::Completed((perm, energy)) => {
+                assert_eq!(perm.as_slice(), plain.0.as_slice());
+                assert_eq!(energy, plain.1);
+            }
+            other => panic!(
+                "unlimited budget must complete, got {}",
+                other.status_label()
+            ),
+        }
+    }
+
+    #[test]
+    fn tiny_deadline_degrades_to_no_worse_than_start() {
+        let g = test_graph();
+        let start = minla_energy_of(&g, &Permutation::identity(g.n())) as f64;
+        // Enough steps that a 0-duration deadline always fires first.
+        let annealer = Annealing::with_params(EnergyModel::Linear, 50_000_000, 1.0, 3);
+        let budget = Budget::unlimited().with_timeout(std::time::Duration::from_millis(1));
+        match annealer.compute_budgeted_with_energy(&g, &budget) {
+            ExecOutcome::Degraded((perm, energy), reason) => {
+                assert_eq!(reason, DegradeReason::DeadlineExceeded);
+                assert_eq!(perm.len(), g.n());
+                crate::assert_valid_for(&perm, &g);
+                assert!(
+                    energy <= start,
+                    "anytime annealing returned energy {energy} above start {start}"
+                );
+                let reference = minla_energy_of(&g, &perm) as f64;
+                assert!(
+                    (energy - reference).abs() < 1e-6 * reference.max(1.0),
+                    "degraded energy {energy} does not match its permutation ({reference})"
+                );
+            }
+            other => panic!(
+                "1ms deadline on 50M steps must degrade, got {}",
+                other.status_label()
+            ),
+        }
+    }
+
+    #[test]
+    fn node_cap_degrades_deterministically() {
+        let g = test_graph();
+        let annealer = Annealing::with_params(EnergyModel::Linear, 1_000_000, 1.0, 11);
+        let budget = Budget::unlimited().with_node_cap(4096);
+        let a = annealer.compute_budgeted_with_energy(&g, &budget);
+        let b = annealer.compute_budgeted_with_energy(&g, &budget);
+        match (&a, &b) {
+            (ExecOutcome::Degraded((pa, ea), ra), ExecOutcome::Degraded((pb, eb), rb)) => {
+                assert_eq!(ra, rb);
+                assert_eq!(*ra, DegradeReason::NodeCapReached);
+                assert_eq!(pa.as_slice(), pb.as_slice());
+                assert_eq!(ea, eb);
+            }
+            _ => panic!("4096-step cap must degrade both runs"),
         }
     }
 

@@ -2,6 +2,7 @@
 //! `gorder-core`, so the harness can sweep it alongside the baselines.
 
 use crate::OrderingAlgorithm;
+use gorder_core::budget::{Budget, ExecOutcome};
 use gorder_core::{Gorder, GorderBuilder};
 use gorder_graph::{Graph, Permutation};
 
@@ -38,6 +39,10 @@ impl OrderingAlgorithm for GorderOrdering {
 
     fn compute(&self, g: &Graph) -> Permutation {
         self.inner.compute(g)
+    }
+
+    fn compute_budgeted(&self, g: &Graph, budget: &Budget) -> ExecOutcome<Permutation> {
+        self.inner.compute_budgeted(g, budget)
     }
 }
 

@@ -44,6 +44,7 @@ pub use rcm::Rcm;
 pub use slashburn::SlashBurn;
 pub use trivial::{Original, RandomOrder};
 
+use gorder_core::budget::{Budget, ExecOutcome};
 use gorder_graph::{Graph, Permutation};
 
 /// A node-ordering method: computes a bijection `old id → new id`.
@@ -54,6 +55,18 @@ pub trait OrderingAlgorithm: Send + Sync {
     fn name(&self) -> &'static str;
     /// Computes the permutation for `g`.
     fn compute(&self, g: &Graph) -> Permutation;
+    /// Budget-aware variant. The default forwards to
+    /// [`compute`](Self::compute) — right for the cheap orderings, which
+    /// finish long before any realistic budget bites (they only check the
+    /// budget on entry, so a pre-cancelled budget still short-circuits).
+    /// Anytime orderings (Gorder, the annealers) override this to stop at
+    /// the budget and return their best valid permutation so far.
+    fn compute_budgeted(&self, g: &Graph, budget: &Budget) -> ExecOutcome<Permutation> {
+        if budget.exhausted(0).is_some() {
+            return ExecOutcome::TimedOut;
+        }
+        ExecOutcome::Completed(self.compute(g))
+    }
 }
 
 /// All ten orderings in the replication's presentation order, with its

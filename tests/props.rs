@@ -154,6 +154,87 @@ proptest! {
     }
 
     #[test]
+    fn edge_list_with_garbage_line_always_errs(
+        g in arb_graph(20, 60),
+        pos in any::<usize>(),
+        junk in "[a-z?!]{1,8}",
+    ) {
+        use gorder::graph::io::{read_edge_list, write_edge_list};
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        // splice a non-comment garbage line at an arbitrary line boundary
+        let mut lines: Vec<&str> = std::str::from_utf8(&buf).unwrap().lines().collect();
+        let at = pos % (lines.len() + 1);
+        lines.insert(at, &junk);
+        let corrupted = lines.join("\n");
+        match read_edge_list(corrupted.as_bytes()) {
+            Err(gorder::graph::io::GraphIoError::Parse { line, .. }) => {
+                prop_assert_eq!(line, at + 1, "error should name the spliced line");
+            }
+            other => prop_assert!(false, "expected Parse error, got {:?}", other.map(|g| g.n())),
+        }
+    }
+
+    #[test]
+    fn edge_list_with_huge_id_always_errs(
+        g in arb_graph(20, 60),
+        big in (u32::MAX as u64)..u64::MAX,
+    ) {
+        use gorder::graph::io::{read_edge_list, write_edge_list, GraphIoError};
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let corrupted = format!("{}0 {big}\n", std::str::from_utf8(&buf).unwrap());
+        match read_edge_list(corrupted.as_bytes()) {
+            Err(GraphIoError::IdOutOfRange { value, .. }) => prop_assert_eq!(value, big),
+            other => prop_assert!(false, "expected IdOutOfRange, got {:?}", other.map(|g| g.n())),
+        }
+    }
+
+    #[test]
+    fn truncated_binary_always_errs(g in arb_graph(40, 120), cut in any::<usize>()) {
+        use gorder::graph::io::{read_binary, write_binary};
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // the format has a fixed total size, so every strict prefix is bad
+        buf.truncate(cut % buf.len());
+        prop_assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_matrix_market_always_errs(g in arb_graph(30, 80), cut in any::<usize>()) {
+        use gorder::graph::io_mm::{read_matrix_market, write_matrix_market};
+        prop_assume!(g.m() > 0);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        // cut before the final entry line starts: at least one declared
+        // entry is missing, so the header count can never be satisfied
+        let text = std::str::from_utf8(&buf).unwrap();
+        let last_line_start = text.trim_end().rfind('\n').unwrap() + 1;
+        buf.truncate(cut % last_line_start);
+        prop_assert!(read_matrix_market(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn matrix_market_with_huge_id_always_errs(
+        g in arb_graph(20, 60),
+        big in (u32::MAX as u64)..u64::MAX,
+    ) {
+        use gorder::graph::io_mm::{read_matrix_market, write_matrix_market};
+        use gorder::graph::io::GraphIoError;
+        prop_assume!(g.m() > 0);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        // overwrite the last entry with a coordinate beyond the declared dims
+        let text = std::str::from_utf8(&buf).unwrap();
+        let last_line_start = text.trim_end().rfind('\n').unwrap() + 1;
+        let corrupted = format!("{}1 {big}\n", &text[..last_line_start]);
+        prop_assert!(matches!(
+            read_matrix_market(corrupted.as_bytes()),
+            Err(GraphIoError::IdOutOfRange { .. })
+        ));
+    }
+
+    #[test]
     fn readers_never_panic_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         // robustness: arbitrary input may error, must not panic
         let _ = gorder::graph::io::read_edge_list(&bytes[..]);
