@@ -4,57 +4,16 @@
 //! from every still-unvisited node in ascending id order, so every node and
 //! every out-edge is touched exactly once regardless of connectivity.
 //! Neighbours are visited in ascending id order (the CSR order).
+//!
+//! Implemented by the engine's BFS kernel (level-synchronous, one
+//! frontier level per engine iterate — the visit order is identical to
+//! the classic FIFO formulation); this module re-exports the convenience
+//! function and wraps the kernel as a [`GraphAlgorithm`].
 
-use crate::{GraphAlgorithm, RunCtx};
-use gorder_graph::{Graph, NodeId};
+use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use gorder_graph::Graph;
 
-/// Result of a full-coverage BFS.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BfsResult {
-    /// `depth[u]` within its own BFS tree (every node is in exactly one).
-    pub depth: Vec<u32>,
-    /// Nodes in visit order.
-    pub order: Vec<NodeId>,
-    /// Number of nodes reached from the primary source (before restarts).
-    pub primary_reached: u32,
-}
-
-/// Runs a full-coverage BFS starting at `source`.
-pub fn bfs(g: &Graph, source: NodeId) -> BfsResult {
-    let n = g.n() as usize;
-    let mut depth = vec![u32::MAX; n];
-    let mut order: Vec<NodeId> = Vec::with_capacity(n);
-    let mut primary_reached = 0;
-    let starts = std::iter::once(source).chain(g.nodes());
-    for s in starts {
-        if n == 0 || depth[s as usize] != u32::MAX {
-            continue;
-        }
-        depth[s as usize] = 0;
-        let frontier_start = order.len();
-        order.push(s);
-        let mut head = frontier_start;
-        while head < order.len() {
-            let u = order[head];
-            head += 1;
-            let du = depth[u as usize];
-            for &v in g.out_neighbors(u) {
-                if depth[v as usize] == u32::MAX {
-                    depth[v as usize] = du + 1;
-                    order.push(v);
-                }
-            }
-        }
-        if s == source {
-            primary_reached = (order.len() - frontier_start) as u32;
-        }
-    }
-    BfsResult {
-        depth,
-        order,
-        primary_reached,
-    }
-}
+pub use gorder_engine::kernels::bfs::{bfs, BfsKernel, BfsResult};
 
 /// [`GraphAlgorithm`] wrapper for BFS.
 pub struct Bfs;
@@ -65,19 +24,11 @@ impl GraphAlgorithm for Bfs {
     }
 
     fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
-        if g.n() == 0 {
-            return 0;
-        }
-        let r = bfs(g, ctx.source_for(g));
-        // Depths from the primary source are invariant under relabeling
-        // (BFS level sets do not depend on visit order within a level);
-        // restart-tree depths are not, so only count the primary tree.
-        // order[0..primary_reached] is exactly the primary tree.
-        r.order[..r.primary_reached as usize]
-            .iter()
-            .fold(u64::from(r.primary_reached), |acc, &u| {
-                acc.wrapping_add(u64::from(r.depth[u as usize]))
-            })
+        self.run_stats(g, ctx).0
+    }
+
+    fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
+        engine_run("BFS", g, ctx)
     }
 }
 
@@ -152,5 +103,12 @@ mod tests {
         let r = bfs(&Graph::empty(1), 0);
         assert_eq!(r.depth, vec![0]);
         assert_eq!(r.primary_reached, 1);
+    }
+
+    #[test]
+    fn stats_count_every_edge_once() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let (_, stats) = Bfs.run_stats(&g, &RunCtx::default());
+        assert_eq!(stats.edges_relaxed, g.m());
     }
 }

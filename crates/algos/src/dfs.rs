@@ -5,66 +5,14 @@
 //! visited in ascending id order. The ChDFS *ordering* in `gorder-orders`
 //! is exactly this traversal's discovery order, which is why ChDFS makes
 //! the DFS *algorithm* so fast in the replication's Figure 5.
+//!
+//! Implemented by the engine's DFS kernel; this module re-exports the
+//! convenience function and wraps the kernel as a [`GraphAlgorithm`].
 
-use crate::{GraphAlgorithm, RunCtx};
-use gorder_graph::{Graph, NodeId};
+use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use gorder_graph::Graph;
 
-/// Result of a full-coverage DFS.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DfsResult {
-    /// Nodes in discovery (pre-) order.
-    pub preorder: Vec<NodeId>,
-    /// `discovery[u]` = index of `u` in `preorder`.
-    pub discovery: Vec<u32>,
-    /// Number of tree edges (n − number of restart roots).
-    pub tree_edges: u32,
-}
-
-/// Runs a full-coverage iterative DFS starting at `source`.
-///
-/// Uses the standard "stack of (node, next-child-index)" formulation so
-/// children are expanded lazily in ascending id order, exactly like the
-/// recursive definition.
-pub fn dfs(g: &Graph, source: NodeId) -> DfsResult {
-    let n = g.n() as usize;
-    let mut discovery = vec![u32::MAX; n];
-    let mut preorder: Vec<NodeId> = Vec::with_capacity(n);
-    let mut stack: Vec<(NodeId, u32)> = Vec::new();
-    let mut tree_edges = 0;
-    let starts = std::iter::once(source).chain(g.nodes());
-    for s in starts {
-        if n == 0 || discovery[s as usize] != u32::MAX {
-            continue;
-        }
-        discovery[s as usize] = preorder.len() as u32;
-        preorder.push(s);
-        stack.push((s, 0));
-        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
-            let neighbors = g.out_neighbors(u);
-            let mut advanced = false;
-            while (*next as usize) < neighbors.len() {
-                let v = neighbors[*next as usize];
-                *next += 1;
-                if discovery[v as usize] == u32::MAX {
-                    discovery[v as usize] = preorder.len() as u32;
-                    preorder.push(v);
-                    tree_edges += 1;
-                    stack.push((v, 0));
-                    advanced = true;
-                    break;
-                }
-            }
-            if !advanced {
-                stack.pop();
-            }
-        }
-    }
-    DfsResult {
-        preorder,
-        discovery,
-        tree_edges,
-    }
-}
+pub use gorder_engine::kernels::dfs::{dfs, DfsKernel, DfsResult};
 
 /// [`GraphAlgorithm`] wrapper for DFS.
 pub struct Dfs;
@@ -75,20 +23,18 @@ impl GraphAlgorithm for Dfs {
     }
 
     fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
-        if g.n() == 0 {
-            return 0;
-        }
-        let r = dfs(g, ctx.source_for(g));
-        // Node count and edge count are relabeling-invariant; discovery
-        // order is not, so the checksum sticks to invariants while still
-        // depending on the traversal having completed.
-        (r.preorder.len() as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ u64::from(r.tree_edges)
+        self.run_stats(g, ctx).0
+    }
+
+    fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
+        engine_run("DFS", g, ctx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gorder_graph::NodeId;
 
     #[test]
     fn preorder_on_tree() {

@@ -5,48 +5,18 @@
 //! seen. The paper uses `R = 5000`; the estimate's accuracy is beside the
 //! point — Diam exists in the benchmark suite as "many SP runs back to
 //! back", the heaviest workload in Figure 5.
+//!
+//! Implemented by the engine's Diam kernel (one fully-relaxed source per
+//! engine iterate, distance buffer reused across sources); this module
+//! re-exports the convenience functions and wraps the kernel as a
+//! [`GraphAlgorithm`].
 
-use crate::sp::bellman_ford;
-use crate::{GraphAlgorithm, RunCtx};
-use gorder_graph::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use gorder_graph::Graph;
 
-/// Result of a diameter estimation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DiameterResult {
-    /// Largest finite distance observed over all sampled sources.
-    pub lower_bound: u32,
-    /// Sources actually used.
-    pub sources: Vec<NodeId>,
-}
-
-/// Estimates the diameter from explicit sources (deterministic; used by
-/// tests and by cross-ordering equivalence checks with mapped sources).
-pub fn diameter_from_sources(g: &Graph, sources: &[NodeId]) -> DiameterResult {
-    let mut best = 0;
-    for &s in sources {
-        best = best.max(bellman_ford(g, s).eccentricity());
-    }
-    DiameterResult {
-        lower_bound: best,
-        sources: sources.to_vec(),
-    }
-}
-
-/// Estimates the diameter from `samples` pseudo-random sources drawn with
-/// the given seed.
-pub fn diameter(g: &Graph, samples: u32, seed: u64) -> DiameterResult {
-    if g.n() == 0 {
-        return DiameterResult {
-            lower_bound: 0,
-            sources: Vec::new(),
-        };
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sources: Vec<NodeId> = (0..samples).map(|_| rng.gen_range(0..g.n())).collect();
-    diameter_from_sources(g, &sources)
-}
+pub use gorder_engine::kernels::diameter::{
+    diameter, diameter_from_sources, DiamKernel, DiameterResult,
+};
 
 /// [`GraphAlgorithm`] wrapper for Diam.
 pub struct Diam;
@@ -57,13 +27,18 @@ impl GraphAlgorithm for Diam {
     }
 
     fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
-        u64::from(diameter(g, ctx.diameter_samples, ctx.seed).lower_bound)
+        self.run_stats(g, ctx).0
+    }
+
+    fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
+        engine_run("Diam", g, ctx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gorder_graph::NodeId;
 
     #[test]
     fn exact_on_path_when_endpoint_sampled() {
@@ -108,5 +83,16 @@ mod tests {
     #[test]
     fn empty_graph() {
         assert_eq!(diameter(&Graph::empty(0), 5, 1).lower_bound, 0);
+    }
+
+    #[test]
+    fn one_iteration_per_source() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let ctx = RunCtx {
+            diameter_samples: 3,
+            ..Default::default()
+        };
+        let (_, stats) = Diam.run_stats(&g, &ctx);
+        assert_eq!(stats.iterations, 3);
     }
 }

@@ -9,72 +9,15 @@
 //! lazy max-heap: gains only decrease, so a popped entry whose recorded
 //! gain is stale is re-pushed with its current gain instead of being acted
 //! on.
+//!
+//! Implemented by the engine's DS kernel (one selection per engine
+//! iterate); this module re-exports the convenience function and wraps
+//! the kernel as a [`GraphAlgorithm`].
 
-use crate::{GraphAlgorithm, RunCtx};
-use gorder_graph::{Graph, NodeId};
-use std::collections::BinaryHeap;
+use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use gorder_graph::Graph;
 
-/// Result of the greedy dominating-set construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DomSetResult {
-    /// Selected nodes, in selection order.
-    pub set: Vec<NodeId>,
-    /// `covered_by[u]` = the selected node that first covered `u`.
-    pub covered_by: Vec<NodeId>,
-}
-
-impl DomSetResult {
-    /// Size of the dominating set.
-    pub fn size(&self) -> u32 {
-        self.set.len() as u32
-    }
-}
-
-/// Runs the greedy dominating-set algorithm.
-pub fn dominating_set(g: &Graph) -> DomSetResult {
-    let n = g.n() as usize;
-    let mut gain: Vec<u32> = g.nodes().map(|u| g.out_degree(u) + 1).collect();
-    let mut covered = vec![false; n];
-    let mut covered_by = vec![NodeId::MAX; n];
-    let mut set: Vec<NodeId> = Vec::new();
-    let mut heap: BinaryHeap<(u32, NodeId)> =
-        (0..n as u32).map(|u| (gain[u as usize], u)).collect();
-    let mut remaining = n;
-
-    while remaining > 0 {
-        let (claimed, u) = heap.pop().expect("uncovered nodes imply positive gains");
-        let current = gain[u as usize];
-        if claimed != current {
-            heap.push((current, u)); // stale entry: requeue with true gain
-            continue;
-        }
-        if current == 0 {
-            continue; // everything u covers is already covered
-        }
-        set.push(u);
-        // Cover u and its out-neighbours; each newly covered node w lowers
-        // the gain of every potential coverer of w (w itself and in(w)).
-        let mut newly: Vec<NodeId> = Vec::with_capacity(g.out_degree(u) as usize + 1);
-        if !covered[u as usize] {
-            newly.push(u);
-        }
-        for &w in g.out_neighbors(u) {
-            if !covered[w as usize] {
-                newly.push(w);
-            }
-        }
-        for &w in &newly {
-            covered[w as usize] = true;
-            covered_by[w as usize] = u;
-            remaining -= 1;
-            gain[w as usize] -= 1;
-            for &z in g.in_neighbors(w) {
-                gain[z as usize] -= 1;
-            }
-        }
-    }
-    DomSetResult { set, covered_by }
-}
+pub use gorder_engine::kernels::domset::{dominating_set, DomSetResult, DsKernel};
 
 /// [`GraphAlgorithm`] wrapper for DS.
 pub struct Ds;
@@ -84,17 +27,19 @@ impl GraphAlgorithm for Ds {
         "DS"
     }
 
-    fn run(&self, g: &Graph, _ctx: &RunCtx) -> u64 {
-        // Greedy tie-breaking depends on ids, so the exact set is not
-        // relabeling-invariant; the size is stable enough to be the
-        // reported quantity (and what the paper's runtime depends on).
-        u64::from(dominating_set(g).size())
+    fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
+        self.run_stats(g, ctx).0
+    }
+
+    fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
+        engine_run("DS", g, ctx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gorder_graph::NodeId;
 
     fn assert_dominating(g: &Graph, r: &DomSetResult) {
         let mut covered = vec![false; g.n() as usize];

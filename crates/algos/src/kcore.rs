@@ -9,82 +9,20 @@
 //! Two implementations, identical results:
 //!
 //! * [`kcore`] — the O(m) bucket-queue peeling of Batagelj–Zaveršnik,
+//!   implemented as the engine's Kcore kernel (one node peeled per engine
+//!   iterate) and re-exported here,
 //! * [`kcore_binary_heap`] — the O(m log n) lazy binary-heap variant the
-//!   replication used.
+//!   replication used, kept native in this crate.
 //!
 //! The harness benches them against each other (an ablation the
 //! replication's "binary heap … quasi-linear" remark invites).
 
-use crate::{GraphAlgorithm, RunCtx};
+use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
 use gorder_graph::{Graph, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Result of a core decomposition.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct KcoreResult {
-    /// Core number per node.
-    pub core: Vec<u32>,
-}
-
-impl KcoreResult {
-    /// Maximum core number (the graph's degeneracy).
-    pub fn degeneracy(&self) -> u32 {
-        self.core.iter().copied().max().unwrap_or(0)
-    }
-}
-
-/// Bucket-queue peeling (Batagelj–Zaveršnik 2003), O(n + m).
-pub fn kcore(g: &Graph) -> KcoreResult {
-    let n = g.n() as usize;
-    if n == 0 {
-        return KcoreResult { core: Vec::new() };
-    }
-    let mut deg: Vec<u32> = g.nodes().map(|u| g.degree(u)).collect();
-    let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
-    // bin[d] = start index of degree-d nodes in `vert`
-    let mut bin = vec![0u32; max_deg + 2];
-    for &d in &deg {
-        bin[d as usize + 1] += 1;
-    }
-    for d in 0..=max_deg {
-        bin[d + 1] += bin[d];
-    }
-    let mut pos = vec![0u32; n];
-    let mut vert = vec![0 as NodeId; n];
-    {
-        let mut cursor = bin.clone();
-        for u in 0..n as u32 {
-            let d = deg[u as usize] as usize;
-            pos[u as usize] = cursor[d];
-            vert[cursor[d] as usize] = u;
-            cursor[d] += 1;
-        }
-    }
-    let mut core = vec![0u32; n];
-    for i in 0..n {
-        let u = vert[i];
-        core[u as usize] = deg[u as usize];
-        // peel u: decrement every still-unpeeled neighbour occurrence
-        for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
-            if deg[v as usize] > deg[u as usize] {
-                // swap v to the front of its degree bucket, shrink bucket
-                let dv = deg[v as usize] as usize;
-                let pv = pos[v as usize];
-                let pw = bin[dv];
-                let w = vert[pw as usize];
-                if v != w {
-                    vert.swap(pv as usize, pw as usize);
-                    pos[v as usize] = pw;
-                    pos[w as usize] = pv;
-                }
-                bin[dv] += 1;
-                deg[v as usize] -= 1;
-            }
-        }
-    }
-    KcoreResult { core }
-}
+pub use gorder_engine::kernels::kcore::{kcore, KcoreKernel, KcoreResult};
 
 /// Lazy binary-heap peeling, O(m log n). Same result as [`kcore`].
 pub fn kcore_binary_heap(g: &Graph) -> KcoreResult {
@@ -124,13 +62,12 @@ impl GraphAlgorithm for Kcore {
         "Kcore"
     }
 
-    fn run(&self, g: &Graph, _ctx: &RunCtx) -> u64 {
-        // Core numbers are relabeling-invariant per logical node, so the
-        // sum of squares is an invariant fingerprint.
-        kcore(g)
-            .core
-            .iter()
-            .fold(0u64, |a, &c| a.wrapping_add(u64::from(c) * u64::from(c)))
+    fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
+        self.run_stats(g, ctx).0
+    }
+
+    fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
+        engine_run("Kcore", g, ctx)
     }
 }
 

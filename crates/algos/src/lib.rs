@@ -26,6 +26,14 @@
 //! relabeling-invariant quantities (level sums, component-size polynomials,
 //! …) wherever an algorithm's output is itself invariant.
 //!
+//! The nine paper algorithms are implemented once, as `gorder-engine`
+//! kernels; this crate re-exports the engine's result types and
+//! convenience functions and wraps each kernel in a [`GraphAlgorithm`]
+//! adapter. [`GraphAlgorithm::run_stats`] surfaces the engine's
+//! [`KernelStats`] (iterations, edges relaxed, frontier occupancy, phase
+//! timings); the extension algorithms keep local implementations and
+//! report default (empty) stats.
+//!
 //! Algorithms visit out-neighbours in ascending id order ("lexicographic",
 //! the natural CSR order) to match the replication's convention.
 
@@ -43,45 +51,17 @@ pub mod sp;
 pub mod triangles;
 pub mod wcc;
 
-use gorder_graph::{Graph, NodeId};
+use gorder_graph::Graph;
 
-/// Shared run parameters for the benchmark suite.
+/// Shared run parameters for the benchmark suite (the engine's
+/// [`gorder_engine::KernelCtx`] under its historical name).
 ///
 /// The harness maps `source` through each ordering's permutation, so every
 /// ordering computes from the same *logical* node.
-#[derive(Debug, Clone)]
-pub struct RunCtx {
-    /// Source node for BFS/SP. `None` selects the graph's max-degree node.
-    pub source: Option<NodeId>,
-    /// PageRank power iterations (paper: 100).
-    pub pr_iterations: u32,
-    /// PageRank damping factor (paper: 0.85).
-    pub damping: f64,
-    /// Number of random sources for the diameter estimate (paper: 5000;
-    /// scaled down for laptop-size graphs).
-    pub diameter_samples: u32,
-    /// Seed for diameter source sampling.
-    pub seed: u64,
-}
+pub use gorder_engine::KernelCtx as RunCtx;
 
-impl Default for RunCtx {
-    fn default() -> Self {
-        RunCtx {
-            source: None,
-            pr_iterations: 100,
-            damping: 0.85,
-            diameter_samples: 16,
-            seed: 0xD1A,
-        }
-    }
-}
-
-impl RunCtx {
-    /// Resolves the effective source node for `g`.
-    pub fn source_for(&self, g: &Graph) -> NodeId {
-        self.source.or_else(|| g.max_degree_node()).unwrap_or(0)
-    }
-}
+/// Per-run execution metrics (re-exported from the engine).
+pub use gorder_engine::KernelStats;
 
 /// A benchmark algorithm: runs over a graph and returns a checksum that
 /// (a) depends on the computed result, so work cannot be elided, and
@@ -91,6 +71,20 @@ pub trait GraphAlgorithm: Send + Sync {
     fn name(&self) -> &'static str;
     /// Runs the algorithm.
     fn run(&self, g: &Graph, ctx: &RunCtx) -> u64;
+    /// Runs the algorithm and also reports execution metrics. The nine
+    /// engine-backed paper algorithms return real [`KernelStats`];
+    /// algorithms without engine instrumentation fall back to default
+    /// (zeroed) stats.
+    fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
+        (self.run(g, ctx), KernelStats::default())
+    }
+}
+
+/// Runs the engine kernel labelled `name` and unpacks checksum + stats.
+pub(crate) fn engine_run(name: &'static str, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
+    let run = gorder_engine::run_by_name(name, g, ctx)
+        .unwrap_or_else(|| panic!("{name} is a registered engine kernel"));
+    (run.checksum, run.stats)
 }
 
 /// All nine algorithms in the paper's presentation order.
@@ -121,9 +115,12 @@ pub fn extended() -> Vec<Box<dyn GraphAlgorithm>> {
     algos
 }
 
-/// Looks an algorithm up by its paper label (searches the extended set).
+/// Looks an algorithm up by its paper label, case-insensitively
+/// (searches the extended set).
 pub fn by_name(name: &str) -> Option<Box<dyn GraphAlgorithm>> {
-    extended().into_iter().find(|a| a.name() == name)
+    extended()
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -162,6 +159,41 @@ mod tests {
             assert_eq!(by_name(a.name()).unwrap().name(), a.name());
         }
         assert!(by_name("XX").is_none());
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert_eq!(by_name("bfs").unwrap().name(), "BFS");
+        assert_eq!(by_name("KCORE").unwrap().name(), "Kcore");
+        assert_eq!(by_name("wcc").unwrap().name(), "WCC");
+    }
+
+    #[test]
+    fn run_stats_checksum_matches_run() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let ctx = RunCtx {
+            pr_iterations: 5,
+            diameter_samples: 2,
+            ..Default::default()
+        };
+        for a in extended() {
+            let (checksum, _) = a.run_stats(&g, &ctx);
+            assert_eq!(checksum, a.run(&g, &ctx), "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn paper_algorithms_report_engine_stats() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let ctx = RunCtx {
+            pr_iterations: 3,
+            diameter_samples: 2,
+            ..Default::default()
+        };
+        for a in all() {
+            let (_, stats) = a.run_stats(&g, &ctx);
+            assert!(stats.iterations > 0, "{} reported no iterations", a.name());
+        }
     }
 
     #[test]

@@ -6,25 +6,14 @@
 //! `q_u = Σ_{v ∈ N_u} d_v`. The degree lookup `d_v` is the cache-sensitive
 //! access — neighbours with nearby ids hit the same cache lines of the
 //! degree array.
+//!
+//! Implemented by the engine's NQ kernel; this module re-exports the
+//! convenience function and wraps the kernel as a [`GraphAlgorithm`].
 
-use crate::{GraphAlgorithm, RunCtx};
+use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
 use gorder_graph::Graph;
 
-/// Computes `q_u = Σ_{v ∈ out(u)} out_degree(v)` for every node.
-pub fn neighbor_query(g: &Graph) -> Vec<u64> {
-    // Materialise the degree array once: the benchmark's random accesses
-    // go through this array, exactly like a per-node attribute would.
-    let degree: Vec<u32> = g.nodes().map(|u| g.out_degree(u)).collect();
-    let mut q = vec![0u64; g.n() as usize];
-    for u in g.nodes() {
-        let mut sum = 0u64;
-        for &v in g.out_neighbors(u) {
-            sum += u64::from(degree[v as usize]);
-        }
-        q[u as usize] = sum;
-    }
-    q
-}
+pub use gorder_engine::kernels::nq::{neighbor_query, NqKernel};
 
 /// [`GraphAlgorithm`] wrapper for NQ.
 pub struct Nq;
@@ -34,11 +23,12 @@ impl GraphAlgorithm for Nq {
         "NQ"
     }
 
-    fn run(&self, g: &Graph, _ctx: &RunCtx) -> u64 {
-        // The total Σ q_u is invariant under relabeling.
-        neighbor_query(g)
-            .iter()
-            .fold(0u64, |a, &x| a.wrapping_add(x))
+    fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
+        self.run_stats(g, ctx).0
+    }
+
+    fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
+        engine_run("NQ", g, ctx)
     }
 }
 
@@ -84,5 +74,12 @@ mod tests {
         for u in 0..3u32 {
             assert_eq!(q0[u as usize], q1[perm.apply(u) as usize]);
         }
+    }
+
+    #[test]
+    fn checksum_is_total_of_query_values() {
+        let gg = g();
+        let total: u64 = neighbor_query(&gg).iter().sum();
+        assert_eq!(Nq.run(&gg, &RunCtx::default()), total);
     }
 }

@@ -11,72 +11,16 @@
 //! at 100 (the paper's approximation). The pull over `in(u)` produces the
 //! random reads into the rank array whose locality the ordering controls —
 //! PR is the paper's flagship cache-bound workload (Tables 3–4).
+//!
+//! Implemented by the engine's PR kernel (one power iteration per engine
+//! iterate, identical floating-point accumulation order); this module
+//! re-exports the convenience function and wraps the kernel as a
+//! [`GraphAlgorithm`].
 
-use crate::{GraphAlgorithm, RunCtx};
+use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
 use gorder_graph::Graph;
 
-/// Result of a PageRank run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PageRankResult {
-    /// Final rank per node; sums to 1 (within FP error).
-    pub rank: Vec<f64>,
-    /// Iterations executed.
-    pub iterations: u32,
-}
-
-impl PageRankResult {
-    /// Index of the highest-ranked node (smallest id on ties).
-    pub fn top_node(&self) -> Option<u32> {
-        self.rank
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
-            .map(|(i, _)| i as u32)
-    }
-}
-
-/// Runs `iterations` rounds of the power method with damping `alpha`.
-pub fn pagerank(g: &Graph, iterations: u32, alpha: f64) -> PageRankResult {
-    let n = g.n() as usize;
-    if n == 0 {
-        return PageRankResult {
-            rank: Vec::new(),
-            iterations,
-        };
-    }
-    let inv_n = 1.0 / n as f64;
-    // Precompute 1/outdeg to turn the inner loop into mul-adds.
-    let inv_out: Vec<f64> = g
-        .nodes()
-        .map(|u| {
-            let d = g.out_degree(u);
-            if d == 0 {
-                0.0
-            } else {
-                1.0 / f64::from(d)
-            }
-        })
-        .collect();
-    let mut rank = vec![inv_n; n];
-    let mut next = vec![0.0f64; n];
-    for _ in 0..iterations {
-        let dangling: f64 = g
-            .nodes()
-            .filter(|&u| g.out_degree(u) == 0)
-            .map(|u| rank[u as usize])
-            .sum();
-        let base = (1.0 - alpha) * inv_n + alpha * dangling * inv_n;
-        for u in g.nodes() {
-            let mut acc = 0.0;
-            for &x in g.in_neighbors(u) {
-                acc += rank[x as usize] * inv_out[x as usize];
-            }
-            next[u as usize] = base + alpha * acc;
-        }
-        std::mem::swap(&mut rank, &mut next);
-    }
-    PageRankResult { rank, iterations }
-}
+pub use gorder_engine::kernels::pagerank::{pagerank, PageRankResult, PrKernel};
 
 /// [`GraphAlgorithm`] wrapper for PR.
 pub struct Pr;
@@ -87,11 +31,11 @@ impl GraphAlgorithm for Pr {
     }
 
     fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
-        let r = pagerank(g, ctx.pr_iterations, ctx.damping);
-        // Quantised total mass: invariant under relabeling up to FP
-        // summation order; coarse quantisation (1e6) absorbs that.
-        let total: f64 = r.rank.iter().sum();
-        (total * 1e6).round() as u64
+        self.run_stats(g, ctx).0
+    }
+
+    fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
+        engine_run("PR", g, ctx)
     }
 }
 
@@ -174,5 +118,17 @@ mod tests {
         let r = pagerank(&Graph::empty(0), 10, 0.85);
         assert!(r.rank.is_empty());
         assert_eq!(Pr.run(&Graph::empty(0), &RunCtx::default()), 0);
+    }
+
+    #[test]
+    fn stats_count_one_iteration_per_round() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let ctx = RunCtx {
+            pr_iterations: 7,
+            ..Default::default()
+        };
+        let (_, stats) = Pr.run_stats(&g, &ctx);
+        assert_eq!(stats.iterations, 7);
+        assert_eq!(stats.edges_relaxed, 7 * g.m());
     }
 }

@@ -3,98 +3,14 @@
 //! Iterative formulation of Tarjan 1972 (the replication's choice): one
 //! DFS pass maintaining discovery indices and low-links, components popped
 //! off an auxiliary stack when a root is found. Linear in n + m.
+//!
+//! Implemented by the engine's SCC kernel; this module re-exports the
+//! convenience function and wraps the kernel as a [`GraphAlgorithm`].
 
-use crate::{GraphAlgorithm, RunCtx};
-use gorder_graph::{Graph, NodeId};
+use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use gorder_graph::Graph;
 
-/// Result of an SCC decomposition.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SccResult {
-    /// `component[u]` = dense component id (0-based, reverse topological
-    /// discovery order as in Tarjan).
-    pub component: Vec<u32>,
-    /// Size of each component.
-    pub sizes: Vec<u32>,
-}
-
-impl SccResult {
-    /// Number of strongly connected components.
-    pub fn count(&self) -> u32 {
-        self.sizes.len() as u32
-    }
-
-    /// Size of the largest component (0 on the empty graph).
-    pub fn largest(&self) -> u32 {
-        self.sizes.iter().copied().max().unwrap_or(0)
-    }
-}
-
-const UNVISITED: u32 = u32::MAX;
-
-/// Computes strongly connected components with iterative Tarjan.
-pub fn scc(g: &Graph) -> SccResult {
-    let n = g.n() as usize;
-    let mut index = vec![UNVISITED; n];
-    let mut lowlink = vec![0u32; n];
-    let mut on_stack = vec![false; n];
-    let mut component = vec![UNVISITED; n];
-    let mut sizes: Vec<u32> = Vec::new();
-    let mut stack: Vec<NodeId> = Vec::new();
-    let mut next_index = 0u32;
-    // call frames: (node, next child offset)
-    let mut frames: Vec<(NodeId, u32)> = Vec::new();
-
-    for root in g.nodes() {
-        if index[root as usize] != UNVISITED {
-            continue;
-        }
-        frames.push((root, 0));
-        index[root as usize] = next_index;
-        lowlink[root as usize] = next_index;
-        next_index += 1;
-        stack.push(root);
-        on_stack[root as usize] = true;
-
-        while let Some(&mut (u, ref mut child)) = frames.last_mut() {
-            let neighbors = g.out_neighbors(u);
-            if (*child as usize) < neighbors.len() {
-                let v = neighbors[*child as usize];
-                *child += 1;
-                if index[v as usize] == UNVISITED {
-                    index[v as usize] = next_index;
-                    lowlink[v as usize] = next_index;
-                    next_index += 1;
-                    stack.push(v);
-                    on_stack[v as usize] = true;
-                    frames.push((v, 0));
-                } else if on_stack[v as usize] {
-                    lowlink[u as usize] = lowlink[u as usize].min(index[v as usize]);
-                }
-            } else {
-                frames.pop();
-                if let Some(&(parent, _)) = frames.last() {
-                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[u as usize]);
-                }
-                if lowlink[u as usize] == index[u as usize] {
-                    // u is a root: pop its component
-                    let id = sizes.len() as u32;
-                    let mut size = 0;
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
-                        on_stack[w as usize] = false;
-                        component[w as usize] = id;
-                        size += 1;
-                        if w == u {
-                            break;
-                        }
-                    }
-                    sizes.push(size);
-                }
-            }
-        }
-    }
-    SccResult { component, sizes }
-}
+pub use gorder_engine::kernels::scc::{scc, SccKernel, SccResult};
 
 /// [`GraphAlgorithm`] wrapper for SCC.
 pub struct Scc;
@@ -104,20 +20,19 @@ impl GraphAlgorithm for Scc {
         "SCC"
     }
 
-    fn run(&self, g: &Graph, _ctx: &RunCtx) -> u64 {
-        let r = scc(g);
-        // Component count and the multiset of sizes are invariant under
-        // relabeling; Σ size² is a cheap multiset fingerprint.
-        r.sizes.iter().fold(u64::from(r.count()), |acc, &s| {
-            acc.wrapping_add(u64::from(s) * u64::from(s))
-        })
+    fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
+        self.run_stats(g, ctx).0
+    }
+
+    fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
+        engine_run("SCC", g, ctx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gorder_graph::Permutation;
+    use gorder_graph::{NodeId, Permutation};
 
     #[test]
     fn single_cycle_is_one_component() {

@@ -6,70 +6,15 @@
 //! distances that is O(Δ·m) for graph diameter Δ — cheap on small-diameter
 //! real-world graphs, and its full-edge-scan access pattern is exactly the
 //! kind of attribute-array traffic that node ordering accelerates.
+//!
+//! Implemented by the engine's SP kernel (one relaxation round per engine
+//! iterate); this module re-exports the convenience function and wraps
+//! the kernel as a [`GraphAlgorithm`].
 
-use crate::{GraphAlgorithm, RunCtx};
-use gorder_graph::{Graph, NodeId};
+use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use gorder_graph::Graph;
 
-/// Distance value for unreachable nodes.
-pub const UNREACHABLE: u32 = u32::MAX;
-
-/// Result of a Bellman–Ford run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SpResult {
-    /// Hop distance from the source (`UNREACHABLE` if not reachable).
-    pub dist: Vec<u32>,
-    /// Number of full-edge-scan rounds executed (≤ diameter + 1).
-    pub rounds: u32,
-}
-
-impl SpResult {
-    /// Number of reachable nodes (including the source).
-    pub fn reached(&self) -> u32 {
-        self.dist.iter().filter(|&&d| d != UNREACHABLE).count() as u32
-    }
-
-    /// Maximum finite distance (the source's eccentricity).
-    pub fn eccentricity(&self) -> u32 {
-        self.dist
-            .iter()
-            .copied()
-            .filter(|&d| d != UNREACHABLE)
-            .max()
-            .unwrap_or(0)
-    }
-}
-
-/// Round-based Bellman–Ford from `source` over unit edge weights.
-pub fn bellman_ford(g: &Graph, source: NodeId) -> SpResult {
-    let n = g.n() as usize;
-    let mut dist = vec![UNREACHABLE; n];
-    if n == 0 {
-        return SpResult { dist, rounds: 0 };
-    }
-    dist[source as usize] = 0;
-    let mut rounds = 0;
-    loop {
-        rounds += 1;
-        let mut changed = false;
-        for u in g.nodes() {
-            let du = dist[u as usize];
-            if du == UNREACHABLE {
-                continue;
-            }
-            let cand = du + 1;
-            for &v in g.out_neighbors(u) {
-                if cand < dist[v as usize] {
-                    dist[v as usize] = cand;
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    SpResult { dist, rounds }
-}
+pub use gorder_engine::kernels::sp::{bellman_ford, SpKernel, SpResult, UNREACHABLE};
 
 /// [`GraphAlgorithm`] wrapper for SP.
 pub struct Sp;
@@ -80,15 +25,11 @@ impl GraphAlgorithm for Sp {
     }
 
     fn run(&self, g: &Graph, ctx: &RunCtx) -> u64 {
-        if g.n() == 0 {
-            return 0;
-        }
-        let r = bellman_ford(g, ctx.source_for(g));
-        // Distances from a mapped source are invariant under relabeling.
-        r.dist
-            .iter()
-            .filter(|&&d| d != UNREACHABLE)
-            .fold(0u64, |a, &d| a.wrapping_add(u64::from(d)).wrapping_add(1))
+        self.run_stats(g, ctx).0
+    }
+
+    fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
+        engine_run("SP", g, ctx)
     }
 }
 

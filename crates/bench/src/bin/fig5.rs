@@ -63,6 +63,9 @@ fn main() {
                 c.ordering.clone(),
                 format!("{:.6}", c.seconds),
                 c.checksum.to_string(),
+                c.stats.iterations.to_string(),
+                c.stats.edges_relaxed.to_string(),
+                c.stats.frontier_peak.to_string(),
             ]
         })
         .collect();
@@ -73,7 +76,16 @@ fn main() {
     };
     match write_csv(
         csv_name,
-        &["dataset", "algo", "ordering", "seconds", "checksum"],
+        &[
+            "dataset",
+            "algo",
+            "ordering",
+            "seconds",
+            "checksum",
+            "iterations",
+            "edges_relaxed",
+            "frontier_peak",
+        ],
         &csv_rows,
     ) {
         Ok(p) => eprintln!("[fig5] wrote {}", p.display()),

@@ -9,6 +9,7 @@
 //! near-first elsewhere; RCM and ChDFS its only real challengers; Random
 //! last almost always, LDG just above it.
 
+use gorder_algos::KernelStats;
 use gorder_bench::fmt::{read_csv, Table};
 use gorder_bench::{rank_counts, run_grid, CellResult, GridConfig, HarnessArgs};
 use std::path::Path;
@@ -56,19 +57,41 @@ fn load_or_run(args: &HarnessArgs) -> Vec<CellResult> {
     } else {
         Path::new("results/fig5.csv")
     };
+    // Accept both CSV generations: the historical five columns and the
+    // current eight (with engine counters appended by fig5).
+    let known: [&[&str]; 2] = [
+        &["dataset", "algo", "ordering", "seconds", "checksum"],
+        &[
+            "dataset",
+            "algo",
+            "ordering",
+            "seconds",
+            "checksum",
+            "iterations",
+            "edges_relaxed",
+            "frontier_peak",
+        ],
+    ];
     if path.exists() {
         if let Ok((header, rows)) = read_csv(path) {
-            if header == ["dataset", "algo", "ordering", "seconds", "checksum"] {
+            if known.iter().any(|k| header == *k) {
                 eprintln!("[fig6] using cached {}", path.display());
                 return rows
                     .into_iter()
                     .filter_map(|r| {
+                        let stats = KernelStats {
+                            iterations: r.get(5).and_then(|s| s.parse().ok()).unwrap_or(0),
+                            edges_relaxed: r.get(6).and_then(|s| s.parse().ok()).unwrap_or(0),
+                            frontier_peak: r.get(7).and_then(|s| s.parse().ok()).unwrap_or(0),
+                            ..KernelStats::default()
+                        };
                         Some(CellResult {
                             dataset: r.first()?.clone(),
                             algo: r.get(1)?.clone(),
                             ordering: r.get(2)?.clone(),
                             seconds: r.get(3)?.parse().ok()?,
                             checksum: r.get(4)?.parse().ok()?,
+                            stats,
                         })
                     })
                     .collect();

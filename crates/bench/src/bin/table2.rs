@@ -5,6 +5,7 @@
 //! SlashBurn/LDG moderate, MinLA < MinLogA expensive, Gorder the most
 //! expensive and visibly super-linear in m.
 
+use gorder_algos::{GraphAlgorithm, RunCtx};
 use gorder_bench::fmt::{write_csv, Table};
 use gorder_bench::robust::guarded_ordering;
 use gorder_bench::timing::{pretty_secs, time_once};
@@ -48,29 +49,48 @@ fn main() {
             // Guarded: a panicking or runaway ordering marks its cell
             // and the table continues, instead of the whole run dying.
             let (secs, outcome) = time_once(|| guarded_ordering(o, g, timeout));
-            let (shown, note) = match outcome {
+            let (shown, note, perm) = match outcome {
                 ExecOutcome::Completed(perm) => {
                     assert_eq!(perm.len(), g.n(), "invalid permutation from {}", o.name());
-                    (pretty_secs(secs), None)
+                    (pretty_secs(secs), None, Some(perm))
                 }
                 ExecOutcome::Degraded(perm, reason) => {
                     assert_eq!(perm.len(), g.n(), "invalid permutation from {}", o.name());
                     (
                         format!("{}*", pretty_secs(secs)),
                         Some(format!("degraded: {reason}")),
+                        Some(perm),
                     )
                 }
-                ExecOutcome::TimedOut => ("timeout".to_string(), Some("timed out".to_string())),
-                ExecOutcome::Failed(msg) => ("failed".to_string(), Some(msg)),
+                ExecOutcome::TimedOut => {
+                    ("timeout".to_string(), Some("timed out".to_string()), None)
+                }
+                ExecOutcome::Failed(msg) => ("failed".to_string(), Some(msg), None),
             };
             if let Some(note) = note {
                 skips.push(format!("{} on {}: {note}", o.name(), d.name));
             }
+            // Layout sanity probe: one engine BFS on the relabeled graph.
+            // Equal work counters across orderings confirm every layout
+            // solves the same instance; empty cells mark unusable layouts.
+            let (bfs_iters, bfs_edges) = match &perm {
+                Some(perm) => {
+                    let rg = g.relabel(perm);
+                    let (_, stats) = gorder_algos::bfs::Bfs.run_stats(&rg, &RunCtx::default());
+                    (
+                        stats.iterations.to_string(),
+                        stats.edges_relaxed.to_string(),
+                    )
+                }
+                None => (String::new(), String::new()),
+            };
             cells.push(shown.clone());
             csv_rows.push(vec![
                 o.name().to_string(),
                 d.name.to_string(),
                 format!("{secs:.6}"),
+                bfs_iters,
+                bfs_edges,
             ]);
             eprintln!("[table2]   {} on {}: {shown}", o.name(), d.name);
         }
@@ -88,7 +108,17 @@ fn main() {
             eprintln!("[table2]   {s}");
         }
     }
-    match write_csv("table2.csv", &["ordering", "dataset", "seconds"], &csv_rows) {
+    match write_csv(
+        "table2.csv",
+        &[
+            "ordering",
+            "dataset",
+            "seconds",
+            "bfs_iterations",
+            "bfs_edges_relaxed",
+        ],
+        &csv_rows,
+    ) {
         Ok(p) => println!("\nwrote {}", p.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }

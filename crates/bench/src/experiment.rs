@@ -6,8 +6,8 @@
 //! result is a flat list of cells, one per (dataset, ordering, algorithm).
 
 use crate::timing::median_secs;
-use gorder_algos::{GraphAlgorithm, RunCtx};
-use gorder_cachesim::trace::{replay, TraceCtx};
+use gorder_algos::{GraphAlgorithm, KernelStats, RunCtx};
+use gorder_cachesim::trace::{replay_with_stats, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, StallModel, Tracer};
 use gorder_graph::datasets::Dataset;
 use gorder_orders::OrderingAlgorithm;
@@ -82,6 +82,9 @@ pub struct CellResult {
     /// Checksum of the last run (work-elision guard; relabeling-invariant
     /// where the algorithm's output is).
     pub checksum: u64,
+    /// Engine execution metrics of the last run (zeroed for algorithms
+    /// without engine instrumentation).
+    pub stats: KernelStats,
 }
 
 fn selected<T, F: Fn(&T) -> &str>(all: Vec<T>, filter: &Option<Vec<String>>, name: F) -> Vec<T> {
@@ -118,13 +121,22 @@ pub fn run_grid(cfg: &GridConfig) -> Vec<CellResult> {
                 ..base_ctx.clone()
             };
             for a in &algos {
-                let (secs, checksum) = median_secs(|| a.run(&rg, &ctx), cfg.reps);
+                let mut stats = KernelStats::default();
+                let (secs, checksum) = median_secs(
+                    || {
+                        let (checksum, s) = a.run_stats(&rg, &ctx);
+                        stats = s;
+                        checksum
+                    },
+                    cfg.reps,
+                );
                 cells.push(CellResult {
                     dataset: d.name.to_string(),
                     algo: a.name().to_string(),
                     ordering: o.name().to_string(),
                     seconds: secs,
                     checksum,
+                    stats,
                 });
             }
             eprintln!("[grid]   {} done", o.name());
@@ -185,7 +197,7 @@ pub fn run_grid_sim(cfg: &GridConfig) -> Vec<CellResult> {
             };
             for &name in &algo_names {
                 let mut tracer = Tracer::new(CacheHierarchy::new(&hconfig));
-                let checksum = replay(name, &rg, &mut tracer, &tctx)
+                let (checksum, stats) = replay_with_stats(name, &rg, &mut tracer, &tctx)
                     .expect("TRACED_ALGOS entries all have replayers");
                 let cycles = tracer.breakdown(&model).total();
                 cells.push(CellResult {
@@ -194,6 +206,7 @@ pub fn run_grid_sim(cfg: &GridConfig) -> Vec<CellResult> {
                     ordering: o.name().to_string(),
                     seconds: cycles / clock_hz,
                     checksum,
+                    stats,
                 });
             }
             eprintln!("[grid/sim]   {} done", o.name());
@@ -296,6 +309,28 @@ mod tests {
                     .find(|c| c.algo == name && c.ordering == o)
                     .unwrap();
                 assert_eq!(w.checksum, s.checksum, "{name}/{o}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_cells_carry_engine_stats() {
+        // NQ/BFS/Kcore are engine kernels: both grid modes must surface
+        // real per-kernel counters, not the zeroed default.
+        for cells in [run_grid(&tiny_cfg()), run_grid_sim(&tiny_cfg())] {
+            for c in &cells {
+                assert!(
+                    c.stats.iterations > 0,
+                    "{}/{} reported no iterations",
+                    c.algo,
+                    c.ordering
+                );
+                assert!(
+                    c.stats.edges_relaxed > 0,
+                    "{}/{} reported no edge work",
+                    c.algo,
+                    c.ordering
+                );
             }
         }
     }

@@ -120,8 +120,12 @@ mod tests {
         t.row(["only one"]);
     }
 
+    // Serialises the tests that change the process-wide working directory.
+    static CWD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn csv_roundtrip() {
+        let _guard = CWD_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("gorder_fmt_test");
         std::fs::create_dir_all(&dir).unwrap();
         let prev = std::env::current_dir().unwrap();
@@ -132,5 +136,22 @@ mod tests {
         std::env::set_current_dir(prev).unwrap();
         assert_eq!(h, vec!["k", "v"]);
         assert_eq!(r, rows);
+    }
+
+    #[test]
+    fn write_csv_creates_results_dir() {
+        let _guard = CWD_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("gorder_fmt_mkdir_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(dir.join("results"));
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let res = write_csv("made.csv", &["a"], &[vec!["1".to_string()]]);
+        let created = dir.join("results");
+        std::env::set_current_dir(prev).unwrap();
+        let path = res.unwrap();
+        assert!(created.is_dir(), "results/ not created on demand");
+        assert!(created.join("made.csv").is_file());
+        assert_eq!(path, Path::new("results").join("made.csv"));
     }
 }

@@ -127,6 +127,7 @@ mod tests {
             ordering: ord.into(),
             seconds: secs,
             checksum: 0,
+            stats: gorder_algos::KernelStats::default(),
         }
     }
 

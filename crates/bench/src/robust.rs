@@ -12,8 +12,8 @@
 
 use crate::experiment::{CellResult, GridConfig};
 use crate::timing::median_secs;
-use gorder_algos::{GraphAlgorithm, RunCtx};
-use gorder_cachesim::trace::{replay, TraceCtx};
+use gorder_algos::{GraphAlgorithm, KernelStats, RunCtx};
+use gorder_cachesim::trace::{replay_with_stats, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, StallModel, Tracer};
 use gorder_core::budget::{Budget, DegradeReason, ExecOutcome};
 use gorder_graph::Graph;
@@ -271,6 +271,7 @@ pub fn run_grid_robust_with(
                 ordering: o.name().to_string(),
                 seconds: 0.0,
                 checksum: 0,
+                stats: KernelStats::default(),
             };
             let (perm, ordering_status) = match guarded_ordering(o, &g, timeout) {
                 ExecOutcome::Completed(p) => (p, CellStatus::Completed),
@@ -316,10 +317,11 @@ pub fn run_grid_robust_with(
             for a in &algos {
                 let cell = run_algo_cell(cfg, &base_ctx, a, &rg, mapped_source, timeout, sim);
                 let status = match cell {
-                    ExecOutcome::Completed((seconds, checksum)) => {
+                    ExecOutcome::Completed((seconds, checksum, stats)) => {
                         let mut result = blank(a.name());
                         result.seconds = seconds;
                         result.checksum = checksum;
+                        result.stats = stats;
                         report.cells.push(RobustCell {
                             result,
                             status: ordering_status.clone(),
@@ -355,7 +357,7 @@ fn run_algo_cell(
     mapped_source: u32,
     timeout: Option<Duration>,
     sim: bool,
-) -> ExecOutcome<(f64, u64)> {
+) -> ExecOutcome<(f64, u64, KernelStats)> {
     let a = Arc::clone(a);
     let rg = Arc::clone(rg);
     if sim {
@@ -368,10 +370,10 @@ fn run_algo_cell(
         };
         run_guarded(timeout, move |_budget| {
             let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
-            match replay(a.name(), &rg, &mut tracer, &tctx) {
-                Some(checksum) => {
+            match replay_with_stats(a.name(), &rg, &mut tracer, &tctx) {
+                Some((checksum, stats)) => {
                     let cycles = tracer.breakdown(&StallModel::skylake()).total();
-                    ExecOutcome::Completed((cycles / 4e9, checksum))
+                    ExecOutcome::Completed((cycles / 4e9, checksum, stats))
                 }
                 None => ExecOutcome::Failed(format!("no cache-sim replayer for {}", a.name())),
             }
@@ -383,7 +385,16 @@ fn run_algo_cell(
         };
         let reps = cfg.reps;
         run_guarded(timeout, move |_budget| {
-            ExecOutcome::Completed(median_secs(|| a.run(&rg, &ctx), reps))
+            let mut stats = KernelStats::default();
+            let (secs, checksum) = median_secs(
+                || {
+                    let (checksum, s) = a.run_stats(&rg, &ctx);
+                    stats = s;
+                    checksum
+                },
+                reps,
+            );
+            ExecOutcome::Completed((secs, checksum, stats))
         })
     }
 }

@@ -1,62 +1,32 @@
-//! Per-algorithm memory-access replayers.
+//! Per-algorithm memory-access replayers, driven by the engine.
 //!
-//! Each replayer *is* the benchmark algorithm — same loops, same
-//! tie-breaks, same checksum as its `gorder-algos` twin (the test suites
-//! assert checksum equality) — except that every data reference is also
-//! pushed through the [`Tracer`]'s cache hierarchy at the address the real
-//! implementation would touch. CSR arrays and property arrays are laid out
-//! by a bump allocator exactly as consecutively allocated `Vec`s would be.
+//! The nine paper kernels live in `gorder-engine`; this module plugs a
+//! [`TracerProbe`] into them, so the *same* kernel code that produces
+//! wall-clock numbers also drives the cache model — same loops, same
+//! tie-breaks, same checksum (the test suites assert checksum equality
+//! against `gorder-algos`, which wraps the identical kernels). CSR
+//! arrays and property arrays are laid out by the tracer's bump
+//! allocator exactly as consecutively allocated `Vec`s would be.
+//!
+//! The extension replayers (WCC, Tri, LP, BC — DESIGN.md §8) predate the
+//! engine and keep their hand-rolled form in the private `extension`
+//! submodule (re-exported here as [`wcc`], [`triangles`], [`labelprop`],
+//! [`betweenness`]).
 //!
 //! Instruction fetch and stack spill traffic are not modelled; the paper's
 //! counters likewise focus on data cache (`L1-dcache-loads`, `LLC-loads`).
 
 mod extension;
-mod select;
-mod traversal;
-mod value;
 
 pub use extension::{betweenness, labelprop, triangles, wcc};
-pub use select::{ds, kcore};
-pub use traversal::{bfs, dfs, scc};
-pub use value::{diam, nq, pagerank, sp};
+
+/// Run parameters — the engine's context, shared with `gorder-algos`
+/// (which re-exports it as `RunCtx`). No longer duplicated per crate.
+pub use gorder_engine::KernelCtx as TraceCtx;
 
 use crate::tracer::{Tracer, VArray};
+use gorder_engine::{KernelStats, Probe, Slot};
 use gorder_graph::{Graph, NodeId};
-
-/// Run parameters, mirroring `gorder_algos::RunCtx` field for field (the
-/// crates don't depend on each other, so the struct is duplicated here).
-#[derive(Debug, Clone)]
-pub struct TraceCtx {
-    /// Source node for BFS/SP (`None` → max-degree node).
-    pub source: Option<NodeId>,
-    /// PageRank iterations.
-    pub pr_iterations: u32,
-    /// PageRank damping factor.
-    pub damping: f64,
-    /// Diameter source count.
-    pub diameter_samples: u32,
-    /// Seed for diameter sampling.
-    pub seed: u64,
-}
-
-impl Default for TraceCtx {
-    fn default() -> Self {
-        TraceCtx {
-            source: None,
-            pr_iterations: 100,
-            damping: 0.85,
-            diameter_samples: 16,
-            seed: 0xD1A,
-        }
-    }
-}
-
-impl TraceCtx {
-    /// Effective source for `g`.
-    pub fn source_for(&self, g: &Graph) -> NodeId {
-        self.source.or_else(|| g.max_degree_node()).unwrap_or(0)
-    }
-}
 
 /// The algorithm labels with replayers, in paper order.
 pub const TRACED_ALGOS: [&str; 9] = ["NQ", "BFS", "DFS", "SCC", "SP", "PR", "DS", "Kcore", "Diam"];
@@ -64,30 +34,136 @@ pub const TRACED_ALGOS: [&str; 9] = ["NQ", "BFS", "DFS", "SCC", "SP", "PR", "DS"
 /// The extension algorithms with replayers (DESIGN.md §8).
 pub const TRACED_EXTENSIONS: [&str; 4] = ["WCC", "Tri", "LP", "BC"];
 
-/// Dispatches a replayer by its paper label. Returns the checksum, or
-/// `None` for an unknown label.
-pub fn replay(name: &str, g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> Option<u64> {
-    Some(match name {
-        "NQ" => nq(g, t),
-        "BFS" => bfs(g, t, ctx),
-        "DFS" => dfs(g, t, ctx),
-        "SCC" => scc(g, t),
-        "SP" => sp(g, t, ctx),
-        "PR" => pagerank(g, t, ctx),
-        "DS" => ds(g, t),
-        "Kcore" => kcore(g, t),
-        "Diam" => diam(g, t, ctx),
+/// An engine [`Probe`] that forwards every kernel memory access into a
+/// [`Tracer`]'s cache hierarchy.
+///
+/// Each [`Probe::alloc`] becomes a tracer allocation (line-aligned, laid
+/// out in call order) and each [`Probe::touch`] a simulated load at the
+/// element's address. Touch indices are clamped to the registered array
+/// bounds: kernels occasionally probe one-past-the-end positions (heap
+/// sift paths on a just-emptied heap, sentinel reads on zero-length
+/// arrays), and the clamp maps those to the nearest real line instead of
+/// tripping the tracer's bounds check.
+pub struct TracerProbe<'t> {
+    tracer: &'t mut Tracer,
+    slots: Vec<VArray>,
+}
+
+impl<'t> TracerProbe<'t> {
+    /// Wraps `tracer`; arrays registered through the probe are allocated
+    /// in the tracer's address space.
+    pub fn new(tracer: &'t mut Tracer) -> Self {
+        TracerProbe {
+            tracer,
+            slots: Vec::new(),
+        }
+    }
+}
+
+impl Probe for TracerProbe<'_> {
+    fn alloc(&mut self, len: usize, elem_bytes: u64) -> Slot {
+        let slot = Slot::new(self.slots.len() as u32);
+        self.slots.push(self.tracer.alloc(len, elem_bytes));
+        slot
+    }
+
+    fn touch(&mut self, slot: Slot, i: usize) {
+        let arr = &self.slots[slot.index() as usize];
+        let clamped = i.min((arr.len() as usize).saturating_sub(1));
+        self.tracer.touch(arr, clamped);
+    }
+
+    fn op(&mut self, n: u64) {
+        self.tracer.op(n);
+    }
+}
+
+fn traced(name: &str, g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> u64 {
+    gorder_engine::run_probed(name, g, ctx, TracerProbe::new(t))
+        .unwrap_or_else(|| panic!("{name} is a registered engine kernel"))
+        .checksum
+}
+
+/// Replays NQ (neighbour query) through the cache model.
+pub fn nq(g: &Graph, t: &mut Tracer) -> u64 {
+    traced("NQ", g, t, &TraceCtx::default())
+}
+
+/// Replays BFS through the cache model.
+pub fn bfs(g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> u64 {
+    traced("BFS", g, t, ctx)
+}
+
+/// Replays DFS through the cache model.
+pub fn dfs(g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> u64 {
+    traced("DFS", g, t, ctx)
+}
+
+/// Replays SCC (Tarjan) through the cache model.
+pub fn scc(g: &Graph, t: &mut Tracer) -> u64 {
+    traced("SCC", g, t, &TraceCtx::default())
+}
+
+/// Replays SP (round-based Bellman–Ford) through the cache model.
+pub fn sp(g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> u64 {
+    traced("SP", g, t, ctx)
+}
+
+/// Replays PR (power-iteration PageRank) through the cache model.
+pub fn pagerank(g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> u64 {
+    traced("PR", g, t, ctx)
+}
+
+/// Replays DS (greedy dominating set) through the cache model.
+pub fn ds(g: &Graph, t: &mut Tracer) -> u64 {
+    traced("DS", g, t, &TraceCtx::default())
+}
+
+/// Replays Kcore (bucket-queue peeling) through the cache model.
+pub fn kcore(g: &Graph, t: &mut Tracer) -> u64 {
+    traced("Kcore", g, t, &TraceCtx::default())
+}
+
+/// Replays Diam (sampled eccentricities) through the cache model.
+pub fn diam(g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> u64 {
+    traced("Diam", g, t, ctx)
+}
+
+/// Dispatches a replayer by its paper label, returning the checksum and
+/// the engine's per-kernel statistics. Extension replayers are not
+/// engine kernels and report [`KernelStats::default`]. Returns `None`
+/// for an unknown label.
+pub fn replay_with_stats(
+    name: &str,
+    g: &Graph,
+    t: &mut Tracer,
+    ctx: &TraceCtx,
+) -> Option<(u64, KernelStats)> {
+    if gorder_engine::is_kernel(name) {
+        let run = gorder_engine::run_probed(name, g, ctx, TracerProbe::new(t))?;
+        return Some((run.checksum, run.stats));
+    }
+    let checksum = match name {
         "WCC" => wcc(g, t),
         "Tri" => triangles(g, t),
         "LP" => labelprop(g, t),
         "BC" => betweenness(g, t, ctx),
         _ => return None,
-    })
+    };
+    Some((checksum, KernelStats::default()))
+}
+
+/// Dispatches a replayer by its paper label. Returns the checksum, or
+/// `None` for an unknown label.
+pub fn replay(name: &str, g: &Graph, t: &mut Tracer, ctx: &TraceCtx) -> Option<u64> {
+    replay_with_stats(name, g, t, ctx).map(|(checksum, _)| checksum)
 }
 
 /// The four CSR arrays of a graph, allocated in the tracer's address
 /// space. Offsets are `u64` (8 B), targets `u32` (4 B), matching
-/// `gorder_graph::Graph`'s real layout.
+/// `gorder_graph::Graph`'s real layout. Used by the hand-rolled
+/// extension replayers; the nine paper kernels get the equivalent via
+/// `gorder_engine::GraphSlots` + [`TracerProbe`].
 pub(crate) struct GraphArrays {
     pub out_off: VArray,
     pub out_tgt: VArray,
@@ -125,44 +201,25 @@ impl GraphArrays {
     }
 }
 
-/// Touches a binary-heap sift path for a push into a heap of `len`
-/// elements (positions `len, len/2, …, root`).
-pub(crate) fn heap_push_touch(t: &mut Tracer, heap: &VArray, len: usize) {
-    let mut p = len;
-    loop {
-        t.touch(heap, p.min(heap.len().saturating_sub(1) as usize));
-        t.op(1);
-        if p == 0 {
-            break;
-        }
-        p /= 2;
-    }
-}
-
-/// Touches a sift-down path for a pop from a heap of `len` elements.
-pub(crate) fn heap_pop_touch(t: &mut Tracer, heap: &VArray, len: usize) {
-    if heap.is_empty() {
-        return;
-    }
-    let mut p = 0usize;
-    while p < len {
-        t.touch(heap, p.min(heap.len() as usize - 1));
-        t.op(1);
-        p = 2 * p + 1;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::hierarchy::CacheHierarchy;
+
+    fn tracer() -> Tracer {
+        Tracer::new(CacheHierarchy::xeon_e5())
+    }
+
+    fn g() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 0), (5, 3)])
+    }
 
     #[test]
     fn replay_dispatches_extensions() {
         let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
         let ctx = TraceCtx::default();
         for name in TRACED_EXTENSIONS {
-            let mut t = Tracer::new(CacheHierarchy::xeon_e5());
+            let mut t = tracer();
             assert!(replay(name, &g, &mut t, &ctx).is_some(), "{name}");
         }
     }
@@ -176,12 +233,31 @@ mod tests {
             ..Default::default()
         };
         for name in TRACED_ALGOS {
-            let mut t = Tracer::new(CacheHierarchy::xeon_e5());
+            let mut t = tracer();
             assert!(replay(name, &g, &mut t, &ctx).is_some(), "{name}");
             assert!(t.stats().l1_refs > 0, "{name} produced no references");
         }
-        let mut t = Tracer::new(CacheHierarchy::xeon_e5());
+        let mut t = tracer();
         assert!(replay("nope", &g, &mut t, &ctx).is_none());
+    }
+
+    #[test]
+    fn replay_with_stats_reports_engine_counters() {
+        let g = g();
+        let ctx = TraceCtx {
+            pr_iterations: 3,
+            diameter_samples: 2,
+            ..Default::default()
+        };
+        for name in TRACED_ALGOS {
+            let mut t = tracer();
+            let (_, stats) = replay_with_stats(name, &g, &mut t, &ctx).unwrap();
+            assert!(stats.iterations > 0, "{name} reported no iterations");
+        }
+        // extensions dispatch but carry default stats
+        let mut t = tracer();
+        let (_, stats) = replay_with_stats("WCC", &g, &mut t, &ctx).unwrap();
+        assert_eq!(stats.iterations, 0);
     }
 
     #[test]
@@ -189,8 +265,154 @@ mod tests {
         let g = Graph::empty(0);
         let ctx = TraceCtx::default();
         for name in TRACED_ALGOS {
-            let mut t = Tracer::new(CacheHierarchy::xeon_e5());
+            let mut t = tracer();
             replay(name, &g, &mut t, &ctx);
         }
+    }
+
+    #[test]
+    fn nq_checksum_value() {
+        // recompute by hand: sum over u of Σ out_degree(v)
+        let gg = g();
+        let expected: u64 = gg
+            .nodes()
+            .flat_map(|u| {
+                gg.out_neighbors(u)
+                    .iter()
+                    .map(|&v| u64::from(gg.out_degree(v)))
+            })
+            .sum();
+        let mut t = tracer();
+        assert_eq!(nq(&gg, &mut t), expected);
+    }
+
+    #[test]
+    fn bfs_checksum_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut t = tracer();
+        let ctx = TraceCtx {
+            source: Some(0),
+            ..Default::default()
+        };
+        // primary_reached = 4, depths sum = 0+1+2+3 = 6 → 10
+        assert_eq!(bfs(&g, &mut t, &ctx), 10);
+    }
+
+    #[test]
+    fn dfs_checksum_matches_formula() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut t = tracer();
+        let ctx = TraceCtx {
+            source: Some(0),
+            ..Default::default()
+        };
+        let expected = 4u64.wrapping_mul(0x9E3779B97F4A7C15) ^ 3;
+        assert_eq!(dfs(&g, &mut t, &ctx), expected);
+    }
+
+    #[test]
+    fn scc_checksum_two_components() {
+        // 3-cycle + 2-cycle: count 2, Σ size² = 9 + 4 → 15
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)]);
+        let mut t = tracer();
+        assert_eq!(scc(&g, &mut t), 15);
+    }
+
+    #[test]
+    fn traversals_touch_every_edge() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (3, 4), (2, 4)]);
+        let ctx = TraceCtx::default();
+        let mut t = tracer();
+        bfs(&g, &mut t, &ctx);
+        // at least one target read per edge
+        assert!(t.stats().l1_refs >= g.m());
+    }
+
+    #[test]
+    fn sp_eccentricity_path() {
+        let gg = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut t = tracer();
+        let ctx = TraceCtx {
+            source: Some(0),
+            ..Default::default()
+        };
+        // Σ (dist + 1) = (0+1)+(1+1)+(2+1)+(3+1) = 10
+        assert_eq!(sp(&gg, &mut t, &ctx), 10);
+    }
+
+    #[test]
+    fn diam_on_cycle() {
+        let edges: Vec<(NodeId, NodeId)> = (0..8u32).map(|u| (u, (u + 1) % 8)).collect();
+        let gg = Graph::from_edges(8, &edges);
+        let mut t = tracer();
+        let ctx = TraceCtx {
+            diameter_samples: 3,
+            ..Default::default()
+        };
+        assert_eq!(diam(&gg, &mut t, &ctx), 7);
+    }
+
+    #[test]
+    fn pagerank_mass_checksum() {
+        let mut t = tracer();
+        let ctx = TraceCtx {
+            pr_iterations: 20,
+            ..Default::default()
+        };
+        // mass conserved → checksum ≈ 1e6
+        let c = pagerank(&g(), &mut t, &ctx);
+        assert_eq!(c, 1_000_000);
+    }
+
+    #[test]
+    fn pr_reference_counts_scale_with_iterations() {
+        let gg = g();
+        let mut t1 = tracer();
+        pagerank(
+            &gg,
+            &mut t1,
+            &TraceCtx {
+                pr_iterations: 1,
+                ..Default::default()
+            },
+        );
+        let mut t10 = tracer();
+        pagerank(
+            &gg,
+            &mut t10,
+            &TraceCtx {
+                pr_iterations: 10,
+                ..Default::default()
+            },
+        );
+        assert!(t10.stats().l1_refs > 5 * t1.stats().l1_refs);
+    }
+
+    #[test]
+    fn ds_star_is_one() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut t = tracer();
+        assert_eq!(ds(&g, &mut t), 1);
+    }
+
+    #[test]
+    fn ds_isolated_count() {
+        let g = Graph::empty(4);
+        let mut t = tracer();
+        assert_eq!(ds(&g, &mut t), 4);
+    }
+
+    #[test]
+    fn kcore_triangle_checksum() {
+        // all three nodes have core 2 → Σ core² = 12
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut t = tracer();
+        assert_eq!(kcore(&g, &mut t), 12);
+    }
+
+    #[test]
+    fn kcore_empty() {
+        let mut t = tracer();
+        assert_eq!(kcore(&Graph::empty(0), &mut t), 0);
     }
 }

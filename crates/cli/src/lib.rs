@@ -17,8 +17,8 @@
 //! Formats are chosen by extension: `.mtx` Matrix Market, `.bin` the
 //! compact binary format, anything else a whitespace edge list.
 
-use gorder_algos::RunCtx;
-use gorder_cachesim::trace::{replay, TraceCtx};
+use gorder_algos::{KernelStats, RunCtx};
+use gorder_cachesim::trace::{replay_with_stats, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, StallModel, Tracer};
 use gorder_core::budget::{Budget, DegradeReason, ExecOutcome};
 use gorder_core::GorderBuilder;
@@ -82,8 +82,62 @@ impl From<GraphIoError> for CliError {
 /// reason goes to stderr, so callers can notice.
 #[derive(Debug)]
 pub struct CmdOutput {
+    /// Human-readable one-line report.
     pub report: String,
+    /// Set when a budgeted stage returned an anytime (partial) result.
     pub degraded: Option<DegradeReason>,
+    /// One JSON line of per-kernel execution metrics (`run`/`simulate`
+    /// commands only; printed by the binary under `--stats`).
+    pub stats_json: Option<String>,
+}
+
+/// Minimal JSON string escaping for the hand-rolled stats line.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one JSON object line of run metadata + [`KernelStats`].
+///
+/// `engine` is true for the nine engine-backed kernels, whose counters
+/// are real; extension algorithms report zeroed stats.
+fn stats_json_line(
+    algo: &str,
+    ordering: Option<&str>,
+    checksum: u64,
+    seconds: f64,
+    stats: &KernelStats,
+) -> String {
+    let ordering = match ordering {
+        Some(o) => format!("\"{}\"", json_escape(o)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"algo\":\"{}\",\"ordering\":{},\"checksum\":{},\"seconds\":{},\
+         \"engine\":{},\"iterations\":{},\"edges_relaxed\":{},\
+         \"frontier_pushes\":{},\"frontier_peak\":{},\"init_secs\":{},\
+         \"compute_secs\":{},\"finish_secs\":{}}}",
+        json_escape(algo),
+        ordering,
+        checksum,
+        seconds,
+        gorder_engine::is_kernel(algo),
+        stats.iterations,
+        stats.edges_relaxed,
+        stats.frontier_pushes,
+        stats.frontier_peak,
+        stats.init_secs,
+        stats.compute_secs,
+        stats.finish_secs,
+    )
 }
 
 /// Builds the [`Budget`] for a `--timeout` flag; `None` is unlimited.
@@ -275,13 +329,18 @@ pub fn run_algorithm_budgeted(
         ..Default::default()
     };
     let t = std::time::Instant::now();
-    let checksum = a.run(&graph, &ctx);
+    let (checksum, stats) = a.run_stats(&graph, &ctx);
+    let seconds = t.elapsed().as_secs_f64();
     Ok(CmdOutput {
-        report: format!(
-            "{algo} over {note}: checksum {checksum:#x} in {:.3}s",
-            t.elapsed().as_secs_f64()
-        ),
+        report: format!("{algo} over {note}: checksum {checksum:#x} in {seconds:.3}s"),
         degraded,
+        stats_json: Some(stats_json_line(
+            a.name(),
+            ordering,
+            checksum,
+            seconds,
+            &stats,
+        )),
     })
 }
 
@@ -317,12 +376,15 @@ pub fn simulate_algorithm_budgeted(
         ..Default::default()
     };
     let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
-    replay(algo, &graph, &mut tracer, &ctx).ok_or_else(|| {
-        CliError::Usage(format!(
-            "no replayer for {algo:?}; known: {:?}",
-            algorithm_names()
-        ))
-    })?;
+    let t = std::time::Instant::now();
+    let (checksum, stats) =
+        replay_with_stats(algo, &graph, &mut tracer, &ctx).ok_or_else(|| {
+            CliError::Usage(format!(
+                "no replayer for {algo:?}; known: {:?}",
+                algorithm_names()
+            ))
+        })?;
+    let seconds = t.elapsed().as_secs_f64();
     let s = tracer.stats();
     let b = tracer.breakdown(&StallModel::skylake());
     Ok(CmdOutput {
@@ -334,6 +396,7 @@ pub fn simulate_algorithm_budgeted(
             b.stall_fraction() * 100.0
         ),
         degraded,
+        stats_json: Some(stats_json_line(algo, ordering, checksum, seconds, &stats)),
     })
 }
 
@@ -452,5 +515,186 @@ mod tests {
             Err(CliError::Usage(msg)) => assert!(msg.contains("unknown ordering")),
             other => panic!("expected Usage, got {other:?}"),
         }
+    }
+
+    /// Minimal strict JSON-object parser for validating the `--stats`
+    /// line: returns top-level keys mapped to their raw value text.
+    /// Supports strings, numbers, booleans, and null — the grammar the
+    /// stats line uses — and rejects trailing garbage.
+    fn parse_json_object(line: &str) -> Result<std::collections::BTreeMap<String, String>, String> {
+        struct P<'a> {
+            b: &'a [u8],
+            i: usize,
+        }
+        impl P<'_> {
+            fn err(&self, what: &str) -> String {
+                format!("{what} at byte {}", self.i)
+            }
+            fn eat(&mut self, c: u8) -> Result<(), String> {
+                if self.b.get(self.i) == Some(&c) {
+                    self.i += 1;
+                    Ok(())
+                } else {
+                    Err(self.err(&format!("expected {:?}", c as char)))
+                }
+            }
+            fn string(&mut self) -> Result<String, String> {
+                self.eat(b'"')?;
+                let start = self.i;
+                loop {
+                    match self.b.get(self.i) {
+                        None => return Err(self.err("unterminated string")),
+                        Some(b'"') => break,
+                        Some(b'\\') => {
+                            match self.b.get(self.i + 1) {
+                                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                                    self.i += 2;
+                                }
+                                Some(b'u') => {
+                                    let hex = self.b.get(self.i + 2..self.i + 6);
+                                    let ok = hex
+                                        .is_some_and(|h| h.iter().all(|c| c.is_ascii_hexdigit()));
+                                    if !ok {
+                                        return Err(self.err("bad \\u escape"));
+                                    }
+                                    self.i += 6;
+                                }
+                                _ => return Err(self.err("bad escape")),
+                            };
+                        }
+                        Some(c) if *c < 0x20 => return Err(self.err("raw control char")),
+                        Some(_) => self.i += 1,
+                    }
+                }
+                let s = String::from_utf8(self.b[start..self.i].to_vec())
+                    .map_err(|_| self.err("non-utf8"))?;
+                self.eat(b'"')?;
+                Ok(s)
+            }
+            fn number(&mut self) -> Result<(), String> {
+                let start = self.i;
+                if self.b.get(self.i) == Some(&b'-') {
+                    self.i += 1;
+                }
+                let digits = |p: &mut Self| {
+                    let s = p.i;
+                    while p.b.get(p.i).is_some_and(u8::is_ascii_digit) {
+                        p.i += 1;
+                    }
+                    p.i > s
+                };
+                if !digits(self) {
+                    return Err(self.err("expected digits"));
+                }
+                if self.b.get(self.i) == Some(&b'.') {
+                    self.i += 1;
+                    if !digits(self) {
+                        return Err(self.err("expected fraction digits"));
+                    }
+                }
+                if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+                    self.i += 1;
+                    if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                        self.i += 1;
+                    }
+                    if !digits(self) {
+                        return Err(self.err("expected exponent digits"));
+                    }
+                }
+                let _ = start;
+                Ok(())
+            }
+            fn value(&mut self) -> Result<String, String> {
+                let start = self.i;
+                match self.b.get(self.i) {
+                    Some(b'"') => {
+                        self.string()?;
+                    }
+                    Some(b't') if self.b[self.i..].starts_with(b"true") => self.i += 4,
+                    Some(b'f') if self.b[self.i..].starts_with(b"false") => self.i += 5,
+                    Some(b'n') if self.b[self.i..].starts_with(b"null") => self.i += 4,
+                    _ => self.number()?,
+                }
+                Ok(String::from_utf8(self.b[start..self.i].to_vec()).expect("ascii"))
+            }
+        }
+        let mut p = P {
+            b: line.as_bytes(),
+            i: 0,
+        };
+        let mut obj = std::collections::BTreeMap::new();
+        p.eat(b'{')?;
+        loop {
+            let key = p.string()?;
+            p.eat(b':')?;
+            let val = p.value()?;
+            obj.insert(key, val);
+            match p.b.get(p.i) {
+                Some(b',') => p.i += 1,
+                Some(b'}') => break,
+                _ => return Err(p.err("expected ',' or '}'")),
+            }
+        }
+        p.eat(b'}')?;
+        if p.i != p.b.len() {
+            return Err(p.err("trailing garbage"));
+        }
+        Ok(obj)
+    }
+
+    const STATS_KEYS: [&str; 12] = [
+        "algo",
+        "ordering",
+        "checksum",
+        "seconds",
+        "engine",
+        "iterations",
+        "edges_relaxed",
+        "frontier_pushes",
+        "frontier_peak",
+        "init_secs",
+        "compute_secs",
+        "finish_secs",
+    ];
+
+    #[test]
+    fn run_stats_json_is_valid_and_complete() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)]);
+        let out = run_algorithm_budgeted(&g, "BFS", Some("Gorder"), 5, 1, None).unwrap();
+        let line = out.stats_json.expect("run emits a stats line");
+        let obj = parse_json_object(&line).unwrap_or_else(|e| panic!("{e} in {line}"));
+        for key in STATS_KEYS {
+            assert!(obj.contains_key(key), "missing {key} in {line}");
+        }
+        assert_eq!(obj["algo"], "\"BFS\"");
+        assert_eq!(obj["ordering"], "\"Gorder\"");
+        assert_eq!(obj["engine"], "true");
+        assert!(obj["iterations"].parse::<u64>().unwrap() >= 1, "{line}");
+        // BFS (with restarts) scans every out-edge exactly once
+        assert_eq!(obj["edges_relaxed"].parse::<u64>().unwrap(), g.m());
+    }
+
+    #[test]
+    fn simulate_stats_json_covers_engine_and_extensions() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)]);
+        let out = simulate_algorithm_budgeted(&g, "PR", None, 5, 1, None).unwrap();
+        let line = out.stats_json.expect("simulate emits a stats line");
+        let obj = parse_json_object(&line).unwrap_or_else(|e| panic!("{e} in {line}"));
+        assert_eq!(obj["ordering"], "null");
+        assert_eq!(obj["engine"], "true");
+        // simulate fixes pr_iterations at 5
+        assert_eq!(obj["iterations"], "5");
+
+        let out = simulate_algorithm_budgeted(&g, "WCC", None, 5, 1, None).unwrap();
+        let obj = parse_json_object(&out.stats_json.unwrap()).unwrap();
+        assert_eq!(obj["engine"], "false");
+        assert_eq!(obj["iterations"], "0");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
     }
 }

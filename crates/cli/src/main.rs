@@ -20,11 +20,13 @@ fn usage() -> &'static str {
      gorder-cli stats    <input>\n  \
      gorder-cli order    <input> <output> [--method Gorder] [--window 5] [--seed 42] [--timeout SECS]\n  \
      gorder-cli convert  <input> <output>\n  \
-     gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS]\n  \
-     gorder-cli simulate <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS]\n\n\
+     gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--stats]\n  \
+     gorder-cli simulate <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--stats]\n\n\
      formats by extension: .mtx (Matrix Market), .bin (compact CSR), else edge list\n\
      --timeout bounds the ordering phase: anytime orderings return their\n\
-     best-so-far (exit 3, reason on stderr); others exit 4"
+     best-so-far (exit 3, reason on stderr); others exit 4\n\
+     --stats appends one JSON line of per-kernel metrics (iterations,\n\
+     edges relaxed, frontier occupancy, phase timings) to stdout"
 }
 
 struct Flags {
@@ -32,6 +34,7 @@ struct Flags {
     window: u32,
     seed: u64,
     timeout: Option<Duration>,
+    stats: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -40,6 +43,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         window: 5,
         seed: 42,
         timeout: None,
+        stats: false,
     };
     let usage_err = |msg: &str| CliError::Usage(msg.to_string());
     let mut it = args.iter();
@@ -74,6 +78,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 }
                 flags.timeout = Some(Duration::from_secs_f64(secs));
             }
+            "--stats" => flags.stats = true,
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -120,7 +125,11 @@ fn real_main() -> Result<Option<DegradeReason>, CliError> {
             let input = need(2)?.clone();
             let flags = parse_flags(&args[3..])?;
             let g = load(&PathBuf::from(&input))?;
-            let CmdOutput { report, degraded } = if cmd == "run" {
+            let CmdOutput {
+                report,
+                degraded,
+                stats_json,
+            } = if cmd == "run" {
                 run_algorithm_budgeted(
                     &g,
                     &algo,
@@ -140,6 +149,11 @@ fn real_main() -> Result<Option<DegradeReason>, CliError> {
                 )?
             };
             println!("{report}");
+            if flags.stats {
+                if let Some(line) = stats_json {
+                    println!("{line}");
+                }
+            }
             Ok(degraded)
         }
         "--help" | "-h" | "help" => {

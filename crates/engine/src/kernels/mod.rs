@@ -1,0 +1,21 @@
+//! The nine paper kernels, each implemented once against the engine's
+//! [`Kernel`](crate::Kernel) trait and [`Probe`](crate::Probe)
+//! abstraction.
+//!
+//! Every module exposes the kernel state machine (`*Kernel`), the rich
+//! result struct the legacy `gorder-algos` module returned, and the
+//! result-returning convenience function with the legacy signature —
+//! `gorder-algos` re-exports these, so library callers are unaffected
+//! by the refactor. Checksums are bit-identical to the pre-engine
+//! implementations: the exact loop structure, tie-breaks, floating-point
+//! summation order, and RNG discipline are preserved.
+
+pub mod bfs;
+pub mod dfs;
+pub mod diameter;
+pub mod domset;
+pub mod kcore;
+pub mod nq;
+pub mod pagerank;
+pub mod scc;
+pub mod sp;

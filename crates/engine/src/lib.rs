@@ -1,0 +1,417 @@
+//! # gorder-engine — the unified kernel execution engine
+//!
+//! Before this crate, each of the paper's nine benchmark kernels existed
+//! twice: once hand-rolled in `gorder-algos` for wall-clock runs, and
+//! once re-rolled in `gorder-cachesim` as a memory-access replayer. The
+//! engine collapses both into a single implementation per kernel:
+//!
+//! * a [`Kernel`] trait — `init` / `iterate` / `converged` / `finish`,
+//!   object-safe per probe type like `OrderingAlgorithm`, so registries
+//!   of boxed kernels work;
+//! * a probe abstraction ([`Probe`]) — kernels report every array they
+//!   allocate and every element they touch. [`NoProbe`] compiles the
+//!   reporting away (wall-clock), the cache simulator's tracing probe
+//!   turns the same code into a cache-model driver;
+//! * reusable primitives ([`Frontier`], [`DenseBitset`], [`BufferPool`])
+//!   so per-run allocations disappear from repeated runs;
+//! * a [`KernelStats`] record filled by the driver and the kernels —
+//!   iterations, edges relaxed, frontier occupancy, phase timings;
+//! * budget composition — [`run_kernel`] polls `gorder_core`'s
+//!   [`Budget`] between iterates and returns an [`ExecOutcome`], so
+//!   kernels inherit the deadline / node-cap / cancellation vocabulary
+//!   of the ordering layer. Kernels are *anytime* at iterate
+//!   granularity: an exhausted budget yields a `Degraded` run whose
+//!   checksum reflects the partial state.
+//!
+//! The driver loop is deliberately tiny:
+//!
+//! ```text
+//! init → [ budget check → iterate ]* → finish
+//! ```
+//!
+//! `iterate` advances one kernel-specific unit (a BFS level, a
+//! Bellman–Ford round, a power iteration, one peeled node, …), which is
+//! also the unit `KernelStats::iterations` counts and node-capped
+//! budgets meter.
+
+pub mod kernels;
+pub mod mem;
+pub mod stats;
+
+pub use mem::{BufferPool, DenseBitset, Frontier, GraphSlots, NoProbe, Probe, Slot};
+pub use stats::KernelStats;
+
+use gorder_core::budget::{Budget, ExecOutcome};
+use gorder_graph::{Graph, NodeId};
+use std::time::Instant;
+
+/// Shared run parameters for every kernel.
+///
+/// This is the single source of truth re-exported as
+/// `gorder_algos::RunCtx` and `gorder_cachesim::TraceCtx`; harnesses map
+/// `source` through each ordering's permutation so every ordering
+/// computes from the same *logical* node.
+#[derive(Debug, Clone)]
+pub struct KernelCtx {
+    /// Source node for BFS/SP. `None` selects the graph's max-degree node.
+    pub source: Option<NodeId>,
+    /// PageRank power iterations (paper: 100).
+    pub pr_iterations: u32,
+    /// PageRank damping factor (paper: 0.85).
+    pub damping: f64,
+    /// Number of random sources for the diameter estimate (paper: 5000;
+    /// scaled down for laptop-size graphs).
+    pub diameter_samples: u32,
+    /// Seed for diameter source sampling.
+    pub seed: u64,
+}
+
+impl Default for KernelCtx {
+    fn default() -> Self {
+        KernelCtx {
+            source: None,
+            pr_iterations: 100,
+            damping: 0.85,
+            diameter_samples: 16,
+            seed: 0xD1A,
+        }
+    }
+}
+
+impl KernelCtx {
+    /// Resolves the effective source node for `g`.
+    pub fn source_for(&self, g: &Graph) -> NodeId {
+        self.source.or_else(|| g.max_degree_node()).unwrap_or(0)
+    }
+}
+
+/// Mutable execution environment handed to every kernel call: the probe
+/// observing memory traffic, the stats record under construction, and
+/// the buffer pool working storage is drawn from.
+pub struct Exec<'a, P: Probe> {
+    /// Memory-traffic observer ([`NoProbe`] for wall-clock runs).
+    pub probe: P,
+    /// Counters the kernel and driver fill in as the run progresses.
+    pub stats: KernelStats,
+    /// Pool that `init` draws working buffers from and `reclaim`
+    /// returns them to.
+    pub pool: &'a mut BufferPool,
+}
+
+impl<'a, P: Probe> Exec<'a, P> {
+    /// A fresh environment around `probe` and `pool`.
+    pub fn new(probe: P, pool: &'a mut BufferPool) -> Self {
+        Exec {
+            probe,
+            stats: KernelStats::default(),
+            pool,
+        }
+    }
+}
+
+/// One benchmark kernel, expressed as a resumable state machine.
+///
+/// The contract: [`Kernel::init`] allocates working state (registering
+/// each array with the probe) and seeds the computation;
+/// [`Kernel::iterate`] advances one kernel-specific unit of work and is
+/// called until [`Kernel::converged`] returns true (or the budget runs
+/// out); [`Kernel::finish`] folds the state into the checksum — the same
+/// value the legacy `gorder-algos` implementations returned, which is
+/// what keeps cross-ordering equivalence testable. [`Kernel::reclaim`]
+/// optionally returns buffers to the pool for the next run.
+///
+/// The trait is object-safe for any fixed probe type, mirroring
+/// `OrderingAlgorithm`: registries hold `Box<dyn Kernel<P>>`.
+pub trait Kernel<P: Probe> {
+    /// Short name matching the paper's figure labels (NQ, BFS, …).
+    fn name(&self) -> &'static str;
+    /// Allocates working state and seeds the computation.
+    fn init(&mut self, g: &Graph, ctx: &KernelCtx, ex: &mut Exec<'_, P>);
+    /// True once the computation has nothing left to do.
+    fn converged(&self) -> bool;
+    /// Advances one unit of work (a frontier level, a relaxation round,
+    /// a power iteration, one peeled node, …).
+    fn iterate(&mut self, g: &Graph, ctx: &KernelCtx, ex: &mut Exec<'_, P>);
+    /// Folds the final (or partial, under an exhausted budget) state
+    /// into the run checksum.
+    fn finish(&mut self, g: &Graph, ctx: &KernelCtx, ex: &mut Exec<'_, P>) -> u64;
+    /// Returns pooled buffers for reuse by a later run. Default: keep
+    /// nothing (state is dropped).
+    fn reclaim(&mut self, pool: &mut BufferPool) {
+        let _ = pool;
+    }
+}
+
+/// What a completed (or degraded) kernel run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRun {
+    /// The kernel's checksum — identical to the legacy
+    /// `GraphAlgorithm::run` value for the same graph and context.
+    pub checksum: u64,
+    /// Work and timing metrics for the run.
+    pub stats: KernelStats,
+}
+
+/// Drives `kernel` to convergence under `budget`, filling `ex.stats`.
+///
+/// The budget is polled before every iterate with
+/// `iterations`-completed as the work unit, so node-capped budgets meter
+/// engine steps and watchdog cancellation is honoured within one step.
+/// A budget that is exhausted before any work yields [`ExecOutcome::TimedOut`]
+/// (unless the kernel converged at `init`, e.g. on an empty graph);
+/// exhaustion after partial progress yields a `Degraded` run whose
+/// checksum folds the partial state.
+pub fn run_kernel<P: Probe, K: Kernel<P> + ?Sized>(
+    kernel: &mut K,
+    g: &Graph,
+    ctx: &KernelCtx,
+    ex: &mut Exec<'_, P>,
+    budget: &Budget,
+) -> ExecOutcome<u64> {
+    let t = Instant::now();
+    kernel.init(g, ctx, ex);
+    ex.stats.init_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut stopped = None;
+    while !kernel.converged() {
+        if let Some(reason) = budget.exhausted(ex.stats.iterations) {
+            stopped = Some(reason);
+            break;
+        }
+        kernel.iterate(g, ctx, ex);
+        ex.stats.iterations += 1;
+    }
+    ex.stats.compute_secs = t.elapsed().as_secs_f64();
+
+    if let Some(reason) = stopped {
+        if ex.stats.iterations == 0 {
+            return ExecOutcome::TimedOut;
+        }
+        let t = Instant::now();
+        let checksum = kernel.finish(g, ctx, ex);
+        ex.stats.finish_secs = t.elapsed().as_secs_f64();
+        return ExecOutcome::Degraded(checksum, reason);
+    }
+
+    let t = Instant::now();
+    let checksum = kernel.finish(g, ctx, ex);
+    ex.stats.finish_secs = t.elapsed().as_secs_f64();
+    ExecOutcome::Completed(checksum)
+}
+
+/// All nine paper kernels in presentation order, boxed for a given
+/// probe type.
+pub fn registry<P: Probe>() -> Vec<Box<dyn Kernel<P>>> {
+    vec![
+        Box::new(kernels::nq::NqKernel::new()),
+        Box::new(kernels::bfs::BfsKernel::new()),
+        Box::new(kernels::dfs::DfsKernel::new()),
+        Box::new(kernels::scc::SccKernel::new()),
+        Box::new(kernels::sp::SpKernel::new()),
+        Box::new(kernels::pagerank::PrKernel::new()),
+        Box::new(kernels::domset::DsKernel::new()),
+        Box::new(kernels::kcore::KcoreKernel::new()),
+        Box::new(kernels::diameter::DiamKernel::new()),
+    ]
+}
+
+/// The paper labels of the nine engine kernels, in presentation order.
+pub fn kernel_names() -> Vec<&'static str> {
+    registry::<NoProbe>().iter().map(|k| k.name()).collect()
+}
+
+/// Looks a kernel up by its paper label, case-insensitively.
+pub fn by_name<P: Probe>(name: &str) -> Option<Box<dyn Kernel<P>>> {
+    registry::<P>()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+/// True when `name` labels one of the nine engine kernels
+/// (case-insensitive).
+pub fn is_kernel(name: &str) -> bool {
+    by_name::<NoProbe>(name).is_some()
+}
+
+/// Runs the kernel labelled `name` under `budget`, observing through
+/// `probe` and drawing buffers from `pool`. Returns `None` for an
+/// unknown label; otherwise the outcome carries the checksum + stats,
+/// and the kernel's buffers are reclaimed into `pool` for the next run.
+pub fn execute<P: Probe>(
+    name: &str,
+    g: &Graph,
+    ctx: &KernelCtx,
+    probe: P,
+    pool: &mut BufferPool,
+    budget: &Budget,
+) -> Option<ExecOutcome<KernelRun>> {
+    let mut kernel = by_name::<P>(name)?;
+    let mut ex = Exec::new(probe, pool);
+    let outcome = run_kernel(kernel.as_mut(), g, ctx, &mut ex, budget);
+    let stats = ex.stats.clone();
+    kernel.reclaim(ex.pool);
+    Some(outcome.map(|checksum| KernelRun { checksum, stats }))
+}
+
+/// Unbudgeted convenience wrapper around [`execute`] with a fresh pool:
+/// runs the kernel labelled `name` through `probe` and returns its
+/// checksum + stats, or `None` for an unknown label.
+pub fn run_probed<P: Probe>(name: &str, g: &Graph, ctx: &KernelCtx, probe: P) -> Option<KernelRun> {
+    let mut pool = BufferPool::new();
+    let outcome = execute(name, g, ctx, probe, &mut pool, &Budget::unlimited())?;
+    Some(outcome.value().expect("unlimited budget always completes"))
+}
+
+/// Wall-clock convenience: [`run_probed`] with [`NoProbe`].
+pub fn run_by_name(name: &str, g: &Graph, ctx: &KernelCtx) -> Option<KernelRun> {
+    run_probed(name, g, ctx, NoProbe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gorder_core::budget::DegradeReason;
+
+    fn diamond() -> Graph {
+        // 0 -> {1,2} -> 3, plus a disconnected 4.
+        Graph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn registry_has_nine_in_paper_order() {
+        assert_eq!(
+            kernel_names(),
+            vec!["NQ", "BFS", "DFS", "SCC", "SP", "PR", "DS", "Kcore", "Diam"]
+        );
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name::<NoProbe>("bfs").is_some());
+        assert!(by_name::<NoProbe>("KCORE").is_some());
+        assert!(by_name::<NoProbe>("nope").is_none());
+        assert!(is_kernel("pr"));
+        assert!(!is_kernel("WCC"));
+    }
+
+    #[test]
+    fn every_kernel_completes_unbudgeted() {
+        let g = diamond();
+        let ctx = KernelCtx {
+            pr_iterations: 5,
+            diameter_samples: 3,
+            ..Default::default()
+        };
+        for name in kernel_names() {
+            let run = run_by_name(name, &g, &ctx).unwrap();
+            assert!(run.stats.iterations > 0, "{name} took no iterations");
+        }
+    }
+
+    #[test]
+    fn every_kernel_handles_the_empty_graph() {
+        let g = Graph::empty(0);
+        let ctx = KernelCtx::default();
+        for name in kernel_names() {
+            let _ = run_by_name(name, &g, &ctx).unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_kernel_is_none() {
+        assert!(run_by_name("WCC", &diamond(), &KernelCtx::default()).is_none());
+    }
+
+    #[test]
+    fn pre_exhausted_budget_times_out() {
+        let g = diamond();
+        let ctx = KernelCtx::default();
+        let budget = Budget::unlimited().with_node_cap(0);
+        let out = execute("BFS", &g, &ctx, NoProbe, &mut BufferPool::new(), &budget).unwrap();
+        assert_eq!(out, ExecOutcome::TimedOut);
+    }
+
+    #[test]
+    fn node_cap_degrades_mid_run() {
+        let g = diamond();
+        let ctx = KernelCtx::default();
+        // Kcore peels one node per iterate; cap at 2 of the 5.
+        let budget = Budget::unlimited().with_node_cap(2);
+        let out = execute("Kcore", &g, &ctx, NoProbe, &mut BufferPool::new(), &budget).unwrap();
+        match out {
+            ExecOutcome::Degraded(run, DegradeReason::NodeCapReached) => {
+                assert_eq!(run.stats.iterations, 2);
+            }
+            other => panic!("expected degraded run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_degrades_mid_run() {
+        let g = diamond();
+        let budget = Budget::unlimited();
+        // Cancel after init by capping at 1 first, then cancelling: the
+        // cancel flag outranks the cap reason.
+        budget.cancel();
+        let out = execute(
+            "SP",
+            &g,
+            &KernelCtx::default(),
+            NoProbe,
+            &mut BufferPool::new(),
+            &budget,
+        )
+        .unwrap();
+        assert_eq!(out, ExecOutcome::TimedOut);
+    }
+
+    #[test]
+    fn empty_graph_completes_even_under_zero_cap() {
+        // Converged at init → no budget check ever fires.
+        let g = Graph::empty(0);
+        let budget = Budget::unlimited().with_node_cap(0);
+        let out = execute(
+            "BFS",
+            &g,
+            &KernelCtx::default(),
+            NoProbe,
+            &mut BufferPool::new(),
+            &budget,
+        )
+        .unwrap();
+        assert!(out.is_completed());
+    }
+
+    #[test]
+    fn pool_reuse_preserves_checksums() {
+        let g = diamond();
+        let ctx = KernelCtx {
+            pr_iterations: 5,
+            diameter_samples: 2,
+            ..Default::default()
+        };
+        let mut pool = BufferPool::new();
+        for name in kernel_names() {
+            let first = execute(name, &g, &ctx, NoProbe, &mut pool, &Budget::unlimited())
+                .unwrap()
+                .value()
+                .unwrap();
+            let second = execute(name, &g, &ctx, NoProbe, &mut pool, &Budget::unlimited())
+                .unwrap()
+                .value()
+                .unwrap();
+            assert_eq!(first.checksum, second.checksum, "{name} under pool reuse");
+            assert_eq!(first.stats.iterations, second.stats.iterations);
+            assert_eq!(first.stats.edges_relaxed, second.stats.edges_relaxed);
+        }
+    }
+
+    #[test]
+    fn stats_phase_timings_are_populated() {
+        let run = run_by_name("BFS", &diamond(), &KernelCtx::default()).unwrap();
+        assert!(run.stats.init_secs >= 0.0);
+        assert!(run.stats.compute_secs >= 0.0);
+        assert!(run.stats.total_secs() >= run.stats.compute_secs);
+    }
+}

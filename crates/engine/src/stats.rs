@@ -1,0 +1,75 @@
+//! Per-run kernel metrics.
+//!
+//! Wall time alone cannot attribute a reordering speedup: two runs with
+//! identical work can differ only in cache behaviour, and two runs with
+//! identical caches can differ in work (restarts, extra rounds). A
+//! [`KernelStats`] record pins down the work side — iterations, edges
+//! relaxed, frontier churn — plus a coarse phase breakdown, so the bench
+//! harness and the CLI can report both axes for every cell.
+
+/// Counters and phase timings collected by the engine driver and the
+/// kernels while a run executes.
+///
+/// Counters are cumulative over the whole run (all restarts / rounds /
+/// sampled sources). Timings are wall-clock seconds measured by the
+/// driver; under a cache-simulator probe they reflect simulation time,
+/// not modelled hardware time, and are only useful relatively.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// Engine steps executed: calls to `Kernel::iterate`. The unit is
+    /// kernel-specific (BFS: frontier levels + tree seedings, SP:
+    /// Bellman–Ford rounds, PR: power iterations, Kcore: peeled nodes,
+    /// …) but is stable for a given kernel, so it composes with
+    /// node-capped budgets.
+    pub iterations: u64,
+    /// Edges scanned/relaxed across the whole run. For full-sweep
+    /// kernels (NQ, BFS, DFS, SCC) this equals `m`; for iterative ones
+    /// (SP, PR, Diam) it is `m × rounds`-shaped.
+    pub edges_relaxed: u64,
+    /// Nodes pushed onto a frontier/work queue over the whole run.
+    pub frontier_pushes: u64,
+    /// Largest single frontier level observed (peak occupancy).
+    pub frontier_peak: u64,
+    /// Seconds spent in `Kernel::init` (allocation + seeding).
+    pub init_secs: f64,
+    /// Seconds spent in the iterate loop.
+    pub compute_secs: f64,
+    /// Seconds spent in `Kernel::finish` (checksum folding).
+    pub finish_secs: f64,
+}
+
+impl KernelStats {
+    /// Records a frontier level size, keeping the running maximum.
+    pub fn note_frontier_peak(&mut self, level_len: usize) {
+        self.frontier_peak = self.frontier_peak.max(level_len as u64);
+    }
+
+    /// Total measured seconds across all three phases.
+    pub fn total_secs(&self) -> f64 {
+        self.init_secs + self.compute_secs + self.finish_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = KernelStats::default();
+        assert_eq!(s.iterations, 0);
+        assert_eq!(s.edges_relaxed, 0);
+        assert_eq!(s.frontier_pushes, 0);
+        assert_eq!(s.frontier_peak, 0);
+        assert_eq!(s.total_secs(), 0.0);
+    }
+
+    #[test]
+    fn frontier_peak_keeps_maximum() {
+        let mut s = KernelStats::default();
+        s.note_frontier_peak(3);
+        s.note_frontier_peak(7);
+        s.note_frontier_peak(2);
+        assert_eq!(s.frontier_peak, 7);
+    }
+}

@@ -87,9 +87,11 @@ pub fn all(seed: u64) -> Vec<Box<dyn OrderingAlgorithm>> {
     ]
 }
 
-/// Looks an ordering up by its figure label.
+/// Looks an ordering up by its figure label, case-insensitively.
 pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn OrderingAlgorithm>> {
-    all(seed).into_iter().find(|o| o.name() == name)
+    all(seed)
+        .into_iter()
+        .find(|o| o.name().eq_ignore_ascii_case(name))
 }
 
 /// Checks that `perm` is a valid permutation for `g` (test helper).
@@ -184,5 +186,13 @@ mod tests {
             assert!(by_name(o.name(), 1).is_some(), "{} missing", o.name());
         }
         assert!(by_name("Metis", 1).is_none());
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert_eq!(by_name("gorder", 1).unwrap().name(), "Gorder");
+        assert_eq!(by_name("RCM", 1).unwrap().name(), "RCM");
+        assert_eq!(by_name("chdfs", 1).unwrap().name(), "ChDFS");
+        assert_eq!(by_name("MINLOGA", 1).unwrap().name(), "MinLogA");
     }
 }

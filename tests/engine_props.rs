@@ -1,0 +1,141 @@
+//! Property-based tests for the kernel execution engine: every paper
+//! kernel run through [`gorder_engine::run_by_name`] must produce
+//! relabeling-invariant results (checksums where the underlying quantity
+//! is invariant, structural properties where it is not), and the
+//! `gorder-algos` wrappers must agree with the engine exactly.
+
+use gorder::prelude::*;
+use gorder_algos::RunCtx;
+use gorder_engine::run_by_name;
+use proptest::prelude::*;
+
+/// Strategy: a directed graph with up to `max_n` nodes and `max_m` edges.
+fn arb_graph(max_n: u32, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+/// Strategy: a valid permutation of n elements from a shuffle seed.
+fn arb_perm(n: u32, seed: u64) -> Permutation {
+    use rand::SeedableRng;
+    Permutation::random(n, &mut rand::rngs::StdRng::seed_from_u64(seed))
+}
+
+/// A fast context for property runs: few PR iterations, few Diam samples.
+fn quick_ctx(source: Option<u32>) -> RunCtx {
+    RunCtx {
+        source,
+        pr_iterations: 5,
+        diameter_samples: 2,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Kernels whose checksums hash relabeling-invariant quantities must
+    // return bit-identical checksums on an isomorphic copy (with the
+    // source mapped through the permutation for the rooted traversals).
+    #[test]
+    fn integer_kernels_invariant_under_relabel(g in arb_graph(60, 200), seed in any::<u64>()) {
+        let p = arb_perm(g.n(), seed);
+        let h = g.relabel(&p);
+        let src = g.max_degree_node().unwrap_or(0);
+        let ctx_g = quick_ctx(Some(src));
+        let ctx_h = quick_ctx(Some(p.apply(src)));
+        for name in ["NQ", "BFS", "SP", "SCC", "Kcore"] {
+            let rg = run_by_name(name, &g, &ctx_g).expect("paper kernel");
+            let rh = run_by_name(name, &h, &ctx_h).expect("paper kernel");
+            prop_assert_eq!(rg.checksum, rh.checksum, "{} checksum not invariant", name);
+        }
+    }
+
+    // PageRank values (floating point, so not hashed exactly) must map
+    // through the permutation up to accumulated rounding error.
+    #[test]
+    fn pagerank_values_map_through_relabel(g in arb_graph(50, 150), seed in any::<u64>()) {
+        use gorder_engine::kernels::pagerank::pagerank;
+        let p = arb_perm(g.n(), seed);
+        let h = g.relabel(&p);
+        let rg = pagerank(&g, 30, 0.85);
+        let rh = pagerank(&h, 30, 0.85);
+        for u in g.nodes() {
+            let a = rg.rank[u as usize];
+            let b = rh.rank[p.apply(u) as usize];
+            prop_assert!((a - b).abs() < 1e-9, "node {}: {} vs {}", u, a, b);
+        }
+    }
+
+    // Diameter from explicitly mapped sources is an integer quantity and
+    // must be exactly invariant (the seeded sampler picks by node id, so
+    // invariance only holds when the sources are pinned).
+    #[test]
+    fn diameter_invariant_with_mapped_sources(g in arb_graph(50, 150), seed in any::<u64>()) {
+        use gorder_engine::kernels::diameter::diameter_from_sources;
+        let p = arb_perm(g.n(), seed);
+        let h = g.relabel(&p);
+        let sources: Vec<u32> = (0..g.n()).step_by(7).collect();
+        let mapped: Vec<u32> = sources.iter().map(|&u| p.apply(u)).collect();
+        let dg = diameter_from_sources(&g, &sources);
+        let dh = diameter_from_sources(&h, &mapped);
+        prop_assert_eq!(dg.lower_bound, dh.lower_bound);
+    }
+
+    // DFS discovery order is id-dependent, so its checksum is not
+    // invariant — but the traversal must stay deterministic and scan
+    // every edge exactly once on any relabeling.
+    #[test]
+    fn dfs_deterministic_and_scans_every_edge(g in arb_graph(60, 200), seed in any::<u64>()) {
+        let p = arb_perm(g.n(), seed);
+        let ctx = quick_ctx(None);
+        for graph in [&g, &g.relabel(&p)] {
+            let a = run_by_name("DFS", graph, &ctx).expect("paper kernel");
+            let b = run_by_name("DFS", graph, &ctx).expect("paper kernel");
+            prop_assert_eq!(a.checksum, b.checksum, "DFS not deterministic");
+            prop_assert_eq!(a.stats.edges_relaxed, graph.m(), "DFS must scan each edge once");
+        }
+    }
+
+    // Greedy dominating-set tie-breaks by id, so the chosen set may
+    // differ across relabelings — but it must always dominate.
+    #[test]
+    fn dominating_set_dominates_any_relabeling(g in arb_graph(60, 200), seed in any::<u64>()) {
+        use gorder_engine::kernels::domset::dominating_set;
+        let p = arb_perm(g.n(), seed);
+        let h = g.relabel(&p);
+        let r = dominating_set(&h);
+        let mut covered = vec![false; h.n() as usize];
+        for &u in &r.set {
+            covered[u as usize] = true;
+            for &v in h.out_neighbors(u) {
+                covered[v as usize] = true;
+            }
+        }
+        for u in h.nodes() {
+            prop_assert!(covered[u as usize], "node {} not dominated", u);
+        }
+    }
+
+    // Every `gorder-algos` wrapper must agree exactly with the engine
+    // kernel it delegates to — checksum and counters alike.
+    #[test]
+    fn algos_wrappers_agree_with_engine(g in arb_graph(40, 120), seed in any::<u64>()) {
+        let p = arb_perm(g.n(), seed);
+        let h = g.relabel(&p);
+        let ctx = quick_ctx(Some(h.max_degree_node().unwrap_or(0)));
+        for name in ["NQ", "BFS", "DFS", "SP", "PR", "DS", "Kcore", "SCC", "Diam"] {
+            let a = gorder::algos::by_name(name).expect("paper algorithm");
+            let (checksum, stats) = a.run_stats(&h, &ctx);
+            let run = run_by_name(name, &h, &ctx).expect("paper kernel");
+            prop_assert_eq!(checksum, run.checksum, "{} checksum drifts", name);
+            // phase timings are wall-clock, so compare the counters only
+            let counters = |s: &gorder_algos::KernelStats| {
+                (s.iterations, s.edges_relaxed, s.frontier_pushes, s.frontier_peak)
+            };
+            prop_assert_eq!(counters(&stats), counters(&run.stats), "{} counters drift", name);
+        }
+    }
+}

@@ -308,7 +308,7 @@ fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`]: a fixed count or a half-open range.
+    /// Sizes accepted by [`vec()`]: a fixed count or a half-open range.
     pub struct SizeRange {
         lo: usize,
         hi_exclusive: usize,
