@@ -10,7 +10,7 @@
 //! the classic FIFO formulation); this module re-exports the convenience
 //! function and wraps the kernel as a [`GraphAlgorithm`].
 
-use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use crate::{engine_run, engine_run_plan, ExecPlan, GraphAlgorithm, KernelStats, RunCtx};
 use gorder_graph::Graph;
 
 pub use gorder_engine::kernels::bfs::{bfs, BfsKernel, BfsResult};
@@ -29,6 +29,10 @@ impl GraphAlgorithm for Bfs {
 
     fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
         engine_run("BFS", g, ctx)
+    }
+
+    fn run_stats_plan(&self, g: &Graph, ctx: &RunCtx, plan: ExecPlan) -> (u64, KernelStats) {
+        engine_run_plan("BFS", g, ctx, plan)
     }
 }
 

@@ -9,7 +9,7 @@
 //! Implemented by the engine's DFS kernel; this module re-exports the
 //! convenience function and wraps the kernel as a [`GraphAlgorithm`].
 
-use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use crate::{engine_run, engine_run_plan, ExecPlan, GraphAlgorithm, KernelStats, RunCtx};
 use gorder_graph::Graph;
 
 pub use gorder_engine::kernels::dfs::{dfs, DfsKernel, DfsResult};
@@ -28,6 +28,10 @@ impl GraphAlgorithm for Dfs {
 
     fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
         engine_run("DFS", g, ctx)
+    }
+
+    fn run_stats_plan(&self, g: &Graph, ctx: &RunCtx, plan: ExecPlan) -> (u64, KernelStats) {
+        engine_run_plan("DFS", g, ctx, plan)
     }
 }
 

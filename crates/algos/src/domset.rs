@@ -14,7 +14,7 @@
 //! iterate); this module re-exports the convenience function and wraps
 //! the kernel as a [`GraphAlgorithm`].
 
-use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use crate::{engine_run, engine_run_plan, ExecPlan, GraphAlgorithm, KernelStats, RunCtx};
 use gorder_graph::Graph;
 
 pub use gorder_engine::kernels::domset::{dominating_set, DomSetResult, DsKernel};
@@ -33,6 +33,10 @@ impl GraphAlgorithm for Ds {
 
     fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
         engine_run("DS", g, ctx)
+    }
+
+    fn run_stats_plan(&self, g: &Graph, ctx: &RunCtx, plan: ExecPlan) -> (u64, KernelStats) {
+        engine_run_plan("DS", g, ctx, plan)
     }
 }
 

@@ -17,7 +17,7 @@
 //! The harness benches them against each other (an ablation the
 //! replication's "binary heap … quasi-linear" remark invites).
 
-use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use crate::{engine_run, engine_run_plan, ExecPlan, GraphAlgorithm, KernelStats, RunCtx};
 use gorder_graph::{Graph, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -68,6 +68,10 @@ impl GraphAlgorithm for Kcore {
 
     fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
         engine_run("Kcore", g, ctx)
+    }
+
+    fn run_stats_plan(&self, g: &Graph, ctx: &RunCtx, plan: ExecPlan) -> (u64, KernelStats) {
+        engine_run_plan("Kcore", g, ctx, plan)
     }
 }
 

@@ -63,6 +63,11 @@ pub use gorder_engine::KernelCtx as RunCtx;
 /// Per-run execution metrics (re-exported from the engine).
 pub use gorder_engine::KernelStats;
 
+/// Execution plan for the engine-backed algorithms (re-exported from the
+/// engine): serial or scoped-worker parallel. Plans never change
+/// results — parallel runs are byte-identical to serial ones.
+pub use gorder_engine::ExecPlan;
+
 /// A benchmark algorithm: runs over a graph and returns a checksum that
 /// (a) depends on the computed result, so work cannot be elided, and
 /// (b) is invariant under relabeling where the underlying result is.
@@ -78,11 +83,30 @@ pub trait GraphAlgorithm: Send + Sync {
     fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
         (self.run(g, ctx), KernelStats::default())
     }
+    /// [`GraphAlgorithm::run_stats`] under an explicit [`ExecPlan`]. The
+    /// engine-backed paper algorithms let the plan schedule their
+    /// parallel-capable sections (results stay identical to the serial
+    /// run); the default ignores the plan and runs serially, which is
+    /// what the extension algorithms do.
+    fn run_stats_plan(&self, g: &Graph, ctx: &RunCtx, plan: ExecPlan) -> (u64, KernelStats) {
+        let _ = plan;
+        self.run_stats(g, ctx)
+    }
 }
 
 /// Runs the engine kernel labelled `name` and unpacks checksum + stats.
 pub(crate) fn engine_run(name: &'static str, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
-    let run = gorder_engine::run_by_name(name, g, ctx)
+    engine_run_plan(name, g, ctx, ExecPlan::Serial)
+}
+
+/// [`engine_run`] under an explicit [`ExecPlan`].
+pub(crate) fn engine_run_plan(
+    name: &'static str,
+    g: &Graph,
+    ctx: &RunCtx,
+    plan: ExecPlan,
+) -> (u64, KernelStats) {
+    let run = gorder_engine::run_by_name_plan(name, g, ctx, plan)
         .unwrap_or_else(|| panic!("{name} is a registered engine kernel"));
     (run.checksum, run.stats)
 }
@@ -180,6 +204,55 @@ mod tests {
             let (checksum, _) = a.run_stats(&g, &ctx);
             assert_eq!(checksum, a.run(&g, &ctx), "{}", a.name());
         }
+    }
+
+    #[test]
+    fn run_stats_plan_matches_serial_for_all_algorithms() {
+        let g = preferential_attachment(PrefAttachConfig {
+            n: 120,
+            out_degree: 4,
+            reciprocity: 0.3,
+            uniform_mix: 0.1,
+            closure_prob: 0.2,
+            recency_bias: 0.3,
+            seed: 11,
+        });
+        let ctx = RunCtx {
+            pr_iterations: 5,
+            diameter_samples: 3,
+            ..Default::default()
+        };
+        for a in extended() {
+            let (serial_sum, serial_stats) = a.run_stats(&g, &ctx);
+            let (par_sum, par_stats) = a.run_stats_plan(&g, &ctx, ExecPlan::with_threads(4));
+            assert_eq!(serial_sum, par_sum, "{} checksum", a.name());
+            assert_eq!(
+                serial_stats.iterations,
+                par_stats.iterations,
+                "{} iterations",
+                a.name()
+            );
+            assert_eq!(
+                serial_stats.edges_relaxed,
+                par_stats.edges_relaxed,
+                "{} edges",
+                a.name()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_backed_algorithms_report_plan_threads() {
+        let g = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]);
+        let ctx = RunCtx {
+            pr_iterations: 3,
+            ..Default::default()
+        };
+        let (_, stats) = pagerank::Pr.run_stats_plan(&g, &ctx, ExecPlan::with_threads(3));
+        assert_eq!(stats.threads_used, 3);
+        // Extension algorithms fall back to serial under any plan.
+        let (_, stats) = wcc::Wcc.run_stats_plan(&g, &ctx, ExecPlan::with_threads(3));
+        assert_eq!(stats.threads_used, 0, "default stats are zeroed");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! re-exports the convenience function and wraps the kernel as a
 //! [`GraphAlgorithm`].
 
-use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use crate::{engine_run, engine_run_plan, ExecPlan, GraphAlgorithm, KernelStats, RunCtx};
 use gorder_graph::Graph;
 
 pub use gorder_engine::kernels::pagerank::{pagerank, PageRankResult, PrKernel};
@@ -36,6 +36,10 @@ impl GraphAlgorithm for Pr {
 
     fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
         engine_run("PR", g, ctx)
+    }
+
+    fn run_stats_plan(&self, g: &Graph, ctx: &RunCtx, plan: ExecPlan) -> (u64, KernelStats) {
+        engine_run_plan("PR", g, ctx, plan)
     }
 }
 

@@ -7,7 +7,7 @@
 //! Implemented by the engine's SCC kernel; this module re-exports the
 //! convenience function and wraps the kernel as a [`GraphAlgorithm`].
 
-use crate::{engine_run, GraphAlgorithm, KernelStats, RunCtx};
+use crate::{engine_run, engine_run_plan, ExecPlan, GraphAlgorithm, KernelStats, RunCtx};
 use gorder_graph::Graph;
 
 pub use gorder_engine::kernels::scc::{scc, SccKernel, SccResult};
@@ -26,6 +26,10 @@ impl GraphAlgorithm for Scc {
 
     fn run_stats(&self, g: &Graph, ctx: &RunCtx) -> (u64, KernelStats) {
         engine_run("SCC", g, ctx)
+    }
+
+    fn run_stats_plan(&self, g: &Graph, ctx: &RunCtx, plan: ExecPlan) -> (u64, KernelStats) {
+        engine_run_plan("SCC", g, ctx, plan)
     }
 }
 

@@ -15,6 +15,9 @@ pub struct HarnessArgs {
     /// Per-cell watchdog deadline in seconds (`--cell-timeout`); `None`
     /// runs unguarded, preserving the historical fail-fast behaviour.
     pub cell_timeout: Option<f64>,
+    /// Worker threads for the engine-backed kernels (`--threads`); 1 =
+    /// serial. Parallel runs produce byte-identical results.
+    pub threads: u32,
     /// Extra free-standing flags the binary may interpret (e.g.
     /// `--by-ordering` for the S1 grouping).
     pub extra: Vec<String>,
@@ -28,6 +31,7 @@ impl Default for HarnessArgs {
             seed: 42,
             quick: false,
             cell_timeout: None,
+            threads: 1,
             extra: Vec::new(),
         }
     }
@@ -72,6 +76,16 @@ impl HarnessArgs {
                         die::<f64>("--cell-timeout must be positive");
                     }
                     out.cell_timeout = Some(secs);
+                }
+                "--threads" => {
+                    let threads: u32 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--threads needs a positive integer"));
+                    if threads == 0 {
+                        die::<u32>("--threads must be at least 1");
+                    }
+                    out.threads = threads;
                 }
                 "--quick" => {
                     out.quick = true;
@@ -155,6 +169,12 @@ mod tests {
             Some(std::time::Duration::from_millis(2500))
         );
         assert_eq!(parse(&[]).cell_timeout, None);
+    }
+
+    #[test]
+    fn threads_parse() {
+        assert_eq!(parse(&[]).threads, 1);
+        assert_eq!(parse(&["--threads", "4"]).threads, 4);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use gorder_bench::experiment::run_grid_sim;
 use gorder_bench::fmt::{write_csv, Table};
 use gorder_bench::robust::run_grid_robust;
+use gorder_bench::schema::FIG5_HEADER;
 use gorder_bench::timing::pretty_secs;
 use gorder_bench::{run_grid, CellResult, GridConfig, HarnessArgs};
 
@@ -26,6 +27,9 @@ fn main() {
     let mut cfg = GridConfig::new(args.scale, args.reps, args.seed, args.quick);
     // --extended adds HubSort/HubCluster/DBG/Bisect and WCC/Tri/LP/BC
     cfg.extended = args.has_flag("--extended");
+    // --threads N parallelises the engine-backed kernels in wall-clock
+    // mode; simulated cells always trace serially (and report threads 1).
+    cfg.threads = args.threads;
     // Default: modelled time via the cache simulator (reproduces the
     // paper's cache-bound regime regardless of host hardware). Pass
     // --wall for raw wall-clock — meaningful only when the datasets
@@ -66,6 +70,9 @@ fn main() {
                 c.stats.iterations.to_string(),
                 c.stats.edges_relaxed.to_string(),
                 c.stats.frontier_peak.to_string(),
+                // threads actually used: 1 for simulated/serial cells and
+                // the extension algorithms (which ignore the plan).
+                c.stats.threads_used.max(1).to_string(),
             ]
         })
         .collect();
@@ -74,20 +81,7 @@ fn main() {
     } else {
         "fig5.csv"
     };
-    match write_csv(
-        csv_name,
-        &[
-            "dataset",
-            "algo",
-            "ordering",
-            "seconds",
-            "checksum",
-            "iterations",
-            "edges_relaxed",
-            "frontier_peak",
-        ],
-        &csv_rows,
-    ) {
+    match write_csv(csv_name, FIG5_HEADER, &csv_rows) {
         Ok(p) => eprintln!("[fig5] wrote {}", p.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }

@@ -11,6 +11,7 @@
 
 use gorder_algos::KernelStats;
 use gorder_bench::fmt::{read_csv, Table};
+use gorder_bench::schema::FIG5_KNOWN_HEADERS;
 use gorder_bench::{rank_counts, run_grid, CellResult, GridConfig, HarnessArgs};
 use std::path::Path;
 
@@ -57,24 +58,13 @@ fn load_or_run(args: &HarnessArgs) -> Vec<CellResult> {
     } else {
         Path::new("results/fig5.csv")
     };
-    // Accept both CSV generations: the historical five columns and the
-    // current eight (with engine counters appended by fig5).
-    let known: [&[&str]; 2] = [
-        &["dataset", "algo", "ordering", "seconds", "checksum"],
-        &[
-            "dataset",
-            "algo",
-            "ordering",
-            "seconds",
-            "checksum",
-            "iterations",
-            "edges_relaxed",
-            "frontier_peak",
-        ],
-    ];
+    // Accept every known CSV generation (see `gorder_bench::schema`):
+    // five historical columns, eight with engine counters, nine with the
+    // `threads` column. Generations are prefix-compatible, so positional
+    // reads below work for all of them.
     if path.exists() {
         if let Ok((header, rows)) = read_csv(path) {
-            if known.iter().any(|k| header == *k) {
+            if FIG5_KNOWN_HEADERS.iter().any(|k| header == *k) {
                 eprintln!("[fig6] using cached {}", path.display());
                 return rows
                     .into_iter()
@@ -83,6 +73,7 @@ fn load_or_run(args: &HarnessArgs) -> Vec<CellResult> {
                             iterations: r.get(5).and_then(|s| s.parse().ok()).unwrap_or(0),
                             edges_relaxed: r.get(6).and_then(|s| s.parse().ok()).unwrap_or(0),
                             frontier_peak: r.get(7).and_then(|s| s.parse().ok()).unwrap_or(0),
+                            threads_used: r.get(8).and_then(|s| s.parse().ok()).unwrap_or(0),
                             ..KernelStats::default()
                         };
                         Some(CellResult {

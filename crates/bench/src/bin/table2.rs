@@ -5,9 +5,10 @@
 //! SlashBurn/LDG moderate, MinLA < MinLogA expensive, Gorder the most
 //! expensive and visibly super-linear in m.
 
-use gorder_algos::{GraphAlgorithm, RunCtx};
+use gorder_algos::{ExecPlan, GraphAlgorithm, RunCtx};
 use gorder_bench::fmt::{write_csv, Table};
 use gorder_bench::robust::guarded_ordering;
+use gorder_bench::schema::TABLE2_HEADER;
 use gorder_bench::timing::{pretty_secs, time_once};
 use gorder_bench::HarnessArgs;
 use gorder_core::budget::ExecOutcome;
@@ -73,16 +74,21 @@ fn main() {
             // Layout sanity probe: one engine BFS on the relabeled graph.
             // Equal work counters across orderings confirm every layout
             // solves the same instance; empty cells mark unusable layouts.
-            let (bfs_iters, bfs_edges) = match &perm {
+            // `--threads` parallelises the probe — counters stay identical
+            // to serial by the engine's determinism contract.
+            let plan = ExecPlan::with_threads(args.threads);
+            let (bfs_iters, bfs_edges, bfs_threads) = match &perm {
                 Some(perm) => {
                     let rg = g.relabel(perm);
-                    let (_, stats) = gorder_algos::bfs::Bfs.run_stats(&rg, &RunCtx::default());
+                    let (_, stats) =
+                        gorder_algos::bfs::Bfs.run_stats_plan(&rg, &RunCtx::default(), plan);
                     (
                         stats.iterations.to_string(),
                         stats.edges_relaxed.to_string(),
+                        stats.threads_used.max(1).to_string(),
                     )
                 }
-                None => (String::new(), String::new()),
+                None => (String::new(), String::new(), String::new()),
             };
             cells.push(shown.clone());
             csv_rows.push(vec![
@@ -91,6 +97,7 @@ fn main() {
                 format!("{secs:.6}"),
                 bfs_iters,
                 bfs_edges,
+                bfs_threads,
             ]);
             eprintln!("[table2]   {} on {}: {shown}", o.name(), d.name);
         }
@@ -108,17 +115,7 @@ fn main() {
             eprintln!("[table2]   {s}");
         }
     }
-    match write_csv(
-        "table2.csv",
-        &[
-            "ordering",
-            "dataset",
-            "seconds",
-            "bfs_iterations",
-            "bfs_edges_relaxed",
-        ],
-        &csv_rows,
-    ) {
+    match write_csv("table2.csv", TABLE2_HEADER, &csv_rows) {
         Ok(p) => println!("\nwrote {}", p.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }

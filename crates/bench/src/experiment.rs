@@ -6,7 +6,7 @@
 //! result is a flat list of cells, one per (dataset, ordering, algorithm).
 
 use crate::timing::median_secs;
-use gorder_algos::{GraphAlgorithm, KernelStats, RunCtx};
+use gorder_algos::{ExecPlan, GraphAlgorithm, KernelStats, RunCtx};
 use gorder_cachesim::trace::{replay_with_stats, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, StallModel, Tracer};
 use gorder_graph::datasets::Dataset;
@@ -31,6 +31,10 @@ pub struct GridConfig {
     /// Include the extension orderings (HubSort/HubCluster/DBG/Bisect)
     /// and extension algorithms (WCC/Tri/LP/BC) alongside the paper's.
     pub extended: bool,
+    /// Worker threads granted to the engine kernels (1 = serial). Only
+    /// affects wall-clock runs; the simulated grid always traces
+    /// serially.
+    pub threads: u32,
 }
 
 impl GridConfig {
@@ -45,7 +49,13 @@ impl GridConfig {
             orderings: None,
             algos: None,
             extended: false,
+            threads: 1,
         }
+    }
+
+    /// The execution plan implied by this configuration.
+    pub fn exec_plan(&self) -> ExecPlan {
+        ExecPlan::with_threads(self.threads)
     }
 
     fn ordering_pool(&self) -> Vec<Box<dyn OrderingAlgorithm>> {
@@ -121,10 +131,11 @@ pub fn run_grid(cfg: &GridConfig) -> Vec<CellResult> {
                 ..base_ctx.clone()
             };
             for a in &algos {
+                let plan = cfg.exec_plan();
                 let mut stats = KernelStats::default();
                 let (secs, checksum) = median_secs(
                     || {
-                        let (checksum, s) = a.run_stats(&rg, &ctx);
+                        let (checksum, s) = a.run_stats_plan(&rg, &ctx, plan);
                         stats = s;
                         checksum
                     },
@@ -230,6 +241,22 @@ mod tests {
             orderings: Some(vec!["Original".into(), "Gorder".into()]),
             algos: Some(vec!["NQ".into(), "BFS".into(), "Kcore".into()]),
             extended: false,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_grid() {
+        let serial = run_grid(&tiny_cfg());
+        let mut cfg = tiny_cfg();
+        cfg.threads = 4;
+        let parallel = run_grid(&cfg);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.checksum, p.checksum, "{}/{}", s.algo, s.ordering);
+            assert_eq!(s.stats.iterations, p.stats.iterations);
+            assert_eq!(s.stats.edges_relaxed, p.stats.edges_relaxed);
+            assert_eq!(p.stats.threads_used, 4, "{}/{}", p.algo, p.ordering);
         }
     }
 

@@ -23,6 +23,7 @@ pub mod experiment;
 pub mod fmt;
 pub mod ranking;
 pub mod robust;
+pub mod schema;
 pub mod timing;
 
 pub use args::HarnessArgs;

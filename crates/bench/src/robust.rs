@@ -384,11 +384,12 @@ fn run_algo_cell(
             ..base_ctx.clone()
         };
         let reps = cfg.reps;
+        let plan = cfg.exec_plan();
         run_guarded(timeout, move |_budget| {
             let mut stats = KernelStats::default();
             let (secs, checksum) = median_secs(
                 || {
-                    let (checksum, s) = a.run_stats(&rg, &ctx);
+                    let (checksum, s) = a.run_stats_plan(&rg, &ctx, plan);
                     stats = s;
                     checksum
                 },
@@ -440,6 +441,23 @@ mod tests {
             orderings: None,
             algos: Some(vec!["NQ".into(), "BFS".into()]),
             extended: false,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn robust_parallel_grid_matches_serial() {
+        let mut cfg = tiny_cfg();
+        cfg.orderings = Some(vec!["Original".into(), "ChDFS".into()]);
+        let serial = run_grid_robust(&cfg, Some(Duration::from_secs(60)), false);
+        cfg.threads = 3;
+        let parallel = run_grid_robust(&cfg, Some(Duration::from_secs(60)), false);
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (s, p) in serial.usable().iter().zip(&parallel.usable()) {
+            assert_eq!(s.checksum, p.checksum, "{}/{}", s.ordering, s.algo);
+            assert_eq!(s.stats.iterations, p.stats.iterations);
+            assert_eq!(s.stats.edges_relaxed, p.stats.edges_relaxed);
+            assert_eq!(p.stats.threads_used, 3);
         }
     }
 

@@ -1,0 +1,78 @@
+//! CSV schemas shared by the experiment binaries.
+//!
+//! `fig5` writes a grid that `fig6` reads back, possibly across repo
+//! generations (a cached `results/fig5.csv` from an older checkout).
+//! Keeping every known header generation here — and snapshotting the
+//! current ones in `tests/golden/` — turns silent schema drift into a
+//! test failure instead of a fig6 that quietly drops columns.
+
+/// Current `results/fig5.csv` header (generation 3: adds `threads`).
+pub const FIG5_HEADER: &[&str] = &[
+    "dataset",
+    "algo",
+    "ordering",
+    "seconds",
+    "checksum",
+    "iterations",
+    "edges_relaxed",
+    "frontier_peak",
+    "threads",
+];
+
+/// Generation 2: engine counters appended, before `threads` existed.
+pub const FIG5_HEADER_V2: &[&str] = &[
+    "dataset",
+    "algo",
+    "ordering",
+    "seconds",
+    "checksum",
+    "iterations",
+    "edges_relaxed",
+    "frontier_peak",
+];
+
+/// Generation 1: the historical five columns.
+pub const FIG5_HEADER_V1: &[&str] = &["dataset", "algo", "ordering", "seconds", "checksum"];
+
+/// Every fig5 header generation a reader must accept, newest first.
+pub const FIG5_KNOWN_HEADERS: [&[&str]; 3] = [FIG5_HEADER, FIG5_HEADER_V2, FIG5_HEADER_V1];
+
+/// Current `results/table2.csv` header (generation 2: adds `threads`,
+/// the thread count used by the BFS layout-sanity probe).
+pub const TABLE2_HEADER: &[&str] = &[
+    "ordering",
+    "dataset",
+    "seconds",
+    "bfs_iterations",
+    "bfs_edges_relaxed",
+    "threads",
+];
+
+/// Generation 1 table2 header, before `threads` existed.
+pub const TABLE2_HEADER_V1: &[&str] = &[
+    "ordering",
+    "dataset",
+    "seconds",
+    "bfs_iterations",
+    "bfs_edges_relaxed",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_are_prefix_compatible() {
+        // Readers index columns positionally, so every newer generation
+        // must extend the older one — never reorder or rename.
+        assert_eq!(&FIG5_HEADER[..FIG5_HEADER_V2.len()], FIG5_HEADER_V2);
+        assert_eq!(&FIG5_HEADER_V2[..FIG5_HEADER_V1.len()], FIG5_HEADER_V1);
+        assert_eq!(&TABLE2_HEADER[..TABLE2_HEADER_V1.len()], TABLE2_HEADER_V1);
+    }
+
+    #[test]
+    fn known_headers_lists_newest_first() {
+        assert_eq!(FIG5_KNOWN_HEADERS[0], FIG5_HEADER);
+        assert_eq!(FIG5_KNOWN_HEADERS.len(), 3);
+    }
+}

@@ -17,7 +17,7 @@
 //! Formats are chosen by extension: `.mtx` Matrix Market, `.bin` the
 //! compact binary format, anything else a whitespace edge list.
 
-use gorder_algos::{KernelStats, RunCtx};
+use gorder_algos::{ExecPlan, KernelStats, RunCtx};
 use gorder_cachesim::trace::{replay_with_stats, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, StallModel, Tracer};
 use gorder_core::budget::{Budget, DegradeReason, ExecOutcome};
@@ -120,11 +120,20 @@ fn stats_json_line(
         Some(o) => format!("\"{}\"", json_escape(o)),
         None => "null".to_string(),
     };
+    // Busy seconds per worker: empty for serial runs. Rust's float
+    // Display always produces valid JSON numbers for finite values.
+    let busy = stats
+        .thread_busy_secs
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
         "{{\"algo\":\"{}\",\"ordering\":{},\"checksum\":{},\"seconds\":{},\
          \"engine\":{},\"iterations\":{},\"edges_relaxed\":{},\
          \"frontier_pushes\":{},\"frontier_peak\":{},\"init_secs\":{},\
-         \"compute_secs\":{},\"finish_secs\":{}}}",
+         \"compute_secs\":{},\"finish_secs\":{},\"threads_used\":{},\
+         \"thread_busy_secs\":[{}]}}",
         json_escape(algo),
         ordering,
         checksum,
@@ -137,6 +146,8 @@ fn stats_json_line(
         stats.init_secs,
         stats.compute_secs,
         stats.finish_secs,
+        stats.threads_used,
+        busy,
     )
 }
 
@@ -301,14 +312,18 @@ pub fn run_algorithm(
     window: u32,
     seed: u64,
 ) -> Result<String, String> {
-    run_algorithm_budgeted(g, algo, ordering, window, seed, None)
+    run_algorithm_budgeted(g, algo, ordering, window, seed, None, 1)
         .map(|o| o.report)
         .map_err(|e| e.to_string())
 }
 
 /// `run` subcommand under an optional `--timeout`: the ordering phase is
 /// budgeted; a degraded ordering still runs the algorithm and is flagged
-/// in [`CmdOutput::degraded`].
+/// in [`CmdOutput::degraded`]. `threads` schedules the engine-backed
+/// kernels' parallel sections (`--threads`); results are byte-identical
+/// to serial, only the timing and the `threads_used`/`thread_busy_secs`
+/// stats fields change.
+#[allow(clippy::too_many_arguments)]
 pub fn run_algorithm_budgeted(
     g: &Graph,
     algo: &str,
@@ -316,6 +331,7 @@ pub fn run_algorithm_budgeted(
     window: u32,
     seed: u64,
     timeout: Option<Duration>,
+    threads: u32,
 ) -> Result<CmdOutput, CliError> {
     let a = gorder_algos::by_name(algo).ok_or_else(|| {
         CliError::Usage(format!(
@@ -329,7 +345,7 @@ pub fn run_algorithm_budgeted(
         ..Default::default()
     };
     let t = std::time::Instant::now();
-    let (checksum, stats) = a.run_stats(&graph, &ctx);
+    let (checksum, stats) = a.run_stats_plan(&graph, &ctx, ExecPlan::with_threads(threads));
     let seconds = t.elapsed().as_secs_f64();
     Ok(CmdOutput {
         report: format!("{algo} over {note}: checksum {checksum:#x} in {seconds:.3}s"),
@@ -480,6 +496,7 @@ mod tests {
             5,
             1,
             Some(Duration::from_secs(0)),
+            1,
         )
         .unwrap();
         assert!(out.degraded.is_some(), "zero budget must degrade");
@@ -491,7 +508,15 @@ mod tests {
         // RCM has no compute_budgeted override: the trait default returns
         // TimedOut when the budget is exhausted before it starts.
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        match run_algorithm_budgeted(&g, "BFS", Some("RCM"), 5, 1, Some(Duration::from_secs(0))) {
+        match run_algorithm_budgeted(
+            &g,
+            "BFS",
+            Some("RCM"),
+            5,
+            1,
+            Some(Duration::from_secs(0)),
+            1,
+        ) {
             Err(CliError::TimedOut) => {}
             other => panic!("expected TimedOut, got {other:?}"),
         }
@@ -501,7 +526,7 @@ mod tests {
     fn unlimited_budgeted_matches_unbudgeted() {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)]);
         let plain = run_algorithm(&g, "NQ", Some("ChDFS"), 5, 1).unwrap();
-        let budgeted = run_algorithm_budgeted(&g, "NQ", Some("ChDFS"), 5, 1, None).unwrap();
+        let budgeted = run_algorithm_budgeted(&g, "NQ", Some("ChDFS"), 5, 1, None, 1).unwrap();
         assert!(budgeted.degraded.is_none());
         // Reports match up to the timing suffix.
         let head = |s: &str| s.split(" in ").next().unwrap().to_string();
@@ -613,6 +638,22 @@ mod tests {
                     Some(b't') if self.b[self.i..].starts_with(b"true") => self.i += 4,
                     Some(b'f') if self.b[self.i..].starts_with(b"false") => self.i += 5,
                     Some(b'n') if self.b[self.i..].starts_with(b"null") => self.i += 4,
+                    Some(b'[') => {
+                        // Array of values (`thread_busy_secs`); no
+                        // whitespace, matching the writer.
+                        self.i += 1;
+                        if self.b.get(self.i) != Some(&b']') {
+                            loop {
+                                self.value()?;
+                                match self.b.get(self.i) {
+                                    Some(b',') => self.i += 1,
+                                    Some(b']') => break,
+                                    _ => return Err(self.err("expected ',' or ']'")),
+                                }
+                            }
+                        }
+                        self.i += 1;
+                    }
                     _ => self.number()?,
                 }
                 Ok(String::from_utf8(self.b[start..self.i].to_vec()).expect("ascii"))
@@ -642,7 +683,7 @@ mod tests {
         Ok(obj)
     }
 
-    const STATS_KEYS: [&str; 12] = [
+    const STATS_KEYS: [&str; 14] = [
         "algo",
         "ordering",
         "checksum",
@@ -655,12 +696,14 @@ mod tests {
         "init_secs",
         "compute_secs",
         "finish_secs",
+        "threads_used",
+        "thread_busy_secs",
     ];
 
     #[test]
     fn run_stats_json_is_valid_and_complete() {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)]);
-        let out = run_algorithm_budgeted(&g, "BFS", Some("Gorder"), 5, 1, None).unwrap();
+        let out = run_algorithm_budgeted(&g, "BFS", Some("Gorder"), 5, 1, None, 1).unwrap();
         let line = out.stats_json.expect("run emits a stats line");
         let obj = parse_json_object(&line).unwrap_or_else(|e| panic!("{e} in {line}"));
         for key in STATS_KEYS {
@@ -669,9 +712,28 @@ mod tests {
         assert_eq!(obj["algo"], "\"BFS\"");
         assert_eq!(obj["ordering"], "\"Gorder\"");
         assert_eq!(obj["engine"], "true");
+        assert_eq!(obj["threads_used"], "1");
+        assert_eq!(obj["thread_busy_secs"], "[]", "serial runs have no workers");
         assert!(obj["iterations"].parse::<u64>().unwrap() >= 1, "{line}");
         // BFS (with restarts) scans every out-edge exactly once
         assert_eq!(obj["edges_relaxed"].parse::<u64>().unwrap(), g.m());
+    }
+
+    #[test]
+    fn parallel_run_reports_threads_and_busy_times() {
+        // A graph wide enough that the PR partitioner yields four
+        // non-empty ranges: 200 nodes in a ring plus some chords.
+        let mut edges: Vec<(u32, u32)> = (0..200u32).map(|u| (u, (u + 1) % 200)).collect();
+        edges.extend((0..50u32).map(|u| (u * 4, (u * 7 + 3) % 200)));
+        let g = Graph::from_edges(200, &edges);
+        let out = run_algorithm_budgeted(&g, "PR", None, 5, 1, None, 4).unwrap();
+        let line = out.stats_json.expect("run emits a stats line");
+        let obj = parse_json_object(&line).unwrap_or_else(|e| panic!("{e} in {line}"));
+        assert_eq!(obj["threads_used"], "4", "{line}");
+        let busy = obj["thread_busy_secs"].trim_matches(['[', ']']);
+        let entries: Vec<f64> = busy.split(',').map(|s| s.parse().unwrap()).collect();
+        assert_eq!(entries.len(), 4, "{line}");
+        assert!(entries.iter().all(|&s| s > 0.0), "{line}");
     }
 
     #[test]

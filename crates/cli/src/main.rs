@@ -20,13 +20,16 @@ fn usage() -> &'static str {
      gorder-cli stats    <input>\n  \
      gorder-cli order    <input> <output> [--method Gorder] [--window 5] [--seed 42] [--timeout SECS]\n  \
      gorder-cli convert  <input> <output>\n  \
-     gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--stats]\n  \
+     gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--threads N] [--stats]\n  \
      gorder-cli simulate <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--stats]\n\n\
      formats by extension: .mtx (Matrix Market), .bin (compact CSR), else edge list\n\
      --timeout bounds the ordering phase: anytime orderings return their\n\
      best-so-far (exit 3, reason on stderr); others exit 4\n\
+     --threads runs the engine kernels' parallel sections on N workers\n\
+     (results are byte-identical to serial; simulate always traces serially)\n\
      --stats appends one JSON line of per-kernel metrics (iterations,\n\
-     edges relaxed, frontier occupancy, phase timings) to stdout"
+     edges relaxed, frontier occupancy, phase timings, per-thread busy\n\
+     times) to stdout"
 }
 
 struct Flags {
@@ -34,6 +37,7 @@ struct Flags {
     window: u32,
     seed: u64,
     timeout: Option<Duration>,
+    threads: u32,
     stats: bool,
 }
 
@@ -43,6 +47,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         window: 5,
         seed: 42,
         timeout: None,
+        threads: 1,
         stats: false,
     };
     let usage_err = |msg: &str| CliError::Usage(msg.to_string());
@@ -77,6 +82,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     return Err(usage_err("--timeout must be a non-negative number"));
                 }
                 flags.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--threads" => {
+                let threads: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage_err("--threads needs a positive integer"))?;
+                if threads == 0 {
+                    return Err(usage_err("--threads must be at least 1"));
+                }
+                flags.threads = threads;
             }
             "--stats" => flags.stats = true,
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
@@ -137,6 +152,7 @@ fn real_main() -> Result<Option<DegradeReason>, CliError> {
                     flags.window,
                     flags.seed,
                     flags.timeout,
+                    flags.threads,
                 )?
             } else {
                 simulate_algorithm_budgeted(

@@ -9,7 +9,8 @@
 //! the order of the legacy FIFO formulation.
 
 use crate::mem::{BufferPool, Frontier, GraphSlots, Probe, Slot};
-use crate::{Exec, Kernel, KernelCtx, NoProbe};
+use crate::partition::split_even;
+use crate::{parallel, Exec, ExecPlan, Kernel, KernelCtx, NoProbe};
 use gorder_core::budget::Budget;
 use gorder_graph::{Graph, NodeId};
 
@@ -130,22 +131,70 @@ impl<P: Probe> Kernel<P> for BfsKernel {
 
         // Expand the current level.
         let (head, end) = self.frontier.bounds();
-        for i in head..end {
-            ex.probe.touch(self.order_slot, i);
-            let u = self.frontier.item_at(i);
-            let du = self.depth[u as usize];
-            let (list, base) = gs.out_list(&mut ex.probe, g, u);
-            for (k, &v) in list.iter().enumerate() {
-                ex.probe.touch(gs.out_tgt, base + k);
-                ex.probe.touch(self.depth_slot, v as usize);
-                ex.probe.op(1);
-                ex.stats.edges_relaxed += 1;
-                if self.depth[v as usize] == u32::MAX {
-                    self.depth[v as usize] = du + 1;
-                    ex.probe.touch(self.depth_slot, v as usize); // write
-                    ex.probe.touch(self.order_slot, self.frontier.len());
-                    self.frontier.push(v);
-                    ex.stats.frontier_pushes += 1;
+        let threads = ex.par_threads();
+        if threads > 1 && end - head > 1 {
+            // Parallel expansion: workers scan disjoint chunks of the
+            // level read-only, collecting every target still unvisited at
+            // scan time; the serial merge below applies first-occurrence-
+            // wins in thread order. Chunk concatenation order equals the
+            // serial edge-scan order, and the whole level shares one
+            // depth, so the resulting visit order, depths, and push
+            // counts are exactly the serial ones.
+            let du = self.depth[self.frontier.item_at(head) as usize];
+            let depth = &self.depth;
+            let items = self.frontier.visited();
+            let (out_off, out_tgt) = g.out_csr();
+            let results = parallel::run_tasks(
+                split_even(end - head, threads)
+                    .into_iter()
+                    .map(|(cs, ce)| {
+                        move || {
+                            let mut edges = 0u64;
+                            let mut candidates = Vec::new();
+                            for &u in &items[head + cs..head + ce] {
+                                let a = out_off[u as usize] as usize;
+                                let b = out_off[u as usize + 1] as usize;
+                                edges += (b - a) as u64;
+                                for &v in &out_tgt[a..b] {
+                                    if depth[v as usize] == u32::MAX {
+                                        candidates.push(v);
+                                    }
+                                }
+                            }
+                            (edges, candidates)
+                        }
+                    })
+                    .collect(),
+            );
+            for (t, ((edges, candidates), busy)) in results.into_iter().enumerate() {
+                ex.stats.edges_relaxed += edges;
+                ex.stats.note_thread_busy(t, busy);
+                for v in candidates {
+                    if self.depth[v as usize] == u32::MAX {
+                        self.depth[v as usize] = du + 1;
+                        self.frontier.push(v);
+                        ex.stats.frontier_pushes += 1;
+                    }
+                }
+            }
+        } else {
+            for i in head..end {
+                ex.probe.touch(self.order_slot, i);
+                let u = self.frontier.item_at(i);
+                let du = self.depth[u as usize];
+                let (list, base) = gs.out_list(&mut ex.probe, g, u);
+                for (k, &v) in list.iter().enumerate() {
+                    ex.probe.touch(gs.out_tgt, base + k);
+                    ex.probe.touch(self.depth_slot, v as usize);
+                    ex.probe.op(1);
+                    ex.stats.edges_relaxed += 1;
+                    if self.depth[v as usize] == u32::MAX {
+                        self.depth[v as usize] = du + 1;
+                        ex.probe.touch(self.depth_slot, v as usize); // write
+                        ex.probe.touch(self.order_slot, self.frontier.len());
+                        self.frontier.push(v);
+                        ex.stats.frontier_pushes += 1;
+                    }
                 }
             }
         }
@@ -176,13 +225,19 @@ impl<P: Probe> Kernel<P> for BfsKernel {
 
 /// Runs a full-coverage BFS starting at `source`.
 pub fn bfs(g: &Graph, source: NodeId) -> BfsResult {
+    bfs_with_plan(g, source, ExecPlan::Serial)
+}
+
+/// [`bfs`] under an explicit [`ExecPlan`]; depths, visit order, and
+/// counters are identical to the serial run for every plan.
+pub fn bfs_with_plan(g: &Graph, source: NodeId, plan: ExecPlan) -> BfsResult {
     let mut kernel = BfsKernel::new();
     let ctx = KernelCtx {
         source: Some(source),
         ..Default::default()
     };
     let mut pool = BufferPool::new();
-    let mut ex = Exec::new(NoProbe, &mut pool);
+    let mut ex = Exec::with_plan(NoProbe, &mut pool, plan);
     let _ = crate::run_kernel(&mut kernel, g, &ctx, &mut ex, &Budget::unlimited());
     kernel.into_result()
 }
@@ -215,6 +270,40 @@ mod tests {
         let r = bfs(&Graph::empty(1), 0);
         assert_eq!(r.depth, vec![0]);
         assert_eq!(r.primary_reached, 1);
+    }
+
+    #[test]
+    fn parallel_visit_order_is_serial_order() {
+        // Two nodes of a level share a target (3); the merge must keep
+        // the serial first-encounter winner and push count.
+        let g = Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (1, 4),
+                (2, 5),
+                (3, 6),
+                (4, 7),
+                (5, 8),
+            ],
+        );
+        let serial = bfs(&g, 0);
+        for threads in [2, 3, 7] {
+            let par = bfs_with_plan(&g, 0, ExecPlan::with_threads(threads));
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_on_degenerate_graphs() {
+        for g in [Graph::empty(0), Graph::empty(1), Graph::empty(6)] {
+            let serial = bfs(&g, 0);
+            let par = bfs_with_plan(&g, 0, ExecPlan::with_threads(4));
+            assert_eq!(serial, par);
+        }
     }
 
     #[test]

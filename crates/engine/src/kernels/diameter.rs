@@ -8,8 +8,8 @@
 //! across sources.
 
 use crate::kernels::sp::{relax_round, UNREACHABLE};
-use crate::mem::{BufferPool, GraphSlots, Probe, Slot};
-use crate::{Exec, Kernel, KernelCtx, NoProbe};
+use crate::mem::{BufferPool, GraphSlots, NoProbe, Probe, Slot};
+use crate::{parallel, Exec, ExecPlan, Kernel, KernelCtx};
 use gorder_core::budget::Budget;
 use gorder_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -106,6 +106,52 @@ impl<P: Probe> Kernel<P> for DiamKernel {
 
     fn iterate(&mut self, g: &Graph, _ctx: &KernelCtx, ex: &mut Exec<'_, P>) {
         let gs = self.gs.expect("init before iterate");
+        let threads = ex.par_threads();
+        if threads > 1 && self.sources.len() - self.next_src > 1 {
+            // Parallel sweep batch: per-source sweeps are fully
+            // independent (each starts from a fresh distance fill), so a
+            // batch of up to `threads` sources runs concurrently, each
+            // worker driving the shared `relax_round` against its own
+            // buffers. Per-source round and edge counts are exactly the
+            // serial ones; the max-eccentricity and edge-count folds are
+            // order-insensitive. The extra `iterations` increments keep
+            // the total equal to the number of sources, at the cost of
+            // budget checks landing on batch boundaries.
+            let batch_end = (self.next_src + threads).min(self.sources.len());
+            let batch = &self.sources[self.next_src..batch_end];
+            let n = g.n() as usize;
+            let results = parallel::run_tasks(
+                batch
+                    .iter()
+                    .map(|&s| {
+                        move || {
+                            let mut pool = BufferPool::new();
+                            let mut sub = Exec::new(NoProbe, &mut pool);
+                            let sub_gs = GraphSlots::new(&mut sub.probe, g);
+                            let dist_slot = sub.probe.alloc(n, 4);
+                            let mut dist = vec![UNREACHABLE; n];
+                            dist[s as usize] = 0;
+                            while relax_round(g, &sub_gs, dist_slot, &mut dist, &mut sub) {}
+                            let ecc = dist
+                                .iter()
+                                .copied()
+                                .filter(|&d| d != UNREACHABLE)
+                                .max()
+                                .unwrap_or(0);
+                            (ecc, sub.stats.edges_relaxed)
+                        }
+                    })
+                    .collect(),
+            );
+            for (t, ((ecc, edges), busy)) in results.into_iter().enumerate() {
+                self.best = self.best.max(ecc);
+                ex.stats.edges_relaxed += edges;
+                ex.stats.note_thread_busy(t, busy);
+            }
+            ex.stats.iterations += (batch_end - self.next_src - 1) as u64;
+            self.next_src = batch_end;
+            return;
+        }
         let s = self.sources[self.next_src];
         // Fresh fill is bookkeeping between sub-runs, not kernel traffic.
         self.dist.fill(UNREACHABLE);
@@ -135,6 +181,12 @@ impl<P: Probe> Kernel<P> for DiamKernel {
 
 /// Diameter lower bound from `samples` random sources (seeded RNG).
 pub fn diameter(g: &Graph, samples: u32, seed: u64) -> DiameterResult {
+    diameter_with_plan(g, samples, seed, ExecPlan::Serial)
+}
+
+/// [`diameter`] under an explicit [`ExecPlan`]; the bound and sampled
+/// sources are identical to the serial run for every plan.
+pub fn diameter_with_plan(g: &Graph, samples: u32, seed: u64, plan: ExecPlan) -> DiameterResult {
     let mut kernel = DiamKernel::new();
     let ctx = KernelCtx {
         diameter_samples: samples,
@@ -142,7 +194,7 @@ pub fn diameter(g: &Graph, samples: u32, seed: u64) -> DiameterResult {
         ..Default::default()
     };
     let mut pool = BufferPool::new();
-    let mut ex = Exec::new(NoProbe, &mut pool);
+    let mut ex = Exec::with_plan(NoProbe, &mut pool, plan);
     let _ = crate::run_kernel(&mut kernel, g, &ctx, &mut ex, &Budget::unlimited());
     kernel.into_result()
 }
@@ -197,5 +249,27 @@ mod tests {
         let r = diameter(&Graph::empty(0), 4, 1);
         assert_eq!(r.lower_bound, 0);
         assert!(r.sources.is_empty());
+    }
+
+    #[test]
+    fn parallel_estimate_matches_serial() {
+        let mut edges: Vec<(u32, u32)> = (0..15).map(|u| (u, u + 1)).collect();
+        edges.push((15, 0));
+        edges.push((3, 11));
+        let g = Graph::from_edges(16, &edges);
+        let serial = diameter(&g, 9, 42);
+        for threads in [2, 3, 7] {
+            let par = diameter_with_plan(&g, 9, 42, ExecPlan::with_threads(threads));
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_on_degenerate_graphs() {
+        for g in [Graph::empty(0), Graph::empty(1), Graph::empty(4)] {
+            let serial = diameter(&g, 5, 3);
+            let par = diameter_with_plan(&g, 5, 3, ExecPlan::with_threads(4));
+            assert_eq!(serial, par);
+        }
     }
 }

@@ -8,7 +8,8 @@
 //! `iterate` peels exactly one node.
 
 use crate::mem::{BufferPool, GraphSlots, Probe, Slot};
-use crate::{Exec, Kernel, KernelCtx, NoProbe};
+use crate::partition::partition_rows;
+use crate::{parallel, Exec, ExecPlan, Kernel, KernelCtx, NoProbe};
 use gorder_core::budget::Budget;
 use gorder_graph::Graph;
 
@@ -95,16 +96,53 @@ impl<P: Probe> Kernel<P> for KcoreKernel {
         self.pos = ex.pool.take_u32(n, 0);
         self.vert = ex.pool.take_u32(n, 0);
         self.core = ex.pool.take_u32(n, 0);
+        let threads = ex.par_threads();
         let mut max_deg = 0u32;
-        for u in g.nodes() {
-            ex.probe.touch(gs.out_off, u as usize);
-            ex.probe.touch(gs.out_off, u as usize + 1);
-            ex.probe.touch(gs.in_off, u as usize);
-            ex.probe.touch(gs.in_off, u as usize + 1);
-            ex.probe.touch(self.deg_slot, u as usize);
-            let d = g.degree(u);
-            self.deg[u as usize] = d;
-            max_deg = max_deg.max(d);
+        if threads > 1 {
+            // Parallel degree init: workers fill disjoint `deg` slices
+            // (pure integer reads of the CSR offsets — no ordering
+            // sensitivity) and report their local maximum. The bucket
+            // peel below is inherently sequential (each peel mutates the
+            // shared bucket structure the next one reads) and stays
+            // serial under every plan.
+            let ranges = partition_rows(g, threads);
+            let mut work = Vec::with_capacity(ranges.len());
+            let mut rest = self.deg.as_mut_slice();
+            for &r in &ranges {
+                let (head, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                work.push((r, head));
+            }
+            let results = parallel::run_tasks(
+                work.into_iter()
+                    .map(|(r, deg_out)| {
+                        move || {
+                            let mut local_max = 0u32;
+                            for u in r.start..r.end {
+                                let d = g.degree(u);
+                                deg_out[(u - r.start) as usize] = d;
+                                local_max = local_max.max(d);
+                            }
+                            local_max
+                        }
+                    })
+                    .collect(),
+            );
+            for (t, (local_max, busy)) in results.into_iter().enumerate() {
+                max_deg = max_deg.max(local_max);
+                ex.stats.note_thread_busy(t, busy);
+            }
+        } else {
+            for u in g.nodes() {
+                ex.probe.touch(gs.out_off, u as usize);
+                ex.probe.touch(gs.out_off, u as usize + 1);
+                ex.probe.touch(gs.in_off, u as usize);
+                ex.probe.touch(gs.in_off, u as usize + 1);
+                ex.probe.touch(self.deg_slot, u as usize);
+                let d = g.degree(u);
+                self.deg[u as usize] = d;
+                max_deg = max_deg.max(d);
+            }
         }
         // Counting sort into degree buckets: bin[d] = start offset of
         // degree-d nodes in vert; pos is the inverse permutation.
@@ -208,9 +246,15 @@ impl<P: Probe> Kernel<P> for KcoreKernel {
 
 /// Computes core numbers by bucket peeling.
 pub fn kcore(g: &Graph) -> KcoreResult {
+    kcore_with_plan(g, ExecPlan::Serial)
+}
+
+/// [`kcore`] under an explicit [`ExecPlan`]; core numbers are identical
+/// to the serial run for every plan (only the degree init parallelises).
+pub fn kcore_with_plan(g: &Graph, plan: ExecPlan) -> KcoreResult {
     let mut kernel = KcoreKernel::new();
     let mut pool = BufferPool::new();
-    let mut ex = Exec::new(NoProbe, &mut pool);
+    let mut ex = Exec::with_plan(NoProbe, &mut pool, plan);
     let _ = crate::run_kernel(
         &mut kernel,
         g,
@@ -245,5 +289,27 @@ mod tests {
     fn empty_graphs() {
         assert_eq!(kcore(&Graph::empty(0)).degeneracy(), 0);
         assert_eq!(kcore(&Graph::empty(5)).core, vec![0; 5]);
+    }
+
+    #[test]
+    fn parallel_cores_match_serial() {
+        let mut edges = vec![(0, 1), (1, 2), (2, 0), (0, 3)];
+        for u in 4..20u32 {
+            edges.push((u - 1, u));
+            edges.push((u, 0));
+        }
+        let g = Graph::from_edges(20, &edges);
+        let serial = kcore(&g);
+        for threads in [2, 3, 7] {
+            let par = kcore_with_plan(&g, ExecPlan::with_threads(threads));
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_on_degenerate_graphs() {
+        for g in [Graph::empty(0), Graph::empty(1), Graph::empty(9)] {
+            assert_eq!(kcore(&g), kcore_with_plan(&g, ExecPlan::with_threads(4)));
+        }
     }
 }

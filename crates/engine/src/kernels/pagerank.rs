@@ -16,7 +16,8 @@
 //! bit.
 
 use crate::mem::{BufferPool, GraphSlots, Probe, Slot};
-use crate::{Exec, Kernel, KernelCtx, NoProbe};
+use crate::partition::{partition_offsets, RowRange};
+use crate::{parallel, Exec, ExecPlan, Kernel, KernelCtx, NoProbe};
 use gorder_core::budget::Budget;
 use gorder_graph::Graph;
 
@@ -49,6 +50,7 @@ pub struct PrKernel {
     inv_out: Vec<f64>,
     rank: Vec<f64>,
     next: Vec<f64>,
+    ranges: Vec<RowRange>,
     iter: u32,
     target: u32,
     done: bool,
@@ -65,6 +67,7 @@ impl PrKernel {
             inv_out: Vec::new(),
             rank: Vec::new(),
             next: Vec::new(),
+            ranges: Vec::new(),
             iter: 0,
             target: 0,
             done: false,
@@ -115,6 +118,13 @@ impl<P: Probe> Kernel<P> for PrKernel {
         self.next_slot = ex.probe.alloc(n, 8);
         self.rank = ex.pool.take_f64(n, inv_n);
         self.next = ex.pool.take_f64(n, 0.0);
+        // The pull sweep scans in-lists, so balance on in-offsets.
+        let threads = ex.par_threads();
+        self.ranges = if threads > 1 {
+            partition_offsets(g.in_csr().0, threads)
+        } else {
+            Vec::new()
+        };
         self.gs = Some(gs);
     }
 
@@ -137,19 +147,61 @@ impl<P: Probe> Kernel<P> for PrKernel {
             }
         }
         let base_rank = (1.0 - alpha) * inv_n + alpha * dangling * inv_n;
-        for u in g.nodes() {
-            let (list, base) = gs.in_list(&mut ex.probe, g, u);
-            let mut acc = 0.0;
-            for (k, &x) in list.iter().enumerate() {
-                ex.probe.touch(gs.in_tgt, base + k);
-                ex.probe.touch(self.rank_slot, x as usize); // the cache-sensitive pulls
-                ex.probe.touch(self.inv_out_slot, x as usize);
-                ex.probe.op(2);
-                ex.stats.edges_relaxed += 1;
-                acc += self.rank[x as usize] * self.inv_out[x as usize];
+        if self.ranges.len() > 1 {
+            // Parallel pull: each worker owns a disjoint slice of `next`,
+            // and each node's accumulation runs in in-list order exactly
+            // as the serial loop does, so the result is bit-identical.
+            // The dangling scan above stays serial — its FP summation
+            // order is part of the determinism contract.
+            let rank = &self.rank;
+            let inv_out = &self.inv_out;
+            let (in_off, in_tgt) = g.in_csr();
+            let mut work: Vec<(RowRange, &mut [f64])> = Vec::with_capacity(self.ranges.len());
+            let mut rest = self.next.as_mut_slice();
+            for &r in &self.ranges {
+                let (head, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                work.push((r, head));
             }
-            ex.probe.touch(self.next_slot, u as usize);
-            self.next[u as usize] = base_rank + alpha * acc;
+            let results = parallel::run_tasks(
+                work.into_iter()
+                    .map(|(r, out)| {
+                        move || {
+                            let mut edges = 0u64;
+                            for u in r.start..r.end {
+                                let a = in_off[u as usize] as usize;
+                                let b = in_off[u as usize + 1] as usize;
+                                let mut acc = 0.0;
+                                for &x in &in_tgt[a..b] {
+                                    acc += rank[x as usize] * inv_out[x as usize];
+                                }
+                                edges += (b - a) as u64;
+                                out[(u - r.start) as usize] = base_rank + alpha * acc;
+                            }
+                            edges
+                        }
+                    })
+                    .collect(),
+            );
+            for (t, (edges, busy)) in results.into_iter().enumerate() {
+                ex.stats.edges_relaxed += edges;
+                ex.stats.note_thread_busy(t, busy);
+            }
+        } else {
+            for u in g.nodes() {
+                let (list, base) = gs.in_list(&mut ex.probe, g, u);
+                let mut acc = 0.0;
+                for (k, &x) in list.iter().enumerate() {
+                    ex.probe.touch(gs.in_tgt, base + k);
+                    ex.probe.touch(self.rank_slot, x as usize); // the cache-sensitive pulls
+                    ex.probe.touch(self.inv_out_slot, x as usize);
+                    ex.probe.op(2);
+                    ex.stats.edges_relaxed += 1;
+                    acc += self.rank[x as usize] * self.inv_out[x as usize];
+                }
+                ex.probe.touch(self.next_slot, u as usize);
+                self.next[u as usize] = base_rank + alpha * acc;
+            }
         }
         std::mem::swap(&mut self.rank, &mut self.next);
         ex.probe.op(1);
@@ -172,6 +224,17 @@ impl<P: Probe> Kernel<P> for PrKernel {
 
 /// Runs `iterations` rounds of the power method with damping `alpha`.
 pub fn pagerank(g: &Graph, iterations: u32, alpha: f64) -> PageRankResult {
+    pagerank_with_plan(g, iterations, alpha, ExecPlan::Serial)
+}
+
+/// [`pagerank`] under an explicit [`ExecPlan`]; the rank vector is
+/// bit-identical to the serial run for every plan.
+pub fn pagerank_with_plan(
+    g: &Graph,
+    iterations: u32,
+    alpha: f64,
+    plan: ExecPlan,
+) -> PageRankResult {
     let mut kernel = PrKernel::new();
     let ctx = KernelCtx {
         pr_iterations: iterations,
@@ -179,7 +242,7 @@ pub fn pagerank(g: &Graph, iterations: u32, alpha: f64) -> PageRankResult {
         ..Default::default()
     };
     let mut pool = BufferPool::new();
-    let mut ex = Exec::new(NoProbe, &mut pool);
+    let mut ex = Exec::with_plan(NoProbe, &mut pool, plan);
     let _ = crate::run_kernel(&mut kernel, g, &ctx, &mut ex, &Budget::unlimited());
     kernel.into_result()
 }
@@ -217,5 +280,37 @@ mod tests {
     fn empty_graph() {
         let r = pagerank(&Graph::empty(0), 10, 0.85);
         assert!(r.rank.is_empty());
+    }
+
+    #[test]
+    fn parallel_ranks_are_bit_identical() {
+        // Mix of hubs, chains, and a dangling node so the parallel split
+        // is non-trivial and the dangling mass path is exercised.
+        let mut edges = Vec::new();
+        for v in 1..20u32 {
+            edges.push((0, v));
+        }
+        for u in 1..19u32 {
+            edges.push((u, u + 1));
+            edges.push((u, 0));
+        }
+        let g = Graph::from_edges(21, &edges); // node 20 dangles
+        let serial = pagerank(&g, 30, 0.85);
+        for threads in [2, 3, 7] {
+            let par = pagerank_with_plan(&g, 30, 0.85, ExecPlan::with_threads(threads));
+            assert_eq!(serial, par, "threads = {threads}");
+            let bits_s: Vec<u64> = serial.rank.iter().map(|x| x.to_bits()).collect();
+            let bits_p: Vec<u64> = par.rank.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits_s, bits_p, "bitwise at threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_on_degenerate_graphs() {
+        for g in [Graph::empty(0), Graph::empty(1), Graph::empty(5)] {
+            let serial = pagerank(&g, 5, 0.85);
+            let par = pagerank_with_plan(&g, 5, 0.85, ExecPlan::with_threads(4));
+            assert_eq!(serial, par);
+        }
     }
 }

@@ -36,9 +36,12 @@
 
 pub mod kernels;
 pub mod mem;
+pub mod parallel;
+pub mod partition;
 pub mod stats;
 
 pub use mem::{BufferPool, DenseBitset, Frontier, GraphSlots, NoProbe, Probe, Slot};
+pub use partition::{partition_offsets, partition_rows, split_even, RowRange};
 pub use stats::KernelStats;
 
 use gorder_core::budget::{Budget, ExecOutcome};
@@ -80,8 +83,58 @@ impl Default for KernelCtx {
 
 impl KernelCtx {
     /// Resolves the effective source node for `g`.
+    ///
+    /// An explicit source that is out of range for `g` (e.g. a context
+    /// built for a larger graph) is ignored rather than handed to the
+    /// kernels, which would index `dist[source]` with it and panic; the
+    /// max-degree fallback applies instead, and 0 covers the empty
+    /// graph (where kernels converge at init without touching it).
     pub fn source_for(&self, g: &Graph) -> NodeId {
-        self.source.or_else(|| g.max_degree_node()).unwrap_or(0)
+        self.source
+            .filter(|&s| s < g.n())
+            .or_else(|| g.max_degree_node())
+            .unwrap_or(0)
+    }
+}
+
+/// How the engine schedules a kernel's work.
+///
+/// `Parallel` grants the kernels a worker budget; each kernel decides
+/// which of its sections can use it (PR's pull sweep, BFS's level
+/// expansion, Kcore's degree init, Diam's per-source sweeps) and falls
+/// back to the serial path elsewhere. Plans never change results: every
+/// parallel section reduces in a fixed thread order, so a run under any
+/// plan is byte-identical to the serial run. Probes that are not
+/// [`Probe::PARALLEL_SAFE`] (the cache tracer) force the serial path
+/// regardless of the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPlan {
+    /// Single-threaded execution (the default).
+    #[default]
+    Serial,
+    /// Up to `threads` scoped workers for parallel-capable sections.
+    Parallel {
+        /// Worker budget; values ≤ 1 behave like [`ExecPlan::Serial`].
+        threads: u32,
+    },
+}
+
+impl ExecPlan {
+    /// A plan granting `threads` workers; 0 or 1 yields [`ExecPlan::Serial`].
+    pub fn with_threads(threads: u32) -> Self {
+        if threads <= 1 {
+            ExecPlan::Serial
+        } else {
+            ExecPlan::Parallel { threads }
+        }
+    }
+
+    /// Worker budget of this plan (≥ 1).
+    pub fn threads(self) -> u32 {
+        match self {
+            ExecPlan::Serial => 1,
+            ExecPlan::Parallel { threads } => threads.max(1),
+        }
     }
 }
 
@@ -96,15 +149,34 @@ pub struct Exec<'a, P: Probe> {
     /// Pool that `init` draws working buffers from and `reclaim`
     /// returns them to.
     pub pool: &'a mut BufferPool,
+    /// Scheduling plan for parallel-capable kernel sections.
+    pub plan: ExecPlan,
 }
 
 impl<'a, P: Probe> Exec<'a, P> {
-    /// A fresh environment around `probe` and `pool`.
+    /// A fresh serial environment around `probe` and `pool`.
     pub fn new(probe: P, pool: &'a mut BufferPool) -> Self {
+        Exec::with_plan(probe, pool, ExecPlan::Serial)
+    }
+
+    /// A fresh environment executing under `plan`.
+    pub fn with_plan(probe: P, pool: &'a mut BufferPool, plan: ExecPlan) -> Self {
         Exec {
             probe,
             stats: KernelStats::default(),
             pool,
+            plan,
+        }
+    }
+
+    /// Effective worker budget for parallel sections: the plan's thread
+    /// count, clamped to 1 under probes that cannot tolerate a split
+    /// access stream (everything except [`NoProbe`]).
+    pub fn par_threads(&self) -> usize {
+        if P::PARALLEL_SAFE {
+            self.plan.threads() as usize
+        } else {
+            1
         }
     }
 }
@@ -168,6 +240,7 @@ pub fn run_kernel<P: Probe, K: Kernel<P> + ?Sized>(
     ex: &mut Exec<'_, P>,
     budget: &Budget,
 ) -> ExecOutcome<u64> {
+    ex.stats.threads_used = ex.par_threads() as u32;
     let t = Instant::now();
     kernel.init(g, ctx, ex);
     ex.stats.init_secs = t.elapsed().as_secs_f64();
@@ -246,8 +319,23 @@ pub fn execute<P: Probe>(
     pool: &mut BufferPool,
     budget: &Budget,
 ) -> Option<ExecOutcome<KernelRun>> {
+    execute_plan(name, g, ctx, probe, pool, budget, ExecPlan::Serial)
+}
+
+/// [`execute`] under an explicit [`ExecPlan`]. The plan only changes how
+/// the work is scheduled — results and work counters are identical to
+/// the serial run for every kernel.
+pub fn execute_plan<P: Probe>(
+    name: &str,
+    g: &Graph,
+    ctx: &KernelCtx,
+    probe: P,
+    pool: &mut BufferPool,
+    budget: &Budget,
+    plan: ExecPlan,
+) -> Option<ExecOutcome<KernelRun>> {
     let mut kernel = by_name::<P>(name)?;
-    let mut ex = Exec::new(probe, pool);
+    let mut ex = Exec::with_plan(probe, pool, plan);
     let outcome = run_kernel(kernel.as_mut(), g, ctx, &mut ex, budget);
     let stats = ex.stats.clone();
     kernel.reclaim(ex.pool);
@@ -258,14 +346,35 @@ pub fn execute<P: Probe>(
 /// runs the kernel labelled `name` through `probe` and returns its
 /// checksum + stats, or `None` for an unknown label.
 pub fn run_probed<P: Probe>(name: &str, g: &Graph, ctx: &KernelCtx, probe: P) -> Option<KernelRun> {
+    run_probed_plan(name, g, ctx, probe, ExecPlan::Serial)
+}
+
+/// [`run_probed`] under an explicit [`ExecPlan`].
+pub fn run_probed_plan<P: Probe>(
+    name: &str,
+    g: &Graph,
+    ctx: &KernelCtx,
+    probe: P,
+    plan: ExecPlan,
+) -> Option<KernelRun> {
     let mut pool = BufferPool::new();
-    let outcome = execute(name, g, ctx, probe, &mut pool, &Budget::unlimited())?;
+    let outcome = execute_plan(name, g, ctx, probe, &mut pool, &Budget::unlimited(), plan)?;
     Some(outcome.value().expect("unlimited budget always completes"))
 }
 
 /// Wall-clock convenience: [`run_probed`] with [`NoProbe`].
 pub fn run_by_name(name: &str, g: &Graph, ctx: &KernelCtx) -> Option<KernelRun> {
     run_probed(name, g, ctx, NoProbe)
+}
+
+/// Wall-clock convenience: [`run_probed_plan`] with [`NoProbe`].
+pub fn run_by_name_plan(
+    name: &str,
+    g: &Graph,
+    ctx: &KernelCtx,
+    plan: ExecPlan,
+) -> Option<KernelRun> {
+    run_probed_plan(name, g, ctx, NoProbe, plan)
 }
 
 #[cfg(test)]
@@ -413,5 +522,102 @@ mod tests {
         assert!(run.stats.init_secs >= 0.0);
         assert!(run.stats.compute_secs >= 0.0);
         assert!(run.stats.total_secs() >= run.stats.compute_secs);
+    }
+
+    #[test]
+    fn plan_with_threads_normalises() {
+        assert_eq!(ExecPlan::with_threads(0), ExecPlan::Serial);
+        assert_eq!(ExecPlan::with_threads(1), ExecPlan::Serial);
+        assert_eq!(ExecPlan::with_threads(4), ExecPlan::Parallel { threads: 4 });
+        assert_eq!(ExecPlan::Serial.threads(), 1);
+        assert_eq!(ExecPlan::Parallel { threads: 0 }.threads(), 1);
+        assert_eq!(ExecPlan::Parallel { threads: 7 }.threads(), 7);
+        assert_eq!(ExecPlan::default(), ExecPlan::Serial);
+    }
+
+    #[test]
+    fn serial_runs_report_one_thread() {
+        let run = run_by_name("PR", &diamond(), &KernelCtx::default()).unwrap();
+        assert_eq!(run.stats.threads_used, 1);
+        assert!(run.stats.thread_busy_secs.is_empty());
+    }
+
+    #[test]
+    fn parallel_plan_reports_thread_count() {
+        let run = run_by_name_plan(
+            "PR",
+            &diamond(),
+            &KernelCtx::default(),
+            ExecPlan::with_threads(3),
+        )
+        .unwrap();
+        assert_eq!(run.stats.threads_used, 3);
+    }
+
+    #[test]
+    fn unsafe_probe_forces_serial_path() {
+        struct Tracerish;
+        impl Probe for Tracerish {
+            fn alloc(&mut self, _len: usize, _elem_bytes: u64) -> Slot {
+                Slot::new(0)
+            }
+            fn touch(&mut self, _slot: Slot, _i: usize) {}
+            fn op(&mut self, _n: u64) {}
+        }
+        let run = run_probed_plan(
+            "PR",
+            &diamond(),
+            &KernelCtx::default(),
+            Tracerish,
+            ExecPlan::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(run.stats.threads_used, 1);
+    }
+
+    #[test]
+    fn source_for_ignores_out_of_range_source() {
+        let g = diamond(); // 5 nodes; max-degree node is 0 or 3
+        let ctx = KernelCtx {
+            source: Some(99),
+            ..Default::default()
+        };
+        let s = ctx.source_for(&g);
+        assert!(s < g.n(), "out-of-range source must not propagate");
+        assert_eq!(s, ctx.source_for(&g), "resolution is deterministic");
+        // In-range sources still win over the fallback.
+        let ctx = KernelCtx {
+            source: Some(2),
+            ..Default::default()
+        };
+        assert_eq!(ctx.source_for(&g), 2);
+    }
+
+    #[test]
+    fn source_for_degenerate_graphs() {
+        let empty = Graph::empty(0);
+        let one = Graph::empty(1);
+        for source in [None, Some(0), Some(5)] {
+            let ctx = KernelCtx {
+                source,
+                ..Default::default()
+            };
+            assert_eq!(ctx.source_for(&empty), 0, "empty graph falls back to 0");
+            assert_eq!(ctx.source_for(&one), 0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_source_runs_do_not_panic() {
+        let g = diamond();
+        let ctx = KernelCtx {
+            source: Some(1_000_000),
+            pr_iterations: 3,
+            diameter_samples: 2,
+            ..Default::default()
+        };
+        for name in kernel_names() {
+            let _ = run_by_name(name, &g, &ctx).unwrap();
+        }
     }
 }

@@ -44,6 +44,13 @@ impl Slot {
 /// zero overhead), with a tracing probe every logical array access is
 /// forwarded to the cache simulator.
 pub trait Probe {
+    /// Whether kernels may take their parallel code paths under this
+    /// probe. Defaults to `false`: a tracing probe observes a single
+    /// sequential access stream, so splitting work across threads would
+    /// interleave (and thus corrupt) the trace. Only probes that record
+    /// nothing ([`NoProbe`]) opt in.
+    const PARALLEL_SAFE: bool = false;
+
     /// Registers a logical array of `len` elements of `elem_bytes`
     /// bytes each; returns the handle used for later touches.
     fn alloc(&mut self, len: usize, elem_bytes: u64) -> Slot;
@@ -58,6 +65,8 @@ pub trait Probe {
 pub struct NoProbe;
 
 impl Probe for NoProbe {
+    const PARALLEL_SAFE: bool = true;
+
     #[inline(always)]
     fn alloc(&mut self, _len: usize, _elem_bytes: u64) -> Slot {
         Slot(0)

@@ -1,0 +1,98 @@
+//! Dependency-free scoped worker pool for parallel kernel sections.
+//!
+//! Mirrors `gorder_core::parallel`'s `std::thread::scope` pattern: spawn
+//! one scoped thread per task, join in task order. Scoped threads let
+//! tasks borrow the graph and disjoint slices of kernel state without
+//! `Arc` or `'static` bounds, and joining in task order is what makes
+//! parallel reductions deterministic — results come back in the order
+//! the tasks were built, never in completion order.
+//!
+//! Each task's busy time is measured on its own thread and returned next
+//! to its result, so callers can feed [`crate::KernelStats::note_thread_busy`]
+//! and make partition imbalance observable.
+
+use std::time::Instant;
+
+/// Runs `tasks` to completion and returns `(result, busy_secs)` pairs in
+/// task order.
+///
+/// A single task runs inline on the caller's thread (no spawn cost for
+/// `threads == 1` plans); anything more spawns one scoped thread per
+/// task. A worker panic propagates to the caller.
+pub fn run_tasks<R, F>(tasks: Vec<F>) -> Vec<(R, f64)>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    fn timed<R, F: FnOnce() -> R>(f: F) -> (R, f64) {
+        let t = Instant::now();
+        let r = f();
+        (r, t.elapsed().as_secs_f64())
+    }
+
+    let mut tasks = tasks;
+    match tasks.len() {
+        0 => Vec::new(),
+        1 => vec![timed(tasks.pop().expect("len checked"))],
+        _ => std::thread::scope(|s| {
+            let handles: Vec<_> = tasks.into_iter().map(|f| s.spawn(|| timed(f))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_task_list_is_no_work() {
+        let out: Vec<(u32, f64)> = run_tasks(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_task_runs_inline() {
+        let x = 41;
+        let out = run_tasks(vec![|| x + 1]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 42);
+        assert!(out[0].1 >= 0.0);
+    }
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        // Later tasks finish first (earlier ones spin longer); order must
+        // still be task order, not completion order.
+        let tasks: Vec<_> = (0..6u64)
+            .map(|i| {
+                move || {
+                    let spins = (6 - i) * 20_000;
+                    let mut acc = i;
+                    for k in 0..spins {
+                        acc = acc.wrapping_mul(31).wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                    i
+                }
+            })
+            .collect();
+        let out = run_tasks(tasks);
+        let order: Vec<u64> = out.iter().map(|&(r, _)| r).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_state() {
+        let data = [1u64, 2, 3, 4, 5, 6];
+        let tasks: Vec<_> = data
+            .chunks(3)
+            .map(|c| move || c.iter().sum::<u64>())
+            .collect();
+        let out = run_tasks(tasks);
+        assert_eq!(out[0].0 + out[1].0, 21);
+    }
+}

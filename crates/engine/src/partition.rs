@@ -1,0 +1,220 @@
+//! Degree-balanced CSR row-range partitioning for parallel kernels.
+//!
+//! Contiguous node ranges keep each worker's CSR accesses sequential (the
+//! locality the orderings optimise survives parallelisation), but naive
+//! `n / threads` splits collapse on power-law graphs where a few rows own
+//! most of the edges. [`partition_rows`] balances on the paper's natural
+//! work estimate — out-degree plus a constant per node — by walking the
+//! out-offset prefix sums and cutting at evenly spaced work boundaries.
+//! [`split_even`] is the edge-count-free counterpart for splitting flat
+//! index ranges (e.g. a BFS frontier level) across workers.
+
+use gorder_graph::Graph;
+
+/// A contiguous `[start, end)` node range assigned to one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowRange {
+    /// First node of the range (inclusive).
+    pub start: u32,
+    /// One past the last node of the range.
+    pub end: u32,
+}
+
+impl RowRange {
+    /// Number of nodes in the range.
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True when the range covers no nodes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Splits `g`'s node rows into at most `parts` contiguous ranges of
+/// roughly equal work, where a node's work is its out-degree plus one.
+///
+/// The returned ranges are non-empty, in ascending order, and cover
+/// `[0, n)` exactly; there may be fewer than `parts` of them when the
+/// work is lumpy (a hub row can exceed a whole share on its own) or when
+/// `parts > n`. An empty graph yields an empty vector — callers must
+/// treat "no ranges" as "no work", not panic. `parts == 0` is treated
+/// as 1.
+pub fn partition_rows(g: &Graph, parts: usize) -> Vec<RowRange> {
+    partition_offsets(g.out_csr().0, parts)
+}
+
+/// [`partition_rows`] over an explicit CSR offset array (`n + 1`
+/// entries): balances on `off[u+1] − off[u] + 1` per row. Pull-based
+/// kernels pass the *in*-offsets so the split balances the lists they
+/// actually scan.
+pub fn partition_offsets(off: &[u64], parts: usize) -> Vec<RowRange> {
+    let n = off.len().saturating_sub(1);
+    let parts = parts.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    // +1 per node: isolated nodes still cost a row visit, so all-isolated
+    // graphs split evenly instead of degenerating to one range.
+    let total = (off[n] - off[0]) + n as u64;
+    let mut ranges: Vec<RowRange> = Vec::with_capacity(parts.min(n));
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for u in 0..n {
+        acc += (off[u + 1] - off[u]) + 1;
+        let boundary = total * (ranges.len() as u64 + 1) / parts as u64;
+        if acc >= boundary && ranges.len() + 1 < parts {
+            ranges.push(RowRange {
+                start: start as u32,
+                end: (u + 1) as u32,
+            });
+            start = u + 1;
+        }
+    }
+    if start < n {
+        ranges.push(RowRange {
+            start: start as u32,
+            end: n as u32,
+        });
+    }
+    ranges
+}
+
+/// Splits the flat index range `[0, len)` into at most `parts` non-empty
+/// contiguous `(start, end)` chunks of near-equal length.
+///
+/// Returns an empty vector for `len == 0` (an empty frontier level is
+/// simply no work); `parts == 0` is treated as 1.
+pub fn split_even(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let k = parts.max(1).min(len);
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for i in 0..k {
+        let end = len * (i + 1) / k;
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover_exactly(ranges: &[RowRange], n: u32) {
+        let mut next = 0u32;
+        for r in ranges {
+            assert_eq!(r.start, next, "ranges must be contiguous");
+            assert!(r.end > r.start, "ranges must be non-empty");
+            next = r.end;
+        }
+        assert_eq!(next, n, "ranges must cover [0, n)");
+    }
+
+    #[test]
+    fn empty_graph_yields_no_ranges() {
+        let g = Graph::empty(0);
+        for parts in [0, 1, 2, 7] {
+            assert!(partition_rows(&g, parts).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_node_yields_one_range() {
+        let g = Graph::empty(1);
+        for parts in [1, 2, 7] {
+            let r = partition_rows(&g, parts);
+            assert_eq!(r, vec![RowRange { start: 0, end: 1 }]);
+        }
+    }
+
+    #[test]
+    fn all_isolated_nodes_split_evenly() {
+        let g = Graph::empty(8);
+        let r = partition_rows(&g, 4);
+        cover_exactly(&r, 8);
+        assert_eq!(r.len(), 4);
+        for range in &r {
+            assert_eq!(range.len(), 2);
+        }
+    }
+
+    #[test]
+    fn more_parts_than_nodes_caps_at_n() {
+        let g = Graph::empty(3);
+        let r = partition_rows(&g, 16);
+        cover_exactly(&r, 3);
+        assert!(r.len() <= 3);
+    }
+
+    #[test]
+    fn zero_parts_is_treated_as_one() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = partition_rows(&g, 0);
+        assert_eq!(r, vec![RowRange { start: 0, end: 4 }]);
+    }
+
+    #[test]
+    fn hub_row_does_not_starve_other_ranges() {
+        // Node 0 owns almost all edges; the remaining nodes must still be
+        // covered by valid ranges.
+        let edges: Vec<(u32, u32)> = (1..64).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(64, &edges);
+        let r = partition_rows(&g, 4);
+        cover_exactly(&r, 64);
+        // The hub's share exceeds a quarter of the work, so its range is
+        // cut immediately after it.
+        assert_eq!(r[0], RowRange { start: 0, end: 1 });
+    }
+
+    #[test]
+    fn balanced_graph_balances_work() {
+        // Ring: every node has out-degree 1 → perfectly even split.
+        let edges: Vec<(u32, u32)> = (0..12).map(|u| (u, (u + 1) % 12)).collect();
+        let g = Graph::from_edges(12, &edges);
+        let r = partition_rows(&g, 3);
+        cover_exactly(&r, 12);
+        assert_eq!(r.len(), 3);
+        for range in &r {
+            assert_eq!(range.len(), 4);
+        }
+    }
+
+    #[test]
+    fn split_even_handles_degenerate_lengths() {
+        assert!(split_even(0, 4).is_empty());
+        assert_eq!(split_even(1, 4), vec![(0, 1)]);
+        assert_eq!(split_even(5, 0), vec![(0, 5)]);
+        let chunks = split_even(10, 3);
+        assert_eq!(chunks.first().unwrap().0, 0);
+        assert_eq!(chunks.last().unwrap().1, 10);
+        let total: usize = chunks.iter().map(|&(a, b)| b - a).sum();
+        assert_eq!(total, 10);
+        for &(a, b) in &chunks {
+            assert!(b > a);
+        }
+    }
+
+    #[test]
+    fn split_even_more_parts_than_items() {
+        let chunks = split_even(2, 7);
+        assert_eq!(chunks, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn offsets_variant_matches_out_partition() {
+        let edges: Vec<(u32, u32)> = (0..12).map(|u| (u, (u + 1) % 12)).collect();
+        let g = Graph::from_edges(12, &edges);
+        assert_eq!(
+            partition_rows(&g, 3),
+            partition_offsets(g.out_csr().0, 3),
+            "partition_rows is the out-offset specialisation"
+        );
+        assert!(partition_offsets(&[], 4).is_empty());
+        assert!(partition_offsets(&[0], 4).is_empty());
+    }
+}

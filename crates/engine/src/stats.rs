@@ -36,12 +36,28 @@ pub struct KernelStats {
     pub compute_secs: f64,
     /// Seconds spent in `Kernel::finish` (checksum folding).
     pub finish_secs: f64,
+    /// Worker threads the execution plan granted the kernel (1 for
+    /// serial runs and for probed runs, which always execute serially).
+    pub threads_used: u32,
+    /// Cumulative busy seconds per worker thread across all parallel
+    /// sections of the run, indexed by worker. Empty for serial runs;
+    /// the spread between entries makes partition imbalance observable.
+    pub thread_busy_secs: Vec<f64>,
 }
 
 impl KernelStats {
     /// Records a frontier level size, keeping the running maximum.
     pub fn note_frontier_peak(&mut self, level_len: usize) {
         self.frontier_peak = self.frontier_peak.max(level_len as u64);
+    }
+
+    /// Accumulates `secs` of busy time for worker `thread`, growing the
+    /// per-thread table as needed.
+    pub fn note_thread_busy(&mut self, thread: usize, secs: f64) {
+        if self.thread_busy_secs.len() <= thread {
+            self.thread_busy_secs.resize(thread + 1, 0.0);
+        }
+        self.thread_busy_secs[thread] += secs;
     }
 
     /// Total measured seconds across all three phases.

@@ -6,7 +6,7 @@
 
 use gorder::prelude::*;
 use gorder_algos::RunCtx;
-use gorder_engine::run_by_name;
+use gorder_engine::{run_by_name, run_by_name_plan, ExecPlan};
 use proptest::prelude::*;
 
 /// Strategy: a directed graph with up to `max_n` nodes and `max_m` edges.
@@ -116,6 +116,61 @@ proptest! {
         }
         for u in h.nodes() {
             prop_assert!(covered[u as usize], "node {} not dominated", u);
+        }
+    }
+
+    // Parallel plans are a scheduling decision only: at any thread count,
+    // every kernel must return the serial checksum and the serial work
+    // counters on arbitrary graphs.
+    #[test]
+    fn parallel_plans_never_change_results(g in arb_graph(60, 200), threads in 2u32..8) {
+        let ctx = quick_ctx(None);
+        let plan = ExecPlan::with_threads(threads);
+        for name in ["NQ", "BFS", "DFS", "SCC", "SP", "PR", "DS", "Kcore", "Diam"] {
+            let serial = run_by_name(name, &g, &ctx).expect("paper kernel");
+            let par = run_by_name_plan(name, &g, &ctx, plan).expect("paper kernel");
+            prop_assert_eq!(serial.checksum, par.checksum, "{} checksum at {} threads", name, threads);
+            prop_assert_eq!(serial.stats.iterations, par.stats.iterations, "{} iterations", name);
+            prop_assert_eq!(serial.stats.edges_relaxed, par.stats.edges_relaxed, "{} edges", name);
+            prop_assert_eq!(par.stats.threads_used, threads, "{} threads_used", name);
+        }
+    }
+
+    // Relabeling and parallelising commute: for the invariant kernels, a
+    // parallel run on an isomorphic copy (source mapped through the
+    // permutation) must equal the serial run on the original.
+    #[test]
+    fn relabel_and_parallelize_commute(g in arb_graph(60, 200), seed in any::<u64>(), threads in 1u32..8) {
+        let p = arb_perm(g.n(), seed);
+        let h = g.relabel(&p);
+        let src = g.max_degree_node().unwrap_or(0);
+        let ctx_g = quick_ctx(Some(src));
+        let ctx_h = quick_ctx(Some(p.apply(src)));
+        let plan = ExecPlan::with_threads(threads);
+        for name in ["NQ", "BFS", "SP", "SCC", "Kcore"] {
+            let serial_g = run_by_name(name, &g, &ctx_g).expect("paper kernel");
+            let par_h = run_by_name_plan(name, &h, &ctx_h, plan).expect("paper kernel");
+            prop_assert_eq!(
+                serial_g.checksum, par_h.checksum,
+                "{} serial-on-g vs {}-thread-on-relabel", name, threads
+            );
+        }
+    }
+
+    // PageRank's determinism contract is bit-level: the parallel rank
+    // vector must equal the serial one at `f64::to_bits` granularity on
+    // arbitrary graphs and thread counts.
+    #[test]
+    fn pagerank_parallel_is_bit_identical(g in arb_graph(50, 150), threads in 2u32..8) {
+        use gorder_engine::kernels::pagerank::pagerank_with_plan;
+        let serial = pagerank_with_plan(&g, 20, 0.85, ExecPlan::Serial);
+        let par = pagerank_with_plan(&g, 20, 0.85, ExecPlan::with_threads(threads));
+        for u in g.nodes() {
+            prop_assert_eq!(
+                serial.rank[u as usize].to_bits(),
+                par.rank[u as usize].to_bits(),
+                "node {} at {} threads", u, threads
+            );
         }
     }
 

@@ -38,6 +38,7 @@ fn tiny_cfg() -> GridConfig {
         orderings: None,
         algos: Some(vec!["NQ".into(), "BFS".into()]),
         extended: false,
+        threads: 1,
     }
 }
 

@@ -1,0 +1,102 @@
+//! Golden-output tests for the machine-readable surfaces other tools
+//! consume: the fig5/table2 CSV headers and the `--stats` JSON key
+//! sequence. Snapshots live under `tests/golden/`; a mismatch means the
+//! schema drifted — either update the snapshot *and* every reader
+//! (fig6's multi-generation header list, downstream scripts), or revert
+//! the drift. Silent changes are exactly what this file exists to stop.
+
+use gorder_bench::schema::{FIG5_HEADER, FIG5_KNOWN_HEADERS, TABLE2_HEADER};
+use gorder_cli::run_algorithm_budgeted;
+use gorder_graph::Graph;
+use std::path::Path;
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()))
+}
+
+#[test]
+fn fig5_csv_header_matches_golden() {
+    assert_eq!(
+        FIG5_HEADER.join(","),
+        golden("fig5_header.txt").trim_end(),
+        "fig5 CSV schema drifted; update tests/golden/fig5_header.txt AND \
+         the fig6 reader's known-generation list together"
+    );
+}
+
+#[test]
+fn table2_csv_header_matches_golden() {
+    assert_eq!(
+        TABLE2_HEADER.join(","),
+        golden("table2_header.txt").trim_end(),
+        "table2 CSV schema drifted; update tests/golden/table2_header.txt"
+    );
+}
+
+#[test]
+fn fig6_reader_accepts_the_written_generation() {
+    // The two-generation trap this suite was built for: fig5 writes a new
+    // column but fig6's accept-list still only knows the old headers, so
+    // cached grids silently fall back to a full re-run.
+    assert!(
+        FIG5_KNOWN_HEADERS.contains(&FIG5_HEADER),
+        "fig6 would reject the CSV fig5 currently writes"
+    );
+}
+
+/// Extracts the top-level key sequence from the one-line stats JSON
+/// object: a `"key":` at bracket depth 1 (values may be strings or
+/// arrays, so both depth and in-string state are tracked).
+fn top_level_keys(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut keys = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += if bytes[j] == b'\\' { 2 } else { 1 };
+                }
+                if depth == 1 && bytes.get(j + 1) == Some(&b':') {
+                    keys.push(line[start..j].to_string());
+                }
+                i = j;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    keys
+}
+
+#[test]
+fn stats_json_keys_match_golden() {
+    let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)]);
+    let out = run_algorithm_budgeted(&g, "BFS", None, 5, 1, None, 2).unwrap();
+    let line = out.stats_json.expect("run emits a stats line");
+    let want: Vec<String> = golden("stats_keys.txt")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(
+        top_level_keys(&line),
+        want,
+        "--stats JSON schema drifted; update tests/golden/stats_keys.txt \
+         and notify downstream consumers (line: {line})"
+    );
+}
+
+#[test]
+fn key_extractor_handles_strings_and_arrays() {
+    let keys = top_level_keys(r#"{"a":"x:y","b":[1,2],"c":{"inner":1},"d":null}"#);
+    assert_eq!(keys, vec!["a", "b", "c", "d"]);
+}
