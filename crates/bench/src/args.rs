@@ -18,6 +18,10 @@ pub struct HarnessArgs {
     /// Worker threads for the engine-backed kernels (`--threads`); 1 =
     /// serial. Parallel runs produce byte-identical results.
     pub threads: u32,
+    /// JSONL trace destination (`--trace-out`); `None` writes no trace.
+    /// The experiment binaries stream one event per finished cell here,
+    /// so an interrupted sweep is reconstructable from disk.
+    pub trace_out: Option<String>,
     /// Extra free-standing flags the binary may interpret (e.g.
     /// `--by-ordering` for the S1 grouping).
     pub extra: Vec<String>,
@@ -32,6 +36,7 @@ impl Default for HarnessArgs {
             quick: false,
             cell_timeout: None,
             threads: 1,
+            trace_out: None,
             extra: Vec::new(),
         }
     }
@@ -86,6 +91,10 @@ impl HarnessArgs {
                         die::<u32>("--threads must be at least 1");
                     }
                     out.threads = threads;
+                }
+                "--trace-out" => {
+                    out.trace_out =
+                        Some(it.next().unwrap_or_else(|| die("--trace-out needs a path")));
                 }
                 "--quick" => {
                     out.quick = true;
@@ -175,6 +184,14 @@ mod tests {
     fn threads_parse() {
         assert_eq!(parse(&[]).threads, 1);
         assert_eq!(parse(&["--threads", "4"]).threads, 4);
+    }
+
+    #[test]
+    fn trace_out_parses() {
+        assert_eq!(parse(&[]).trace_out, None);
+        let a = parse(&["--trace-out", "results/x.trace.jsonl", "--quick"]);
+        assert_eq!(a.trace_out.as_deref(), Some("results/x.trace.jsonl"));
+        assert!(a.quick, "flags after --trace-out still parse");
     }
 
     #[test]

@@ -12,12 +12,13 @@ use gorder_algos::{GraphAlgorithm, RunCtx};
 use gorder_bench::fmt::{write_csv, Table};
 use gorder_bench::robust::guarded_ordering;
 use gorder_bench::timing::{median_secs, pretty_secs, time_once};
-use gorder_bench::HarnessArgs;
+use gorder_bench::{HarnessArgs, SweepTrace};
 use gorder_cachesim::trace::{pagerank as traced_pr, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, Tracer};
 use gorder_core::budget::ExecOutcome;
 use gorder_core::score::{bandwidth_of, f_score_of};
 use gorder_graph::locality::mean_edge_span;
+use gorder_obs::{CellEvent, PhaseEvent, TraceEvent};
 use gorder_orders::OrderingAlgorithm;
 use std::sync::Arc;
 
@@ -34,6 +35,9 @@ fn main() {
     let pr = gorder_algos::pagerank::Pr;
     let mut csv_rows = Vec::new();
     let timeout = args.cell_timeout_duration();
+    // --trace-out streams one `phase` line per ordering construction and
+    // one `cell` line per PageRank row, flushed as each lands.
+    let mut trace = SweepTrace::open("ablation", &args);
     for d in [
         gorder_graph::datasets::flickr_like(),
         gorder_graph::datasets::pldarc_like(),
@@ -59,11 +63,21 @@ fn main() {
             let o: Arc<dyn OrderingAlgorithm> = Arc::from(o);
             // Guarded: a misbehaving ordering loses its row, not the run.
             let (order_secs, outcome) = time_once(|| guarded_ordering(&o, &g, timeout));
-            let perm = match outcome {
-                ExecOutcome::Completed(p) => p,
+            let skipped_cell = |status: &str| {
+                TraceEvent::Cell(CellEvent {
+                    dataset: d.name.to_string(),
+                    ordering: o.name().to_string(),
+                    algo: "PR".to_string(),
+                    status: status.to_string(),
+                    seconds: f64::NAN,
+                    checksum: 0,
+                })
+            };
+            let (perm, status) = match outcome {
+                ExecOutcome::Completed(p) => (p, "completed"),
                 ExecOutcome::Degraded(p, reason) => {
                     eprintln!("[ablation] {} on {} degraded: {reason}", o.name(), d.name);
-                    p
+                    (p, "degraded")
                 }
                 ExecOutcome::TimedOut => {
                     eprintln!(
@@ -71,6 +85,7 @@ fn main() {
                         o.name(),
                         d.name
                     );
+                    trace.event(&skipped_cell("timed-out"));
                     continue;
                 }
                 ExecOutcome::Failed(msg) => {
@@ -79,11 +94,24 @@ fn main() {
                         o.name(),
                         d.name
                     );
+                    trace.event(&skipped_cell("failed"));
                     continue;
                 }
             };
+            trace.event(&TraceEvent::Phase(PhaseEvent {
+                name: format!("order.{}.{}", d.name, o.name()),
+                seconds: order_secs,
+            }));
             let rg = g.relabel(&perm);
-            let (pr_secs, _) = median_secs(|| pr.run(&rg, &ctx), args.reps);
+            let (pr_secs, pr_checksum) = median_secs(|| pr.run(&rg, &ctx), args.reps);
+            trace.event(&TraceEvent::Cell(CellEvent {
+                dataset: d.name.to_string(),
+                ordering: o.name().to_string(),
+                algo: "PR".to_string(),
+                status: status.to_string(),
+                seconds: pr_secs,
+                checksum: pr_checksum,
+            }));
             let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
             traced_pr(&rg, &mut tracer, &tctx);
             let l1_mr = tracer.stats().l1_miss_rate;
@@ -138,4 +166,5 @@ fn main() {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    trace.finish();
 }

@@ -17,10 +17,12 @@
 
 use gorder_bench::experiment::run_grid_sim;
 use gorder_bench::fmt::{write_csv, Table};
-use gorder_bench::robust::run_grid_robust;
+use gorder_bench::robust::run_grid_robust_observed;
 use gorder_bench::schema::FIG5_HEADER;
 use gorder_bench::timing::pretty_secs;
-use gorder_bench::{run_grid, CellResult, GridConfig, HarnessArgs};
+use gorder_bench::{
+    run_grid, CellResult, CellStatus, GridConfig, HarnessArgs, RobustCell, SweepTrace,
+};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -43,18 +45,32 @@ fn main() {
         "(mode: simulated — stall-model cycles at 4 GHz; pass --wall for wall-clock)".to_string()
     };
     println!("{mode_note}");
+    // --trace-out streams one JSONL line per finished cell (plus the run
+    // manifest up front), so a sweep interrupted partway still leaves a
+    // reconstructable record next to the CSV.
+    let mut trace = SweepTrace::open("fig5", &args);
     let cells = match args.cell_timeout_duration() {
         Some(timeout) => {
-            let report = run_grid_robust(&cfg, Some(timeout), !wall);
+            let report =
+                run_grid_robust_observed(&cfg, Some(timeout), !wall, &mut |c| trace.cell(c));
             report.print_skip_report();
             report.usable()
         }
         None => {
-            if wall {
+            let plain = if wall {
                 run_grid(&cfg)
             } else {
                 run_grid_sim(&cfg)
+            };
+            // unguarded grids either complete every cell or die; anything
+            // we got back is a completed cell
+            for c in &plain {
+                trace.cell(&RobustCell {
+                    result: c.clone(),
+                    status: CellStatus::Completed,
+                });
             }
+            plain
         }
     };
 
@@ -85,6 +101,9 @@ fn main() {
         Ok(p) => eprintln!("[fig5] wrote {}", p.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    // metrics snapshot last: the ordering spans and heap counters the
+    // sweep accumulated become the trace's closing lines
+    trace.finish();
 
     let algos: Vec<String> = dedup(cells.iter().map(|c| c.algo.clone()));
     let datasets: Vec<String> = dedup(cells.iter().map(|c| c.dataset.clone()));

@@ -33,6 +33,12 @@ fn main() {
 fn print_ranking(title: &str, cells: &[CellResult], tie: Option<f64>) {
     let r = rank_counts(cells, tie);
     println!("-- {title}: {} series --", r.series);
+    if r.skipped_no_gorder > 0 {
+        eprintln!(
+            "[fig6] warning: {} series skipped (no Gorder cell to anchor the cap)",
+            r.skipped_no_gorder
+        );
+    }
     let k = r.orderings.len();
     let mut header = vec!["Ordering".to_string()];
     header.extend((1..=k).map(|i| format!("#{i}")));
@@ -40,7 +46,9 @@ fn print_ranking(title: &str, cells: &[CellResult], tie: Option<f64>) {
     let mut t = Table::new(header);
     // sort by mean rank, best first — mirrors the figure's left-to-right
     let mut idx: Vec<usize> = (0..k).collect();
-    idx.sort_by(|&a, &b| r.mean_rank(a).partial_cmp(&r.mean_rank(b)).expect("finite"));
+    // total_cmp: mean_rank is NaN for an ordering with no counted
+    // series, which must sort (last), not panic.
+    idx.sort_by(|&a, &b| r.mean_rank(a).total_cmp(&r.mean_rank(b)));
     for &o in &idx {
         let mut row = vec![r.orderings[o].clone()];
         row.extend(r.counts[o].iter().map(|c| c.to_string()));

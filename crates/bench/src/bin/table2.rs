@@ -10,8 +10,9 @@ use gorder_bench::fmt::{write_csv, Table};
 use gorder_bench::robust::guarded_ordering;
 use gorder_bench::schema::TABLE2_HEADER;
 use gorder_bench::timing::{pretty_secs, time_once};
-use gorder_bench::HarnessArgs;
+use gorder_bench::{HarnessArgs, SweepTrace};
 use gorder_core::budget::ExecOutcome;
+use gorder_obs::{CellEvent, TraceEvent};
 use gorder_orders::OrderingAlgorithm;
 use std::sync::Arc;
 
@@ -43,6 +44,10 @@ fn main() {
         })
         .collect();
 
+    // --trace-out streams one `cell` line per timed ordering (algo
+    // "order"), flushed as it lands — an interrupted table run is
+    // reconstructable from disk.
+    let mut trace = SweepTrace::open("table2", &args);
     let mut skips: Vec<String> = Vec::new();
     for o in &orderings {
         let mut cells = vec![o.name().to_string()];
@@ -50,10 +55,10 @@ fn main() {
             // Guarded: a panicking or runaway ordering marks its cell
             // and the table continues, instead of the whole run dying.
             let (secs, outcome) = time_once(|| guarded_ordering(o, g, timeout));
-            let (shown, note, perm) = match outcome {
+            let (shown, note, perm, status) = match outcome {
                 ExecOutcome::Completed(perm) => {
                     assert_eq!(perm.len(), g.n(), "invalid permutation from {}", o.name());
-                    (pretty_secs(secs), None, Some(perm))
+                    (pretty_secs(secs), None, Some(perm), "completed")
                 }
                 ExecOutcome::Degraded(perm, reason) => {
                     assert_eq!(perm.len(), g.n(), "invalid permutation from {}", o.name());
@@ -61,16 +66,28 @@ fn main() {
                         format!("{}*", pretty_secs(secs)),
                         Some(format!("degraded: {reason}")),
                         Some(perm),
+                        "degraded",
                     )
                 }
-                ExecOutcome::TimedOut => {
-                    ("timeout".to_string(), Some("timed out".to_string()), None)
-                }
-                ExecOutcome::Failed(msg) => ("failed".to_string(), Some(msg), None),
+                ExecOutcome::TimedOut => (
+                    "timeout".to_string(),
+                    Some("timed out".to_string()),
+                    None,
+                    "timed-out",
+                ),
+                ExecOutcome::Failed(msg) => ("failed".to_string(), Some(msg), None, "failed"),
             };
             if let Some(note) = note {
                 skips.push(format!("{} on {}: {note}", o.name(), d.name));
             }
+            trace.event(&TraceEvent::Cell(CellEvent {
+                dataset: d.name.to_string(),
+                ordering: o.name().to_string(),
+                algo: "order".to_string(),
+                status: status.to_string(),
+                seconds: if perm.is_some() { secs } else { f64::NAN },
+                checksum: 0,
+            }));
             // Layout sanity probe: one engine BFS on the relabeled graph.
             // Equal work counters across orderings confirm every layout
             // solves the same instance; empty cells mark unusable layouts.
@@ -119,4 +136,5 @@ fn main() {
         Ok(p) => println!("\nwrote {}", p.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    trace.finish();
 }

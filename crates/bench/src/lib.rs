@@ -25,10 +25,13 @@ pub mod ranking;
 pub mod robust;
 pub mod schema;
 pub mod timing;
+pub mod tracefile;
 
 pub use args::HarnessArgs;
 pub use experiment::{run_grid, CellResult, GridConfig};
 pub use ranking::{rank_counts, Ranking};
 pub use robust::{
-    run_grid_robust, run_grid_robust_with, run_guarded, CellStatus, RobustCell, SweepReport,
+    run_grid_robust, run_grid_robust_observed, run_grid_robust_with, run_grid_robust_with_observed,
+    run_guarded, CellStatus, RobustCell, SweepReport,
 };
+pub use tracefile::SweepTrace;

@@ -19,6 +19,11 @@ pub struct Ranking {
     pub counts: Vec<Vec<u32>>,
     /// Number of series aggregated.
     pub series: u32,
+    /// Series skipped because a `tie_factor` cap was requested but the
+    /// series has no `"Gorder"` cell to anchor it. Ranking such a series
+    /// uncapped would silently mix two different metrics into one
+    /// histogram, so they are dropped and counted here instead.
+    pub skipped_no_gorder: u32,
 }
 
 impl Ranking {
@@ -47,11 +52,28 @@ impl Ranking {
     }
 }
 
+/// Sort/tie key that tolerates the non-finite times a timed-out robust
+/// cell produces: finite times order normally; NaN and ±inf all collapse
+/// into one group that sorts after every finite time. (Plain `total_cmp`
+/// is not enough — it puts `-inf` *first* and breaks NaN tie-grouping,
+/// since `NaN != NaN`.)
+fn rank_key(t: f64) -> (u8, f64) {
+    if t.is_finite() {
+        (0, t)
+    } else {
+        (1, 0.0)
+    }
+}
+
 /// Aggregates rank counts from grid cells.
 ///
 /// `tie_factor`: if `Some(f)`, every runtime in a series is capped at
 /// `f ×` that series' Gorder runtime before ranking (the replication uses
-/// 1.5 when reading the original paper's figure).
+/// 1.5 when reading the original paper's figure). Series without a
+/// `"Gorder"` cell cannot be capped and are skipped (see
+/// [`Ranking::skipped_no_gorder`]); with `tie_factor: None` they rank
+/// normally. Non-finite times (timed-out cells) never panic: they rank
+/// last, tied with each other, and are exempt from the cap.
 pub fn rank_counts(cells: &[CellResult], tie_factor: Option<f64>) -> Ranking {
     // group cells by (dataset, algo)
     let mut series: BTreeMap<(String, String), Vec<&CellResult>> = BTreeMap::new();
@@ -68,23 +90,36 @@ pub fn rank_counts(cells: &[CellResult], tie_factor: Option<f64>) -> Ranking {
     let k = orderings.len();
     let mut counts = vec![vec![0u32; k]; k];
     let mut nseries = 0;
+    let mut skipped_no_gorder = 0;
     for cells in series.values() {
         if cells.len() != k {
             continue; // incomplete series (filtered grids): skip
         }
+        let gorder_secs = cells
+            .iter()
+            .find(|c| c.ordering == "Gorder")
+            .map(|g| g.seconds);
+        let cap = match (tie_factor, gorder_secs) {
+            (Some(f), Some(g)) => Some(g * f),
+            (Some(_), None) => {
+                // A cap was requested but there is nothing to anchor it
+                // to; ranking this series uncapped would corrupt the
+                // histogram, so drop it and let the caller report it.
+                skipped_no_gorder += 1;
+                continue;
+            }
+            (None, _) => None,
+        };
         nseries += 1;
-        let cap = tie_factor.and_then(|f| {
-            cells
-                .iter()
-                .find(|c| c.ordering == "Gorder")
-                .map(|g| g.seconds * f)
-        });
         let mut timed: Vec<(f64, usize)> = cells
             .iter()
             .map(|c| {
+                // Non-finite times (timed-out cells) stay non-finite so
+                // they rank last; `f64::min` would silently swallow a
+                // NaN into the cap.
                 let t = match cap {
-                    Some(cap) => c.seconds.min(cap),
-                    None => c.seconds,
+                    Some(cap) if c.seconds.is_finite() => c.seconds.min(cap),
+                    _ => c.seconds,
                 };
                 let idx = orderings
                     .iter()
@@ -93,13 +128,16 @@ pub fn rank_counts(cells: &[CellResult], tie_factor: Option<f64>) -> Ranking {
                 (t, idx)
             })
             .collect();
-        timed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        timed.sort_by(|a, b| {
+            let (ka, kb) = (rank_key(a.0), rank_key(b.0));
+            ka.0.cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
+        });
         // ties share the best rank of their group
         let mut rank = 0;
         let mut i = 0;
         while i < timed.len() {
             let mut j = i;
-            while j < timed.len() && timed[j].0 == timed[i].0 {
+            while j < timed.len() && rank_key(timed[j].0) == rank_key(timed[i].0) {
                 j += 1;
             }
             for &(_, o) in &timed[i..j] {
@@ -113,6 +151,7 @@ pub fn rank_counts(cells: &[CellResult], tie_factor: Option<f64>) -> Ranking {
         orderings,
         counts,
         series: nseries,
+        skipped_no_gorder,
     }
 }
 
@@ -187,6 +226,74 @@ mod tests {
         ];
         let r = rank_counts(&cells, None);
         assert_eq!(r.series, 1);
+    }
+
+    #[test]
+    fn nan_time_ranks_last_without_panicking() {
+        // A timed-out robust cell reports a non-finite time; ranking the
+        // grid used to panic inside `partial_cmp().expect("finite
+        // times")`, losing the whole sweep.
+        let cells = vec![
+            cell("d", "A", "Gorder", 1.0),
+            cell("d", "A", "RCM", 2.0),
+            cell("d", "A", "Random", f64::NAN),
+        ];
+        let r = rank_counts(&cells, None);
+        assert_eq!(r.series, 1);
+        let g = r.index_of("Gorder").unwrap();
+        let rc = r.index_of("RCM").unwrap();
+        let rd = r.index_of("Random").unwrap();
+        assert_eq!(r.counts[g], vec![1, 0, 0]);
+        assert_eq!(r.counts[rc], vec![0, 1, 0]);
+        assert_eq!(r.counts[rd], vec![0, 0, 1], "NaN must rank last");
+    }
+
+    #[test]
+    fn all_non_finite_times_tie_last() {
+        // NaN and ±inf all collapse into one tied last group — and the
+        // cap must not swallow them (`NaN.min(cap)` returns `cap`).
+        let cells = vec![
+            cell("d", "A", "Gorder", 1.0),
+            cell("d", "A", "X", f64::INFINITY),
+            cell("d", "A", "Y", f64::NAN),
+            cell("d", "A", "Z", f64::NEG_INFINITY),
+        ];
+        let r = rank_counts(&cells, Some(1.5));
+        assert_eq!(r.series, 1);
+        for name in ["X", "Y", "Z"] {
+            let o = r.index_of(name).unwrap();
+            assert_eq!(r.counts[o], vec![0, 1, 0, 0], "{name} must tie at rank 1");
+        }
+        assert_eq!(r.firsts(r.index_of("Gorder").unwrap()), 1);
+    }
+
+    #[test]
+    fn missing_gorder_skipped_when_capped() {
+        // A filtered grid (e.g. `--orderings Random,RCM`) has no Gorder
+        // anchor anywhere; with a cap requested, every series used to be
+        // silently ranked *uncapped* — now each is skipped and counted.
+        let cells = vec![
+            cell("d1", "A", "Random", 1.0),
+            cell("d1", "A", "RCM", 2.0),
+            cell("d2", "A", "Random", 4.0),
+            cell("d2", "A", "RCM", 3.0),
+        ];
+        let r = rank_counts(&cells, Some(1.5));
+        assert_eq!(r.series, 0);
+        assert_eq!(r.skipped_no_gorder, 2);
+        let total: u32 = r.counts.iter().flatten().sum();
+        assert_eq!(total, 0, "skipped series must contribute no counts");
+    }
+
+    #[test]
+    fn missing_gorder_ranks_normally_uncapped() {
+        // With no tie factor there is nothing to anchor, so series
+        // without Gorder rank as usual (the documented fallback).
+        let cells = vec![cell("d", "A", "Random", 2.0), cell("d", "A", "RCM", 1.0)];
+        let r = rank_counts(&cells, None);
+        assert_eq!(r.series, 1);
+        assert_eq!(r.skipped_no_gorder, 0);
+        assert_eq!(r.firsts(r.index_of("RCM").unwrap()), 1);
     }
 
     #[test]

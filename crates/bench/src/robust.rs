@@ -220,6 +220,21 @@ pub fn guarded_ordering(
 /// [`run_grid_sim`](crate::experiment::run_grid_sim), using the pool of
 /// orderings implied by `cfg`.
 pub fn run_grid_robust(cfg: &GridConfig, timeout: Option<Duration>, sim: bool) -> SweepReport {
+    run_grid_robust_observed(cfg, timeout, sim, &mut |_| {})
+}
+
+/// [`run_grid_robust`] with a cell observer: `on_cell` fires for **every**
+/// cell the moment its fate is decided — completed, degraded, timed out,
+/// or failed — before the sweep moves on. This is how the experiment
+/// binaries stream trace events to disk as the grid runs, so an
+/// interrupted sweep leaves a reconstructable record of everything that
+/// finished.
+pub fn run_grid_robust_observed(
+    cfg: &GridConfig,
+    timeout: Option<Duration>,
+    sim: bool,
+    on_cell: &mut dyn FnMut(&RobustCell),
+) -> SweepReport {
     let pool = if cfg.extended {
         gorder_orders::extensions::extended(cfg.seed)
     } else {
@@ -233,7 +248,7 @@ pub fn run_grid_robust(cfg: &GridConfig, timeout: Option<Duration>, sim: bool) -
         })
         .map(Arc::from)
         .collect();
-    run_grid_robust_with(cfg, timeout, sim, pool)
+    run_grid_robust_with_observed(cfg, timeout, sim, pool, on_cell)
 }
 
 /// Guarded sweep over an explicit ordering pool — the entry point the
@@ -245,6 +260,25 @@ pub fn run_grid_robust_with(
     timeout: Option<Duration>,
     sim: bool,
     orderings: Vec<Arc<dyn OrderingAlgorithm>>,
+) -> SweepReport {
+    run_grid_robust_with_observed(cfg, timeout, sim, orderings, &mut |_| {})
+}
+
+/// Appends `cell` to the report, notifying the observer first — every
+/// cell the sweep records flows through here exactly once.
+fn emit(report: &mut SweepReport, on_cell: &mut dyn FnMut(&RobustCell), cell: RobustCell) {
+    on_cell(&cell);
+    report.cells.push(cell);
+}
+
+/// [`run_grid_robust_with`] plus the [`run_grid_robust_observed`] cell
+/// observer.
+pub fn run_grid_robust_with_observed(
+    cfg: &GridConfig,
+    timeout: Option<Duration>,
+    sim: bool,
+    orderings: Vec<Arc<dyn OrderingAlgorithm>>,
+    on_cell: &mut dyn FnMut(&RobustCell),
 ) -> SweepReport {
     let algos: Vec<Arc<dyn GraphAlgorithm>> = if cfg.extended {
         gorder_algos::extended()
@@ -278,20 +312,28 @@ pub fn run_grid_robust_with(
                 ExecOutcome::Degraded(p, reason) => (p, CellStatus::Degraded(reason)),
                 ExecOutcome::TimedOut => {
                     for a in &algos {
-                        report.cells.push(RobustCell {
-                            result: blank(a.name()),
-                            status: CellStatus::TimedOut,
-                        });
+                        emit(
+                            &mut report,
+                            on_cell,
+                            RobustCell {
+                                result: blank(a.name()),
+                                status: CellStatus::TimedOut,
+                            },
+                        );
                     }
                     eprintln!("[grid/robust]   {} timed out", o.name());
                     continue;
                 }
                 ExecOutcome::Failed(msg) => {
                     for a in &algos {
-                        report.cells.push(RobustCell {
-                            result: blank(a.name()),
-                            status: CellStatus::Failed(msg.clone()),
-                        });
+                        emit(
+                            &mut report,
+                            on_cell,
+                            RobustCell {
+                                result: blank(a.name()),
+                                status: CellStatus::Failed(msg.clone()),
+                            },
+                        );
                     }
                     eprintln!("[grid/robust]   {} failed: {msg}", o.name());
                     continue;
@@ -304,10 +346,14 @@ pub fn run_grid_robust_with(
                     g.n()
                 );
                 for a in &algos {
-                    report.cells.push(RobustCell {
-                        result: blank(a.name()),
-                        status: CellStatus::Failed(msg.clone()),
-                    });
+                    emit(
+                        &mut report,
+                        on_cell,
+                        RobustCell {
+                            result: blank(a.name()),
+                            status: CellStatus::Failed(msg.clone()),
+                        },
+                    );
                 }
                 eprintln!("[grid/robust]   {} {msg}", o.name());
                 continue;
@@ -322,20 +368,28 @@ pub fn run_grid_robust_with(
                         result.seconds = seconds;
                         result.checksum = checksum;
                         result.stats = stats;
-                        report.cells.push(RobustCell {
-                            result,
-                            status: ordering_status.clone(),
-                        });
+                        emit(
+                            &mut report,
+                            on_cell,
+                            RobustCell {
+                                result,
+                                status: ordering_status.clone(),
+                            },
+                        );
                         continue;
                     }
                     ExecOutcome::Degraded(_, reason) => CellStatus::Degraded(reason),
                     ExecOutcome::TimedOut => CellStatus::TimedOut,
                     ExecOutcome::Failed(msg) => CellStatus::Failed(msg),
                 };
-                report.cells.push(RobustCell {
-                    result: blank(a.name()),
-                    status,
-                });
+                emit(
+                    &mut report,
+                    on_cell,
+                    RobustCell {
+                        result: blank(a.name()),
+                        status,
+                    },
+                );
             }
             eprintln!(
                 "[grid/robust]   {} done ({})",
@@ -549,6 +603,35 @@ mod tests {
         assert_eq!(report.skipped().len(), 4);
         assert_eq!(report.usable().len(), 4);
         report.print_skip_report();
+    }
+
+    #[test]
+    fn observer_sees_every_cell_in_report_order() {
+        let cfg = tiny_cfg();
+        let pool: Vec<Arc<dyn OrderingAlgorithm>> =
+            vec![Arc::new(gorder_orders::Original), Arc::new(Panicker)];
+        let mut seen: Vec<(String, String, &'static str)> = Vec::new();
+        let report = run_grid_robust_with_observed(
+            &cfg,
+            Some(Duration::from_secs(60)),
+            false,
+            pool,
+            &mut |c| {
+                seen.push((
+                    c.result.ordering.clone(),
+                    c.result.algo.clone(),
+                    c.status.label(),
+                ));
+            },
+        );
+        // failed cells stream through the observer just like completed ones
+        assert_eq!(seen.len(), report.cells.len());
+        assert_eq!(report.skipped().len(), 2);
+        for (s, c) in seen.iter().zip(&report.cells) {
+            assert_eq!(s.0, c.result.ordering);
+            assert_eq!(s.1, c.result.algo);
+            assert_eq!(s.2, c.status.label());
+        }
     }
 
     #[test]

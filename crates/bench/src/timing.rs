@@ -19,7 +19,10 @@ pub fn median_secs<F: FnMut() -> u64>(mut f: F, reps: u32) -> (f64, u64) {
         checksum = std::hint::black_box(f());
         times.push(start.elapsed().as_secs_f64());
     }
-    times.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
+    // `total_cmp`, not `partial_cmp().expect(...)`: a non-finite time
+    // (possible once budgeted/robust paths flow through here) must not
+    // panic mid-sweep and lose every other measurement.
+    times.sort_by(f64::total_cmp);
     (times[times.len() / 2], checksum)
 }
 
@@ -31,15 +34,38 @@ pub fn time_once<T, F: FnOnce() -> T>(f: F) -> (f64, T) {
 }
 
 /// Human-friendly duration: `421ms`, `3.2s`, `4m07s`.
+///
+/// Values are bucketed *after* rounding to the bucket's display
+/// precision, so a value that rounds up to the next unit carries into it
+/// (`59.96` → `1m00s`, not `60.0s`; `119.995` → `2m00s`, not `1m60s`).
+/// The carry checks compare the rendered text rather than pre-rounding
+/// the float, so in-bucket values keep `format!`'s round-half-to-even
+/// behaviour (`3.25` stays `3.2s`).
 pub fn pretty_secs(s: f64) -> String {
-    if s < 1.0 {
-        format!("{:.0}ms", s * 1e3)
-    } else if s < 60.0 {
-        format!("{s:.1}s")
-    } else {
-        let m = (s / 60.0).floor();
-        format!("{}m{:02.0}s", m as u64, s - m * 60.0)
+    if !s.is_finite() {
+        return format!("{s}s");
     }
+    if s < 1.0 {
+        let ms = format!("{:.0}", s * 1e3);
+        if ms != "1000" {
+            return format!("{ms}ms");
+        }
+        return "1.0s".to_string(); // 0.9996s renders as 1000ms: carry
+    }
+    if s < 60.0 {
+        let secs = format!("{s:.1}");
+        if secs != "60.0" {
+            return format!("{secs}s");
+        }
+        return "1m00s".to_string(); // 59.96s renders as 60.0s: carry
+    }
+    let mut m = (s / 60.0).floor() as u64;
+    let mut rem = format!("{:02.0}", s - (m as f64) * 60.0);
+    if rem == "60" {
+        m += 1; // 119.995s: the remainder rounds up to a whole minute
+        rem = "00".to_string();
+    }
+    format!("{m}m{rem}s")
 }
 
 #[cfg(test)]
@@ -73,6 +99,38 @@ mod tests {
         assert_eq!(pretty_secs(0.004), "4ms");
         assert_eq!(pretty_secs(3.25), "3.2s");
         assert_eq!(pretty_secs(247.0), "4m07s");
+    }
+
+    #[test]
+    fn pretty_carries_across_unit_boundaries() {
+        // Each bucket's rounding used to be applied after bucketing,
+        // producing "60.0s" and "1m60s" at the boundaries.
+        assert_eq!(pretty_secs(0.9996), "1.0s");
+        assert_eq!(pretty_secs(59.96), "1m00s");
+        assert_eq!(pretty_secs(119.995), "2m00s");
+        // Just inside each bucket nothing carries.
+        assert_eq!(pretty_secs(0.9994), "999ms");
+        assert_eq!(pretty_secs(59.94), "59.9s");
+        assert_eq!(pretty_secs(119.4), "1m59s");
+        assert_eq!(pretty_secs(60.0), "1m00s");
+        assert_eq!(pretty_secs(1.0), "1.0s");
+    }
+
+    #[test]
+    fn pretty_tolerates_non_finite() {
+        assert_eq!(pretty_secs(f64::NAN), "NaNs");
+        assert_eq!(pretty_secs(f64::INFINITY), "infs");
+    }
+
+    #[test]
+    fn median_survives_non_finite_times() {
+        // The sort must be total: push a NaN through the same comparator
+        // the measurement path uses.
+        let mut ts = [2.0, f64::NAN, 1.0];
+        ts.sort_by(f64::total_cmp);
+        assert_eq!(ts[0], 1.0);
+        assert_eq!(ts[1], 2.0);
+        assert!(ts[2].is_nan());
     }
 
     #[test]

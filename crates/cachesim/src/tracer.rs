@@ -9,6 +9,87 @@
 
 use crate::hierarchy::{CacheHierarchy, CacheStats};
 use crate::stall::{StallBreakdown, StallModel};
+use gorder_obs::Histogram;
+use std::collections::HashMap;
+
+/// Bucket upper bounds for [`Tracer::reuse_histogram`]: powers of two
+/// from 1 to 2²³ distinct lines (plus the implicit overflow bucket).
+/// Fixed by this spec — never by the trace — so reuse profiles from
+/// different runs and orderings are comparable bin-for-bin.
+pub const REUSE_DISTANCE_BOUNDS: [f64; 24] = {
+    let mut b = [0.0; 24];
+    let mut i = 0;
+    while i < 24 {
+        b[i] = (1u64 << i) as f64;
+        i += 1;
+    }
+    b
+};
+
+/// Exact LRU reuse distances over cache lines: for each access, the
+/// number of *distinct other lines* touched since the previous access to
+/// the same line (0 = immediate re-reference; cold first touches are not
+/// recorded). Implemented with the classic Bennett–Kruskal scheme — a
+/// Fenwick tree marking each line's most recent access time — so each
+/// access costs `O(log T)`.
+#[derive(Debug, Clone)]
+struct ReuseTracker {
+    last: HashMap<u64, u64>,
+    tree: Vec<u64>, // 1-indexed Fenwick tree over access times
+    now: u64,
+    hist: Histogram,
+}
+
+impl ReuseTracker {
+    fn new() -> Self {
+        ReuseTracker {
+            last: HashMap::new(),
+            tree: vec![0],
+            now: 0,
+            hist: Histogram::new(&REUSE_DISTANCE_BOUNDS),
+        }
+    }
+
+    fn add(&mut self, mut i: u64, delta: i64) {
+        while (i as usize) < self.tree.len() {
+            self.tree[i as usize] = self.tree[i as usize].wrapping_add(delta as u64);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn prefix(&self, mut i: u64) -> u64 {
+        let mut s = 0u64;
+        while i > 0 {
+            s = s.wrapping_add(self.tree[i as usize]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    fn record(&mut self, line: u64) {
+        self.now += 1;
+        let t = self.now;
+        if self.tree.len() <= t as usize {
+            self.tree.resize((t as usize + 1).next_power_of_two(), 0);
+            // Rebuild: Fenwick trees cannot simply be zero-extended,
+            // because parent ranges change size. Re-inserting the live
+            // marks is O(L log T) and happens O(log T) times.
+            for v in &mut self.tree {
+                *v = 0;
+            }
+            let marks: Vec<u64> = self.last.values().copied().collect();
+            for m in marks {
+                self.add(m, 1);
+            }
+        }
+        if let Some(prev) = self.last.insert(line, t) {
+            let distance = self.prefix(t - 1) - self.prefix(prev);
+            self.add(prev, -1);
+            self.hist.observe(distance as f64);
+        }
+        self.add(t, 1);
+    }
+}
 
 /// A virtual array: base address + element size.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +128,7 @@ pub struct Tracer {
     hierarchy: CacheHierarchy,
     ops: u64,
     bump: u64,
+    reuse: Option<ReuseTracker>,
 }
 
 /// Heap base: arbitrary, line-aligned, nonzero so address 0 is never used.
@@ -59,7 +141,25 @@ impl Tracer {
             hierarchy,
             ops: 0,
             bump: HEAP_BASE,
+            reuse: None,
         }
+    }
+
+    /// Turns on exact reuse-distance tracking (off by default: it costs
+    /// `O(log T)` per access plus a last-access map). Distances land in
+    /// the fixed [`REUSE_DISTANCE_BOUNDS`] buckets, readable via
+    /// [`Tracer::reuse_histogram`].
+    pub fn enable_reuse_tracking(&mut self) {
+        if self.reuse.is_none() {
+            self.reuse = Some(ReuseTracker::new());
+        }
+    }
+
+    /// The reuse-distance histogram, if tracking was enabled. One
+    /// observation per warm line access; cold first touches are not
+    /// counted (their distance is undefined, not merely large).
+    pub fn reuse_histogram(&self) -> Option<&Histogram> {
+        self.reuse.as_ref().map(|r| &r.hist)
     }
 
     /// Allocates a virtual array of `len` elements of `elem_bytes` each,
@@ -80,7 +180,11 @@ impl Tracer {
     /// this model).
     #[inline]
     pub fn touch(&mut self, arr: &VArray, i: usize) {
-        self.hierarchy.access(arr.addr(i));
+        let addr = arr.addr(i);
+        self.hierarchy.access(addr);
+        if let Some(reuse) = &mut self.reuse {
+            reuse.record(addr / 64);
+        }
     }
 
     /// Counts `n` non-memory operations.
@@ -152,6 +256,58 @@ mod tests {
         assert_eq!(t.ops(), 7);
         let b = t.breakdown(&StallModel::skylake());
         assert_eq!(b.cpu_cycles, 7.0);
+    }
+
+    #[test]
+    fn reuse_tracking_is_opt_in() {
+        let mut t = tracer();
+        let a = t.alloc(16, 4);
+        t.touch(&a, 0);
+        assert!(t.reuse_histogram().is_none());
+    }
+
+    #[test]
+    fn reuse_distances_are_exact() {
+        let mut t = tracer();
+        t.enable_reuse_tracking();
+        // One element per line (64-byte elements) so touches map 1:1 to
+        // lines: A B A → A reused over {B} → distance 1;
+        // then B reused over {A} → distance 1; then B again → 0.
+        let a = t.alloc(4, 64);
+        t.touch(&a, 0); // A cold
+        t.touch(&a, 1); // B cold
+        t.touch(&a, 0); // A: distance 1
+        t.touch(&a, 1); // B: distance 1
+        t.touch(&a, 1); // B: distance 0
+        let h = t.reuse_histogram().unwrap();
+        assert_eq!(h.total(), 3, "cold touches are not recorded");
+        // distances {1, 1, 0} all land in the ≤1 bucket
+        assert_eq!(h.counts()[0], 3);
+        assert_eq!(h.sum(), 2.0);
+    }
+
+    #[test]
+    fn reuse_scan_of_k_lines_has_distance_k_minus_1() {
+        let mut t = tracer();
+        t.enable_reuse_tracking();
+        let k = 100usize;
+        let a = t.alloc(k, 64);
+        for _ in 0..3 {
+            for i in 0..k {
+                t.touch(&a, i);
+            }
+        }
+        // Each warm access in a cyclic scan of k distinct lines reuses
+        // over exactly the other k−1 lines.
+        let h = t.reuse_histogram().unwrap();
+        assert_eq!(h.total(), (2 * k) as u64);
+        assert_eq!(h.sum(), (2 * k * (k - 1)) as f64);
+        // 64 < 99 ≤ 128: all mass in the ≤128 bucket.
+        let idx = REUSE_DISTANCE_BOUNDS
+            .iter()
+            .position(|&b| b == 128.0)
+            .unwrap();
+        assert_eq!(h.counts()[idx], (2 * k) as u64);
     }
 
     #[test]

@@ -89,23 +89,15 @@ pub struct CmdOutput {
     /// One JSON line of per-kernel execution metrics (`run`/`simulate`
     /// commands only; printed by the binary under `--stats`).
     pub stats_json: Option<String>,
+    /// Structured trace events for this command (`run`/`simulate` emit
+    /// one kernel event); the binary writes them under `--trace-out`,
+    /// after the manifest it builds from the flags.
+    pub trace_events: Vec<gorder_obs::TraceEvent>,
 }
 
-/// Minimal JSON string escaping for the hand-rolled stats line.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Renders one JSON object line of run metadata + [`KernelStats`].
+/// Renders one JSON object line of run metadata + [`KernelStats`] via the
+/// shared `gorder_obs::json` writer (same escaper and number formatting
+/// as the trace sink, so the two surfaces never drift).
 ///
 /// `engine` is true for the nine engine-backed kernels, whose counters
 /// are real; extension algorithms report zeroed stats.
@@ -116,39 +108,79 @@ fn stats_json_line(
     seconds: f64,
     stats: &KernelStats,
 ) -> String {
-    let ordering = match ordering {
-        Some(o) => format!("\"{}\"", json_escape(o)),
-        None => "null".to_string(),
+    gorder_obs::json::JsonObject::new()
+        .str("algo", algo)
+        .opt_str("ordering", ordering)
+        .u64("checksum", checksum)
+        .f64("seconds", seconds)
+        .bool("engine", gorder_engine::is_kernel(algo))
+        .u64("iterations", stats.iterations)
+        .u64("edges_relaxed", stats.edges_relaxed)
+        .u64("frontier_pushes", stats.frontier_pushes)
+        .u64("frontier_peak", stats.frontier_peak)
+        .f64("init_secs", stats.init_secs)
+        .f64("compute_secs", stats.compute_secs)
+        .f64("finish_secs", stats.finish_secs)
+        .u64("threads_used", u64::from(stats.threads_used))
+        .f64_array("thread_busy_secs", &stats.thread_busy_secs)
+        .finish()
+}
+
+/// Builds the trace twin of the stats line: a structured
+/// [`KernelEvent`](gorder_obs::KernelEvent) with the same fields, keyed
+/// for the JSONL sink.
+fn kernel_trace_event(
+    algo: &str,
+    ordering: Option<&str>,
+    checksum: u64,
+    seconds: f64,
+    threads: u32,
+    stats: &KernelStats,
+) -> gorder_obs::TraceEvent {
+    let engine = if !gorder_engine::is_kernel(algo) {
+        "extension"
+    } else if threads > 1 {
+        "parallel"
+    } else {
+        "serial"
     };
-    // Busy seconds per worker: empty for serial runs. Rust's float
-    // Display always produces valid JSON numbers for finite values.
-    let busy = stats
-        .thread_busy_secs
-        .iter()
-        .map(|s| s.to_string())
-        .collect::<Vec<_>>()
-        .join(",");
-    format!(
-        "{{\"algo\":\"{}\",\"ordering\":{},\"checksum\":{},\"seconds\":{},\
-         \"engine\":{},\"iterations\":{},\"edges_relaxed\":{},\
-         \"frontier_pushes\":{},\"frontier_peak\":{},\"init_secs\":{},\
-         \"compute_secs\":{},\"finish_secs\":{},\"threads_used\":{},\
-         \"thread_busy_secs\":[{}]}}",
-        json_escape(algo),
-        ordering,
+    gorder_obs::TraceEvent::Kernel(gorder_obs::KernelEvent {
+        algo: algo.to_string(),
+        ordering: ordering.unwrap_or("Original").to_string(),
         checksum,
         seconds,
-        gorder_engine::is_kernel(algo),
-        stats.iterations,
-        stats.edges_relaxed,
-        stats.frontier_pushes,
-        stats.frontier_peak,
-        stats.init_secs,
-        stats.compute_secs,
-        stats.finish_secs,
-        stats.threads_used,
-        busy,
-    )
+        engine: engine.to_string(),
+        iterations: stats.iterations,
+        edges_relaxed: stats.edges_relaxed,
+        frontier_pushes: stats.frontier_pushes,
+        frontier_peak: stats.frontier_peak,
+        init_secs: stats.init_secs,
+        compute_secs: stats.compute_secs,
+        finish_secs: stats.finish_secs,
+        threads_used: u64::from(stats.threads_used),
+        thread_busy_secs: stats.thread_busy_secs.iter().sum(),
+    })
+}
+
+/// `validate-trace` subcommand: checks that every line of the file at
+/// `path` passes the strict JSON parser and that the first line is a
+/// manifest with a supported schema version. Returns a one-line summary.
+pub fn validate_trace_file(path: &Path) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Failed(format!("cannot read {}: {e}", path.display())))?;
+    let summary = gorder_obs::validate_jsonl(&text)
+        .map_err(|e| CliError::Failed(format!("{}: {e}", path.display())))?;
+    let kinds = summary
+        .by_kind
+        .iter()
+        .map(|(k, n)| format!("{n} {k}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    Ok(format!(
+        "{}: valid trace, {} lines ({kinds})",
+        path.display(),
+        summary.lines
+    ))
 }
 
 /// Builds the [`Budget`] for a `--timeout` flag; `None` is unlimited.
@@ -357,6 +389,14 @@ pub fn run_algorithm_budgeted(
             seconds,
             &stats,
         )),
+        trace_events: vec![kernel_trace_event(
+            a.name(),
+            ordering,
+            checksum,
+            seconds,
+            threads,
+            &stats,
+        )],
     })
 }
 
@@ -413,6 +453,9 @@ pub fn simulate_algorithm_budgeted(
         ),
         degraded,
         stats_json: Some(stats_json_line(algo, ordering, checksum, seconds, &stats)),
+        trace_events: vec![kernel_trace_event(
+            algo, ordering, checksum, seconds, 1, &stats,
+        )],
     })
 }
 
@@ -542,146 +585,10 @@ mod tests {
         }
     }
 
-    /// Minimal strict JSON-object parser for validating the `--stats`
-    /// line: returns top-level keys mapped to their raw value text.
-    /// Supports strings, numbers, booleans, and null — the grammar the
-    /// stats line uses — and rejects trailing garbage.
-    fn parse_json_object(line: &str) -> Result<std::collections::BTreeMap<String, String>, String> {
-        struct P<'a> {
-            b: &'a [u8],
-            i: usize,
-        }
-        impl P<'_> {
-            fn err(&self, what: &str) -> String {
-                format!("{what} at byte {}", self.i)
-            }
-            fn eat(&mut self, c: u8) -> Result<(), String> {
-                if self.b.get(self.i) == Some(&c) {
-                    self.i += 1;
-                    Ok(())
-                } else {
-                    Err(self.err(&format!("expected {:?}", c as char)))
-                }
-            }
-            fn string(&mut self) -> Result<String, String> {
-                self.eat(b'"')?;
-                let start = self.i;
-                loop {
-                    match self.b.get(self.i) {
-                        None => return Err(self.err("unterminated string")),
-                        Some(b'"') => break,
-                        Some(b'\\') => {
-                            match self.b.get(self.i + 1) {
-                                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
-                                    self.i += 2;
-                                }
-                                Some(b'u') => {
-                                    let hex = self.b.get(self.i + 2..self.i + 6);
-                                    let ok = hex
-                                        .is_some_and(|h| h.iter().all(|c| c.is_ascii_hexdigit()));
-                                    if !ok {
-                                        return Err(self.err("bad \\u escape"));
-                                    }
-                                    self.i += 6;
-                                }
-                                _ => return Err(self.err("bad escape")),
-                            };
-                        }
-                        Some(c) if *c < 0x20 => return Err(self.err("raw control char")),
-                        Some(_) => self.i += 1,
-                    }
-                }
-                let s = String::from_utf8(self.b[start..self.i].to_vec())
-                    .map_err(|_| self.err("non-utf8"))?;
-                self.eat(b'"')?;
-                Ok(s)
-            }
-            fn number(&mut self) -> Result<(), String> {
-                let start = self.i;
-                if self.b.get(self.i) == Some(&b'-') {
-                    self.i += 1;
-                }
-                let digits = |p: &mut Self| {
-                    let s = p.i;
-                    while p.b.get(p.i).is_some_and(u8::is_ascii_digit) {
-                        p.i += 1;
-                    }
-                    p.i > s
-                };
-                if !digits(self) {
-                    return Err(self.err("expected digits"));
-                }
-                if self.b.get(self.i) == Some(&b'.') {
-                    self.i += 1;
-                    if !digits(self) {
-                        return Err(self.err("expected fraction digits"));
-                    }
-                }
-                if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
-                    self.i += 1;
-                    if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
-                        self.i += 1;
-                    }
-                    if !digits(self) {
-                        return Err(self.err("expected exponent digits"));
-                    }
-                }
-                let _ = start;
-                Ok(())
-            }
-            fn value(&mut self) -> Result<String, String> {
-                let start = self.i;
-                match self.b.get(self.i) {
-                    Some(b'"') => {
-                        self.string()?;
-                    }
-                    Some(b't') if self.b[self.i..].starts_with(b"true") => self.i += 4,
-                    Some(b'f') if self.b[self.i..].starts_with(b"false") => self.i += 5,
-                    Some(b'n') if self.b[self.i..].starts_with(b"null") => self.i += 4,
-                    Some(b'[') => {
-                        // Array of values (`thread_busy_secs`); no
-                        // whitespace, matching the writer.
-                        self.i += 1;
-                        if self.b.get(self.i) != Some(&b']') {
-                            loop {
-                                self.value()?;
-                                match self.b.get(self.i) {
-                                    Some(b',') => self.i += 1,
-                                    Some(b']') => break,
-                                    _ => return Err(self.err("expected ',' or ']'")),
-                                }
-                            }
-                        }
-                        self.i += 1;
-                    }
-                    _ => self.number()?,
-                }
-                Ok(String::from_utf8(self.b[start..self.i].to_vec()).expect("ascii"))
-            }
-        }
-        let mut p = P {
-            b: line.as_bytes(),
-            i: 0,
-        };
-        let mut obj = std::collections::BTreeMap::new();
-        p.eat(b'{')?;
-        loop {
-            let key = p.string()?;
-            p.eat(b':')?;
-            let val = p.value()?;
-            obj.insert(key, val);
-            match p.b.get(p.i) {
-                Some(b',') => p.i += 1,
-                Some(b'}') => break,
-                _ => return Err(p.err("expected ',' or '}'")),
-            }
-        }
-        p.eat(b'}')?;
-        if p.i != p.b.len() {
-            return Err(p.err("trailing garbage"));
-        }
-        Ok(obj)
-    }
+    /// The shared strict parser from `gorder_obs`: the same validation
+    /// path the golden tests, the CI trace check, and `validate-trace`
+    /// use, so "parses here" means "parses everywhere downstream".
+    use gorder_obs::json::parse_object as parse_json_object;
 
     const STATS_KEYS: [&str; 14] = [
         "algo",
@@ -754,9 +661,57 @@ mod tests {
     }
 
     #[test]
-    fn json_escape_handles_specials() {
-        assert_eq!(json_escape("plain"), "plain");
-        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+    fn run_trace_round_trips_the_strict_parser() {
+        // The acceptance path end-to-end in memory: manifest + the kernel
+        // event `run` produces + a registry snapshot, every line through
+        // the same strict parser `validate-trace` and CI use.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (0, 3)]);
+        let out = run_algorithm_budgeted(&g, "BFS", Some("Gorder"), 5, 1, None, 1).unwrap();
+        assert_eq!(out.trace_events.len(), 1, "run emits one kernel event");
+        let mut sink = gorder_obs::TraceSink::new(Vec::new());
+        sink.manifest(&gorder_obs::RunManifest::new("gorder-cli run", "test"))
+            .unwrap();
+        for e in &out.trace_events {
+            sink.event(e).unwrap();
+        }
+        sink.metrics(&gorder_obs::global().snapshot()).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let summary = gorder_obs::validate_jsonl(&text).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(summary.by_kind["manifest"], 1);
+        assert_eq!(summary.by_kind["kernel"], 1);
+        // the kernel event's keys mirror the --stats line exactly
+        let kernel_line = text.lines().nth(1).unwrap();
+        let obj = parse_json_object(kernel_line).unwrap();
+        assert_eq!(obj["kind"], "\"kernel\"");
+        for key in STATS_KEYS {
+            assert!(obj.contains_key(key), "missing {key} in {kernel_line}");
+        }
+        assert_eq!(obj["engine"], "\"serial\"", "trace uses the label form");
+    }
+
+    #[test]
+    fn validate_trace_file_accepts_good_and_rejects_bad() {
+        let dir = std::env::temp_dir();
+        let good = dir.join(format!("gorder-cli-good-{}.jsonl", std::process::id()));
+        let mut sink = gorder_obs::TraceSink::create(&good).unwrap();
+        sink.manifest(&gorder_obs::RunManifest::new("t", "c"))
+            .unwrap();
+        drop(sink);
+        let summary = validate_trace_file(&good).unwrap();
+        assert!(summary.contains("valid trace, 1 lines"), "{summary}");
+        std::fs::remove_file(&good).ok();
+
+        let bad = dir.join(format!("gorder-cli-bad-{}.jsonl", std::process::id()));
+        std::fs::write(&bad, "{\"kind\":\"cell\"}\n").unwrap();
+        match validate_trace_file(&bad) {
+            Err(CliError::Failed(msg)) => {
+                assert!(
+                    msg.contains("manifest"),
+                    "first line must be a manifest: {msg}"
+                )
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        std::fs::remove_file(&bad).ok();
     }
 }

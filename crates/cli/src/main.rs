@@ -8,20 +8,22 @@
 
 use gorder_cli::{
     algorithm_names, compute_ordering_budgeted, load, ordering_names, run_algorithm_budgeted, save,
-    simulate_algorithm_budgeted, stats_report, CliError, CmdOutput,
+    simulate_algorithm_budgeted, stats_report, validate_trace_file, CliError, CmdOutput,
 };
 use gorder_core::budget::DegradeReason;
-use std::path::PathBuf;
+use gorder_obs::{PhaseEvent, RunManifest, TraceEvent, TraceSink};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> &'static str {
     "usage:\n  \
      gorder-cli stats    <input>\n  \
-     gorder-cli order    <input> <output> [--method Gorder] [--window 5] [--seed 42] [--timeout SECS]\n  \
+     gorder-cli order    <input> <output> [--method Gorder] [--window 5] [--seed 42] [--timeout SECS] [--trace-out PATH]\n  \
      gorder-cli convert  <input> <output>\n  \
-     gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--threads N] [--stats]\n  \
-     gorder-cli simulate <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--stats]\n\n\
+     gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--threads N] [--stats] [--trace-out PATH]\n  \
+     gorder-cli simulate <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--stats] [--trace-out PATH]\n  \
+     gorder-cli validate-trace <trace.jsonl>\n\n\
      formats by extension: .mtx (Matrix Market), .bin (compact CSR), else edge list\n\
      --timeout bounds the ordering phase: anytime orderings return their\n\
      best-so-far (exit 3, reason on stderr); others exit 4\n\
@@ -29,7 +31,10 @@ fn usage() -> &'static str {
      (results are byte-identical to serial; simulate always traces serially)\n\
      --stats appends one JSON line of per-kernel metrics (iterations,\n\
      edges relaxed, frontier occupancy, phase timings, per-thread busy\n\
-     times) to stdout"
+     times) to stdout\n\
+     --trace-out writes a schema-versioned JSONL run trace (manifest line,\n\
+     then one event per phase/kernel plus registry metrics); validate it\n\
+     with `gorder-cli validate-trace`"
 }
 
 struct Flags {
@@ -39,6 +44,58 @@ struct Flags {
     timeout: Option<Duration>,
     threads: u32,
     stats: bool,
+    trace_out: Option<PathBuf>,
+}
+
+impl Flags {
+    /// Canonical config string hashed into the trace manifest — every
+    /// knob that shapes the run, in a fixed order.
+    fn config_string(&self, cmd: &str, algo: Option<&str>, input: &str) -> String {
+        format!(
+            "cmd={cmd},algo={},input={input},method={},window={},seed={},timeout={},threads={}",
+            algo.unwrap_or("-"),
+            self.method.as_deref().unwrap_or("-"),
+            self.window,
+            self.seed,
+            self.timeout
+                .map_or("-".to_string(), |t| t.as_secs_f64().to_string()),
+            self.threads,
+        )
+    }
+
+    /// The trace manifest for one invocation.
+    fn manifest(&self, cmd: &str, algo: Option<&str>, input: &str) -> RunManifest {
+        let mut m = RunManifest::new(
+            &format!("gorder-cli {cmd}"),
+            &self.config_string(cmd, algo, input),
+        );
+        m.dataset = Some(input.to_string());
+        m.ordering = self.method.clone();
+        m.algo = algo.map(str::to_string);
+        m.threads = u64::from(self.threads);
+        m.window = Some(u64::from(self.window));
+        m
+    }
+}
+
+/// Opens the `--trace-out` sink, writes the manifest and `events`, then
+/// appends every metric the global registry accumulated during the run
+/// (gorder.build spans, unit-heap counters, kernel.* aggregates).
+fn write_trace(path: &Path, manifest: &RunManifest, events: &[TraceEvent]) -> Result<(), CliError> {
+    let fail = |e: std::io::Error| CliError::Failed(format!("trace {}: {e}", path.display()));
+    let mut sink = TraceSink::create(path).map_err(fail)?;
+    sink.manifest(manifest).map_err(fail)?;
+    for e in events {
+        sink.event(e).map_err(fail)?;
+    }
+    sink.metrics(&gorder_obs::global().snapshot())
+        .map_err(fail)?;
+    eprintln!(
+        "trace: {} lines -> {}",
+        sink.lines_written(),
+        path.display()
+    );
+    Ok(())
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -49,6 +106,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         timeout: None,
         threads: 1,
         stats: false,
+        trace_out: None,
     };
     let usage_err = |msg: &str| CliError::Usage(msg.to_string());
     let mut it = args.iter();
@@ -94,6 +152,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 flags.threads = threads;
             }
             "--stats" => flags.stats = true,
+            "--trace-out" => {
+                flags.trace_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| usage_err("--trace-out needs a path"))?,
+                ));
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -122,9 +186,19 @@ fn real_main() -> Result<Option<DegradeReason>, CliError> {
             let t = std::time::Instant::now();
             let (perm, degraded) =
                 compute_ordering_budgeted(&g, method, flags.window, flags.seed, flags.timeout)?;
+            let order_secs = t.elapsed().as_secs_f64();
             eprintln!("{method} computed in {:.2?}", t.elapsed());
             save(&g.relabel(&perm), &PathBuf::from(&output))?;
             println!("wrote {output}");
+            if let Some(path) = &flags.trace_out {
+                let mut manifest = flags.manifest("order", None, &input);
+                manifest.ordering = Some(method.to_string());
+                let events = [TraceEvent::Phase(PhaseEvent {
+                    name: "order".to_string(),
+                    seconds: order_secs,
+                })];
+                write_trace(path, &manifest, &events)?;
+            }
             Ok(degraded)
         }
         "convert" => {
@@ -144,6 +218,7 @@ fn real_main() -> Result<Option<DegradeReason>, CliError> {
                 report,
                 degraded,
                 stats_json,
+                trace_events,
             } = if cmd == "run" {
                 run_algorithm_budgeted(
                     &g,
@@ -170,7 +245,16 @@ fn real_main() -> Result<Option<DegradeReason>, CliError> {
                     println!("{line}");
                 }
             }
+            if let Some(path) = &flags.trace_out {
+                let manifest = flags.manifest(cmd, Some(&algo), &input);
+                write_trace(path, &manifest, &trace_events)?;
+            }
             Ok(degraded)
+        }
+        "validate-trace" => {
+            let summary = validate_trace_file(&PathBuf::from(need(1)?))?;
+            println!("{summary}");
+            Ok(None)
         }
         "--help" | "-h" | "help" => {
             println!("{}", usage());

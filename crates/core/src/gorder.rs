@@ -95,6 +95,18 @@ pub struct GorderStats {
     pub hub_skips: u64,
 }
 
+impl GorderStats {
+    /// Adds these unit-heap op counters to the process-wide
+    /// [`gorder_obs::global`] registry, where the trace sink picks them
+    /// up at end of run. Counters are cumulative across builds.
+    pub fn export(&self) {
+        let reg = gorder_obs::global();
+        reg.counter_add("gorder.heap.increments", self.increments);
+        reg.counter_add("gorder.heap.decrements", self.decrements);
+        reg.counter_add("gorder.heap.hub_skips", self.hub_skips);
+    }
+}
+
 /// The configured Gorder ordering algorithm. See the module docs.
 #[derive(Debug, Clone)]
 pub struct Gorder {
@@ -120,6 +132,7 @@ impl Gorder {
 
     /// Computes the permutation along with update counters.
     pub fn compute_with_stats(&self, g: &Graph) -> (Permutation, GorderStats) {
+        let _span = gorder_obs::span("gorder.build");
         let n = g.n();
         let mut stats = GorderStats::default();
         if n == 0 {
@@ -149,6 +162,7 @@ impl Gorder {
         }
         let perm = Permutation::from_placement(&placement)
             .expect("greedy placement covers every node exactly once");
+        stats.export();
         (perm, stats)
     }
 
@@ -166,6 +180,7 @@ impl Gorder {
         if n == 0 {
             return ExecOutcome::Completed(Permutation::identity(0));
         }
+        let _span = gorder_obs::span("gorder.build");
         let w = self.window as usize;
         let hub = self.hub_threshold.unwrap_or(u32::MAX);
         let mut stats = GorderStats::default();
@@ -199,6 +214,7 @@ impl Gorder {
                 }
             }
         }
+        stats.export();
         match stop {
             None => {
                 let perm = Permutation::from_placement(&placement)

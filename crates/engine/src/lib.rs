@@ -264,12 +264,14 @@ pub fn run_kernel<P: Probe, K: Kernel<P> + ?Sized>(
         let t = Instant::now();
         let checksum = kernel.finish(g, ctx, ex);
         ex.stats.finish_secs = t.elapsed().as_secs_f64();
+        ex.stats.export(kernel.name());
         return ExecOutcome::Degraded(checksum, reason);
     }
 
     let t = Instant::now();
     let checksum = kernel.finish(g, ctx, ex);
     ex.stats.finish_secs = t.elapsed().as_secs_f64();
+    ex.stats.export(kernel.name());
     ExecOutcome::Completed(checksum)
 }
 

@@ -64,6 +64,23 @@ impl KernelStats {
     pub fn total_secs(&self) -> f64 {
         self.init_secs + self.compute_secs + self.finish_secs
     }
+
+    /// Adds this run's counters and phase spans to the process-wide
+    /// [`gorder_obs::global`] registry under `kernel.<name>.*`, so a
+    /// trace sink can export per-kernel aggregates at end of run without
+    /// threading a registry through every driver.
+    pub fn export(&self, kernel: &str) {
+        let reg = gorder_obs::global();
+        let key = |suffix: &str| format!("kernel.{kernel}.{suffix}");
+        reg.counter_add(&key("iterations"), self.iterations);
+        reg.counter_add(&key("edges_relaxed"), self.edges_relaxed);
+        reg.counter_add(&key("frontier_pushes"), self.frontier_pushes);
+        reg.span_record(&key("init"), self.init_secs);
+        reg.span_record(&key("compute"), self.compute_secs);
+        reg.span_record(&key("finish"), self.finish_secs);
+        reg.gauge_set(&key("frontier_peak"), self.frontier_peak as f64);
+        reg.gauge_set(&key("threads_used"), f64::from(self.threads_used));
+    }
 }
 
 #[cfg(test)]

@@ -10,9 +10,26 @@
 //!   line of `line_elems` node-indexed attribute slots;
 //! * [`window_hit_ratio`] — fraction of edges whose endpoints are within
 //!   a window `w` (the unnormalised cousin of Gorder's `F`, counting
-//!   neighbour pairs only).
+//!   neighbour pairs only);
+//! * [`edge_span_histogram`] — the whole span distribution in fixed
+//!   power-of-two buckets, for the observability trace.
 
 use crate::csr::Graph;
+use gorder_obs::Histogram;
+
+/// Bucket upper bounds for [`edge_span_histogram`]: powers of two from 1
+/// to 2²³ (plus the implicit overflow bucket). Fixed — not derived from
+/// the graph — so histograms from different datasets, orderings, or
+/// thread counts are always comparable bin-for-bin.
+pub const EDGE_SPAN_BOUNDS: [f64; 24] = {
+    let mut b = [0.0; 24];
+    let mut i = 0;
+    while i < 24 {
+        b[i] = (1u64 << i) as f64;
+        i += 1;
+    }
+    b
+};
 
 /// Mean |u − v| over all directed edges. 0 on an edgeless graph.
 pub fn mean_edge_span(g: &Graph) -> f64 {
@@ -46,6 +63,18 @@ pub fn line_locality(g: &Graph, line_elems: u32) -> f64 {
         .filter(|&(u, v)| u / line_elems == v / line_elems)
         .count();
     same as f64 / g.m() as f64
+}
+
+/// Distribution of |u − v| over all directed edges, in the fixed
+/// [`EDGE_SPAN_BOUNDS`] buckets. The shape (mass near the left edge vs a
+/// long tail) is the locality picture a single mean/median hides, and
+/// fixed bounds make it directly comparable across orderings.
+pub fn edge_span_histogram(g: &Graph) -> Histogram {
+    let mut h = Histogram::new(&EDGE_SPAN_BOUNDS);
+    for (u, v) in g.edges() {
+        h.observe(f64::from(u.abs_diff(v)));
+    }
+    h
 }
 
 /// Fraction of edges with |u − v| ≤ w.
@@ -94,6 +123,21 @@ mod tests {
         assert!((window_hit_ratio(&g, 1) - 1.0 / 3.0).abs() < 1e-12);
         assert!((window_hit_ratio(&g, 5) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(window_hit_ratio(&g, 9), 1.0);
+    }
+
+    #[test]
+    fn edge_span_histogram_buckets_spans() {
+        // Spans on this graph: 1, 1, 9 → buckets ≤1 get two, ≤16 one.
+        let g = Graph::from_edges(10, &[(0, 1), (1, 2), (0, 9)]);
+        let h = edge_span_histogram(&g);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts()[0], 2, "two unit spans in the ≤1 bucket");
+        assert_eq!(h.counts()[4], 1, "span 9 lands in the ≤16 bucket");
+        assert_eq!(h.sum(), 11.0);
+        // Bounds are the fixed spec, independent of this graph.
+        assert_eq!(h.bounds(), &EDGE_SPAN_BOUNDS);
+        assert_eq!(h.bounds()[0], 1.0);
+        assert_eq!(h.bounds()[23], (1u64 << 23) as f64);
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Hand-rolled JSON machinery for the one-object-per-line surfaces
+//! (`--stats`, the trace sink). No serde: the grammar these lines use is
+//! tiny (strings, numbers, booleans, null, flat arrays) and the writer
+//! controls key order, which the golden-schema tests pin.
+
+use std::collections::BTreeMap;
+
+/// Minimal JSON string escaping: quotes, backslashes, and control
+/// characters. Everything else passes through verbatim (UTF-8 is legal
+/// in JSON strings).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value. JSON has no NaN/inf, so non-finite
+/// values become `null` — a NaN-time cell must still produce a parseable
+/// trace line (that is the whole point of recording it).
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        // Normalize -0.0 (e.g. an empty `Iterator::sum::<f64>()`, which
+        // folds from -0.0) so zeros are textually identical everywhere.
+        "0".to_string()
+    } else if v.is_finite() {
+        // Rust's float Display always yields a valid JSON number for
+        // finite values (no exponent, always a leading digit).
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An insertion-ordered JSON object writer. Keys appear exactly in call
+/// order — the property the golden key-sequence tests lock down.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Appends a string-or-null field.
+    pub fn opt_str(self, k: &str, v: Option<&str>) -> Self {
+        match v {
+            Some(v) => self.str(k, v),
+            None => self.null(k),
+        }
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Appends an unsigned-integer-or-null field.
+    pub fn opt_u64(self, k: &str, v: Option<u64>) -> Self {
+        match v {
+            Some(v) => self.u64(k, v),
+            None => self.null(k),
+        }
+    }
+
+    /// Appends a float field (`null` when non-finite).
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.buf.push_str(&fmt_f64(v));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Appends an explicit `null` field.
+    pub fn null(mut self, k: &str) -> Self {
+        self.key(k);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Appends an array of floats (non-finite entries become `null`).
+    pub fn f64_array(mut self, k: &str, vs: &[f64]) -> Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&fmt_f64(*v));
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Appends an array of unsigned integers.
+    pub fn u64_array(mut self, k: &str, vs: &[u64]) -> Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&v.to_string());
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Strict parser for one JSON object line as the writers here emit it:
+/// no whitespace padding, string keys, values that are strings, numbers,
+/// booleans, `null`, or flat arrays thereof. Returns the top-level keys
+/// mapped to their **raw value text**; rejects trailing garbage, raw
+/// control characters, bad escapes, and malformed numbers.
+///
+/// This is the shared validation helper: the golden tests, the CI trace
+/// check, and `gorder-cli validate-trace` all go through it, so "parses
+/// here" means "parses everywhere downstream".
+pub fn parse_object(line: &str) -> Result<BTreeMap<String, String>, String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn err(&self, what: &str) -> String {
+            format!("{what} at byte {}", self.i)
+        }
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.b.get(self.i) == Some(&c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected {:?}", c as char)))
+            }
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let start = self.i;
+            loop {
+                match self.b.get(self.i) {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => break,
+                    Some(b'\\') => {
+                        match self.b.get(self.i + 1) {
+                            Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                                self.i += 2;
+                            }
+                            Some(b'u') => {
+                                let hex = self.b.get(self.i + 2..self.i + 6);
+                                let ok =
+                                    hex.is_some_and(|h| h.iter().all(|c| c.is_ascii_hexdigit()));
+                                if !ok {
+                                    return Err(self.err("bad \\u escape"));
+                                }
+                                self.i += 6;
+                            }
+                            _ => return Err(self.err("bad escape")),
+                        };
+                    }
+                    Some(c) if *c < 0x20 => return Err(self.err("raw control char")),
+                    Some(_) => self.i += 1,
+                }
+            }
+            let s = String::from_utf8(self.b[start..self.i].to_vec())
+                .map_err(|_| self.err("non-utf8"))?;
+            self.eat(b'"')?;
+            Ok(s)
+        }
+        fn number(&mut self) -> Result<(), String> {
+            if self.b.get(self.i) == Some(&b'-') {
+                self.i += 1;
+            }
+            let digits = |p: &mut Self| {
+                let s = p.i;
+                while p.b.get(p.i).is_some_and(u8::is_ascii_digit) {
+                    p.i += 1;
+                }
+                p.i > s
+            };
+            if !digits(self) {
+                return Err(self.err("expected digits"));
+            }
+            if self.b.get(self.i) == Some(&b'.') {
+                self.i += 1;
+                if !digits(self) {
+                    return Err(self.err("expected fraction digits"));
+                }
+            }
+            if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+                self.i += 1;
+                if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                    self.i += 1;
+                }
+                if !digits(self) {
+                    return Err(self.err("expected exponent digits"));
+                }
+            }
+            Ok(())
+        }
+        fn value(&mut self) -> Result<String, String> {
+            let start = self.i;
+            match self.b.get(self.i) {
+                Some(b'"') => {
+                    self.string()?;
+                }
+                Some(b't') if self.b[self.i..].starts_with(b"true") => self.i += 4,
+                Some(b'f') if self.b[self.i..].starts_with(b"false") => self.i += 5,
+                Some(b'n') if self.b[self.i..].starts_with(b"null") => self.i += 4,
+                Some(b'[') => {
+                    // Flat array of scalar values, no whitespace —
+                    // matching the writer.
+                    self.i += 1;
+                    if self.b.get(self.i) != Some(&b']') {
+                        loop {
+                            self.value()?;
+                            match self.b.get(self.i) {
+                                Some(b',') => self.i += 1,
+                                Some(b']') => break,
+                                _ => return Err(self.err("expected ',' or ']'")),
+                            }
+                        }
+                    }
+                    self.i += 1;
+                }
+                _ => self.number()?,
+            }
+            String::from_utf8(self.b[start..self.i].to_vec()).map_err(|_| self.err("non-utf8"))
+        }
+    }
+    let mut p = P {
+        b: line.as_bytes(),
+        i: 0,
+    };
+    let mut obj = BTreeMap::new();
+    p.eat(b'{')?;
+    if p.b.get(p.i) != Some(&b'}') {
+        loop {
+            let key = p.string()?;
+            p.eat(b':')?;
+            let val = p.value()?;
+            obj.insert(key, val);
+            match p.b.get(p.i) {
+                Some(b',') => p.i += 1,
+                Some(b'}') => break,
+                _ => return Err(p.err("expected ',' or '}'")),
+            }
+        }
+    }
+    p.eat(b'}')?;
+    if p.i != p.b.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(obj)
+}
+
+/// Extracts the top-level key sequence (insertion order) from one JSON
+/// object line — the shape the golden key-order tests compare against.
+pub fn top_level_keys(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut keys = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += if bytes[j] == b'\\' { 2 } else { 1 };
+                }
+                if depth == 1 && bytes.get(j + 1) == Some(&b':') {
+                    keys.push(line[start..j].to_string());
+                }
+                i = j;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("tab\there"), "tab\\u0009here");
+        assert_eq!(escape("uni\u{00e9}"), "uni\u{00e9}");
+    }
+
+    #[test]
+    fn fmt_f64_null_for_non_finite() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(-0.0), "0", "negative zero is normalized");
+        assert_eq!(
+            fmt_f64(std::iter::empty::<f64>().sum()),
+            "0",
+            "empty f64 sum is -0.0"
+        );
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn object_builder_roundtrips() {
+        let line = JsonObject::new()
+            .str("name", "a\"b")
+            .u64("n", 42)
+            .f64("t", 1.25)
+            .f64("bad", f64::NAN)
+            .bool("ok", true)
+            .null("none")
+            .f64_array("xs", &[1.0, f64::INFINITY])
+            .u64_array("ks", &[1, 2])
+            .finish();
+        let obj = parse_object(&line).unwrap_or_else(|e| panic!("{e} in {line}"));
+        assert_eq!(obj["name"], "\"a\\\"b\"");
+        assert_eq!(obj["n"], "42");
+        assert_eq!(obj["t"], "1.25");
+        assert_eq!(obj["bad"], "null");
+        assert_eq!(obj["ok"], "true");
+        assert_eq!(obj["none"], "null");
+        assert_eq!(obj["xs"], "[1,null]");
+        assert_eq!(obj["ks"], "[1,2]");
+        assert_eq!(
+            top_level_keys(&line),
+            vec!["name", "n", "t", "bad", "ok", "none", "xs", "ks"]
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_object("{\"a\":1}x").is_err());
+        assert!(parse_object("{\"a\":01b}").is_err());
+        assert!(parse_object("{\"a\":}").is_err());
+        assert!(
+            parse_object("{\"a\" : 1}").is_err(),
+            "no-whitespace grammar"
+        );
+        assert!(parse_object("{\"a\":\"\u{0007}\"}").is_err());
+        assert!(parse_object("nope").is_err());
+    }
+
+    #[test]
+    fn parser_accepts_empty_object() {
+        assert!(parse_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn key_extractor_handles_strings_and_arrays() {
+        let keys = top_level_keys(r#"{"a":"x:y","b":[1,2],"c":{"inner":1},"d":null}"#);
+        assert_eq!(keys, vec!["a", "b", "c", "d"]);
+    }
+}

@@ -1,0 +1,423 @@
+//! The metrics registry: monotonic counters, gauges, fixed-bucket
+//! histograms, and span aggregates, keyed by name.
+//!
+//! Design rules:
+//!
+//! * **Bucket boundaries are part of a histogram's identity.** They are
+//!   fixed at first registration and never derived from observed data,
+//!   so histograms from different runs, thread counts, or machines are
+//!   always mergeable and comparable bin-for-bin.
+//! * **Counters only go up.** Rates and deltas are a reader's job.
+//! * The registry is a single mutex around ordered maps — metric updates
+//!   happen at per-run granularity (not per-edge), so contention is not
+//!   a concern and deterministic iteration order is worth more.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A fixed-bucket histogram. `bounds` holds the inclusive upper edge of
+/// each bucket; one implicit overflow bucket catches everything above
+/// the last bound (and non-finite observations, which compare with
+/// nothing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds, which must be finite and
+    /// strictly increasing. `counts` gets one extra overflow bucket.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bucket bounds must be finite"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Exponential bounds `first, first×factor, …` (`count` of them) —
+    /// the usual shape for span/distance distributions. `first > 0`,
+    /// `factor > 1`.
+    pub fn exponential(first: f64, factor: f64, count: usize) -> Self {
+        assert!(first > 0.0 && factor > 1.0, "need first > 0 and factor > 1");
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = first;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::new(&bounds)
+    }
+
+    /// Records one observation. Values above the last bound — and NaN,
+    /// which no bound can place — land in the overflow bucket.
+    pub fn observe(&mut self, v: f64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.total += 1;
+        if v.is_finite() {
+            self.sum += v;
+        }
+    }
+
+    /// The bucket upper bounds (without the implicit overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Adds another histogram's counts into this one. Panics if the
+    /// bucket bounds differ — merging differently-shaped histograms is
+    /// exactly the silent corruption fixed bounds exist to prevent.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "cannot merge: bounds differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+/// Aggregate of every completed span with a given name.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStats {
+    /// Completed spans.
+    pub count: u64,
+    /// Summed duration in seconds.
+    pub total_secs: f64,
+    /// Longest single span in seconds.
+    pub max_secs: f64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+/// A point-in-time copy of everything a [`Registry`] holds, in
+/// deterministic (name) order — the form the trace sink exports.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter name → cumulative value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → last set value.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → frozen histogram.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Span name → aggregate.
+    pub spans: Vec<(String, SpanStats)>,
+}
+
+impl Snapshot {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+}
+
+/// The metrics registry. See the module docs for the design rules.
+#[derive(Debug)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry (usable in `static` position).
+    pub const fn new() -> Self {
+        Registry {
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                spans: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding this mutex can only occur on allocation
+        // failure; poisoned data is still structurally sound, so keep
+        // serving rather than cascading the panic into every recorder.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Adds `delta` to the monotonic counter `name` (created at 0).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        let c = inner.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(delta);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `v` (last write wins).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.lock().gauges.insert(name.to_string(), v);
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Records `v` into histogram `name`, creating it with `bounds` on
+    /// first use. Later calls must pass the same bounds — the boundaries
+    /// are the metric's identity (checked, panics on mismatch).
+    pub fn observe(&self, name: &str, bounds: &[f64], v: f64) {
+        let mut inner = self.lock();
+        let h = inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds));
+        assert_eq!(
+            h.bounds(),
+            bounds,
+            "histogram {name:?} re-registered with different bounds"
+        );
+        h.observe(v);
+    }
+
+    /// Merges a pre-built histogram under `name` (created empty with the
+    /// same bounds on first use).
+    pub fn merge_histogram(&self, name: &str, hist: &Histogram) {
+        let mut inner = self.lock();
+        let h = inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(hist.bounds()));
+        h.merge(hist);
+    }
+
+    /// Records one completed span of `secs` under `name`.
+    pub fn span_record(&self, name: &str, secs: f64) {
+        let mut inner = self.lock();
+        let s = inner.spans.entry(name.to_string()).or_default();
+        s.count += 1;
+        s.total_secs += secs;
+        s.max_secs = s.max_secs.max(secs);
+    }
+
+    /// Starts a RAII span timer recording into this registry on drop.
+    pub fn span<'r, 'n>(&'r self, name: &'n str) -> crate::span::Span<'r, 'n> {
+        crate::span::Span::start(self, name)
+    }
+
+    /// Copies out everything recorded so far, in name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            spans: inner.spans.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        }
+    }
+
+    /// Clears every metric (tests and per-run isolation in binaries).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        *inner = Inner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_named() {
+        let r = Registry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.counter_add("b", 1);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 1);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = Registry::new();
+        r.gauge_set("g", 1.0);
+        r.gauge_set("g", -2.5);
+        assert_eq!(r.gauge("g"), Some(-2.5));
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 99.0, 1000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.total(), 5);
+        assert!((h.sum() - 1105.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_nan_goes_to_overflow_without_poisoning_sum() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.counts(), &[0, 2]);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn exponential_bounds_shape() {
+        let h = Histogram::exponential(1.0, 2.0, 4);
+        assert_eq!(h.bounds(), &[1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn merge_requires_identical_bounds() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let mut b = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        b.observe(1.5);
+        b.observe(9.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1, 1]);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds differ")]
+    fn merge_mismatched_bounds_panics() {
+        let mut a = Histogram::new(&[1.0]);
+        a.merge(&Histogram::new(&[2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn registry_rejects_bound_drift() {
+        let r = Registry::new();
+        r.observe("h", &[1.0, 2.0], 0.5);
+        r.observe("h", &[1.0, 3.0], 0.5);
+    }
+
+    #[test]
+    fn span_aggregation() {
+        let r = Registry::new();
+        r.span_record("s", 1.0);
+        r.span_record("s", 3.0);
+        let snap = r.snapshot();
+        let (_, s) = snap.spans.iter().find(|(n, _)| n == "s").unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.total_secs - 4.0).abs() < 1e-12);
+        assert_eq!(s.max_secs, 3.0);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_reset_clears() {
+        let r = Registry::new();
+        r.counter_add("z", 1);
+        r.counter_add("a", 1);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "z"]);
+        assert!(!snap.is_empty());
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn histogram_bounds_stable_across_thread_counts() {
+        // The satellite lockdown: bucket boundaries are fixed by the
+        // metric spec, never by the data or the schedule, so recording
+        // the same observations from 1 or N threads yields bit-identical
+        // bucket shapes.
+        let spec = Histogram::exponential(1.0, 4.0, 8);
+        let run = |threads: usize| -> Histogram {
+            let r = Registry::new();
+            let values: Vec<f64> = (0..4096).map(|i| (i % 97) as f64 * 3.7).collect();
+            let (reg, bounds) = (&r, spec.bounds());
+            std::thread::scope(|s| {
+                for chunk in values.chunks(values.len().div_ceil(threads)) {
+                    s.spawn(move || {
+                        for &v in chunk {
+                            reg.observe("spread", bounds, v);
+                        }
+                    });
+                }
+            });
+            let snap = r.snapshot();
+            snap.histograms
+                .iter()
+                .find(|(n, _)| n == "spread")
+                .map(|(_, h)| h.clone())
+                .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            let parallel = run(threads);
+            assert_eq!(serial.bounds(), parallel.bounds(), "{threads} threads");
+            assert_eq!(serial.counts(), parallel.counts(), "{threads} threads");
+            assert_eq!(serial.total(), parallel.total());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! RAII span timers. A [`Span`] starts a wall-clock timer when created
+//! and records the elapsed seconds into its [`Registry`](crate::Registry)
+//! when dropped, aggregated per name — so timing a phase is one line:
+//!
+//! ```
+//! let reg = gorder_obs::Registry::new();
+//! {
+//!     let _t = reg.span("phase.demo");
+//!     // ... timed work ...
+//! }
+//! let snap = reg.snapshot();
+//! assert!(snap.spans.iter().any(|(n, s)| n == "phase.demo" && s.count == 1));
+//! ```
+
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+/// A live span timer; dropping it records the duration. Obtain one via
+/// [`Registry::span`] or the free function [`crate::span`].
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span<'r, 'n> {
+    reg: &'r Registry,
+    name: &'n str,
+    start: Instant,
+    done: bool,
+}
+
+impl<'r, 'n> Span<'r, 'n> {
+    pub(crate) fn start(reg: &'r Registry, name: &'n str) -> Self {
+        Span {
+            reg,
+            name,
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Seconds elapsed so far without ending the span.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Ends the span now and returns its duration in seconds. Useful
+    /// when the caller also wants the number (e.g. to put in a trace
+    /// event) without timing the same region twice.
+    pub fn finish(mut self) -> f64 {
+        let secs = self.elapsed_secs();
+        self.reg.span_record(self.name, secs);
+        self.done = true;
+        secs
+    }
+
+    /// Drops the span without recording anything — for abandoned work
+    /// that should not pollute the aggregate (e.g. a timed-out phase
+    /// measured separately by the budget machinery).
+    pub fn cancel(mut self) {
+        self.done = true;
+    }
+}
+
+impl Drop for Span<'_, '_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.reg
+                .span_record(self.name, self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn drop_records_once() {
+        let reg = Registry::new();
+        {
+            let _t = reg.span("s");
+        }
+        let snap = reg.snapshot();
+        let (_, s) = snap.spans.iter().find(|(n, _)| n == "s").unwrap();
+        assert_eq!(s.count, 1);
+        assert!(s.total_secs >= 0.0);
+    }
+
+    #[test]
+    fn finish_returns_duration_and_records() {
+        let reg = Registry::new();
+        let t = reg.span("f");
+        let secs = t.finish();
+        assert!(secs >= 0.0);
+        let snap = reg.snapshot();
+        let (_, s) = snap.spans.iter().find(|(n, _)| n == "f").unwrap();
+        assert_eq!(s.count, 1, "finish must not double-record via Drop");
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let reg = Registry::new();
+        reg.span("c").cancel();
+        assert!(reg.snapshot().spans.iter().all(|(n, _)| n != "c"));
+    }
+
+    #[test]
+    fn nested_spans_aggregate_by_name() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("outer");
+            for _ in 0..3 {
+                let _inner = reg.span("inner");
+            }
+        }
+        let snap = reg.snapshot();
+        let get = |name: &str| {
+            snap.spans
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| *s)
+                .unwrap()
+        };
+        assert_eq!(get("outer").count, 1);
+        assert_eq!(get("inner").count, 3);
+    }
+}

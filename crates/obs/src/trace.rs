@@ -1,0 +1,534 @@
+//! Schema-versioned JSONL run tracing.
+//!
+//! A trace file is a sequence of one-object-per-line JSON records:
+//! the first line is always a [`RunManifest`] (run provenance: tool,
+//! dataset, ordering, algorithm, threads, window, config hash,
+//! wall-clock start), followed by one [`TraceEvent`] line per phase,
+//! grid cell, or kernel run, and optionally one line per metric from a
+//! registry [`Snapshot`]. Every line is flushed as it is written, so an
+//! interrupted sweep leaves a readable prefix from which the completed
+//! cells can be reconstructed.
+//!
+//! Key order within each record kind is fixed and pinned by the golden
+//! test (`tests/golden/trace_keys.txt`); any reordering or addition is a
+//! schema change and must bump [`SCHEMA_VERSION`].
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::{parse_object, JsonObject};
+use crate::registry::Snapshot;
+
+/// Version of the trace line schema. Bump when any record kind changes
+/// its key set or key order; readers refuse mismatched manifests.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// FNV-1a over the bytes of a canonical config string — cheap, stable
+/// across platforms, and good enough to answer "were these two runs
+/// configured identically?".
+pub fn config_hash(config: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in config.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The header line of every trace: enough provenance to re-run (or at
+/// least re-interpret) the file without the shell history that produced
+/// it. Fields that do not apply to a given tool (a whole-grid sweep has
+/// no single ordering) are `None` and serialise as `null`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Emitting binary/subcommand, e.g. `"gorder-cli run"` or `"fig5"`.
+    pub tool: String,
+    /// Dataset name, when the run targets exactly one.
+    pub dataset: Option<String>,
+    /// Ordering name, when the run targets exactly one.
+    pub ordering: Option<String>,
+    /// Algorithm/kernel name, when the run targets exactly one.
+    pub algo: Option<String>,
+    /// Worker thread count the run was configured with.
+    pub threads: u64,
+    /// Gorder window parameter `w`.
+    pub window: Option<u64>,
+    /// FNV-1a hash of the canonical config string (see [`config_hash`]).
+    pub config_hash: u64,
+    /// Wall-clock start, seconds since the Unix epoch.
+    pub started_unix_secs: u64,
+}
+
+impl RunManifest {
+    /// A manifest for `tool`, hashing `config` (a canonical rendering of
+    /// every knob that shaped the run) and stamping the current
+    /// wall-clock time.
+    pub fn new(tool: &str, config: &str) -> Self {
+        let started = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        RunManifest {
+            tool: tool.to_string(),
+            dataset: None,
+            ordering: None,
+            algo: None,
+            threads: 1,
+            window: None,
+            config_hash: config_hash(config),
+            started_unix_secs: started,
+        }
+    }
+
+    /// Renders the manifest line. Key order is part of the schema.
+    pub fn to_json_line(&self) -> String {
+        JsonObject::new()
+            .u64("schema_version", SCHEMA_VERSION)
+            .str("kind", "manifest")
+            .str("tool", &self.tool)
+            .opt_str("dataset", self.dataset.as_deref())
+            .opt_str("ordering", self.ordering.as_deref())
+            .opt_str("algo", self.algo.as_deref())
+            .u64("threads", self.threads)
+            .opt_u64("window", self.window)
+            .u64("config_hash", self.config_hash)
+            .u64("started_unix_secs", self.started_unix_secs)
+            .finish()
+    }
+}
+
+/// One grid cell (dataset × ordering × algorithm) outcome, as the bench
+/// sweeps record them. `seconds` is `null` for cells that never produced
+/// a time (timeout/failure) — the status string says why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellEvent {
+    /// Dataset the cell ran on.
+    pub dataset: String,
+    /// Ordering under test.
+    pub ordering: String,
+    /// Algorithm/kernel name.
+    pub algo: String,
+    /// Cell status label (`"ok"`, `"timeout"`, `"ordering-failed"`, …).
+    pub status: String,
+    /// Measured seconds; non-finite values serialise as `null`.
+    pub seconds: f64,
+    /// Result checksum for cross-ordering equivalence checking.
+    pub checksum: u64,
+}
+
+/// One kernel execution with its full [`KernelStats`]-shaped breakdown —
+/// the trace twin of the CLI's `--stats` line, keyed identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelEvent {
+    /// Algorithm/kernel name.
+    pub algo: String,
+    /// Ordering the graph was laid out with.
+    pub ordering: String,
+    /// Result checksum.
+    pub checksum: u64,
+    /// End-to-end seconds.
+    pub seconds: f64,
+    /// Execution engine label (`"serial"`, `"parallel"`, …).
+    pub engine: String,
+    /// Iterations until convergence.
+    pub iterations: u64,
+    /// Edges relaxed across all iterations.
+    pub edges_relaxed: u64,
+    /// Frontier pushes (traversal kernels).
+    pub frontier_pushes: u64,
+    /// Peak frontier size.
+    pub frontier_peak: u64,
+    /// Seconds in init.
+    pub init_secs: f64,
+    /// Seconds in the iterate loop.
+    pub compute_secs: f64,
+    /// Seconds in finish.
+    pub finish_secs: f64,
+    /// Threads actually used.
+    pub threads_used: u64,
+    /// Summed per-thread busy seconds.
+    pub thread_busy_secs: f64,
+}
+
+/// A named, timed phase (e.g. `"gorder.build"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseEvent {
+    /// Phase name.
+    pub name: String,
+    /// Duration in seconds.
+    pub seconds: f64,
+}
+
+/// Any non-manifest trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A grid-cell outcome.
+    Cell(CellEvent),
+    /// A kernel run with stats breakdown.
+    Kernel(KernelEvent),
+    /// A timed phase.
+    Phase(PhaseEvent),
+}
+
+impl TraceEvent {
+    /// Renders the event line. Key order per kind is part of the schema.
+    pub fn to_json_line(&self) -> String {
+        match self {
+            TraceEvent::Cell(c) => JsonObject::new()
+                .str("kind", "cell")
+                .str("dataset", &c.dataset)
+                .str("ordering", &c.ordering)
+                .str("algo", &c.algo)
+                .str("status", &c.status)
+                .f64("seconds", c.seconds)
+                .u64("checksum", c.checksum)
+                .finish(),
+            TraceEvent::Kernel(k) => JsonObject::new()
+                .str("kind", "kernel")
+                .str("algo", &k.algo)
+                .str("ordering", &k.ordering)
+                .u64("checksum", k.checksum)
+                .f64("seconds", k.seconds)
+                .str("engine", &k.engine)
+                .u64("iterations", k.iterations)
+                .u64("edges_relaxed", k.edges_relaxed)
+                .u64("frontier_pushes", k.frontier_pushes)
+                .u64("frontier_peak", k.frontier_peak)
+                .f64("init_secs", k.init_secs)
+                .f64("compute_secs", k.compute_secs)
+                .f64("finish_secs", k.finish_secs)
+                .u64("threads_used", k.threads_used)
+                .f64("thread_busy_secs", k.thread_busy_secs)
+                .finish(),
+            TraceEvent::Phase(p) => JsonObject::new()
+                .str("kind", "phase")
+                .str("name", &p.name)
+                .f64("seconds", p.seconds)
+                .finish(),
+        }
+    }
+}
+
+/// Renders one registry metric as a trace line (kind `counter`, `gauge`,
+/// `span`, or `histogram`).
+fn metric_lines(snap: &Snapshot) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (name, v) in &snap.counters {
+        lines.push(
+            JsonObject::new()
+                .str("kind", "counter")
+                .str("name", name)
+                .u64("value", *v)
+                .finish(),
+        );
+    }
+    for (name, v) in &snap.gauges {
+        lines.push(
+            JsonObject::new()
+                .str("kind", "gauge")
+                .str("name", name)
+                .f64("value", *v)
+                .finish(),
+        );
+    }
+    for (name, s) in &snap.spans {
+        lines.push(
+            JsonObject::new()
+                .str("kind", "span")
+                .str("name", name)
+                .u64("count", s.count)
+                .f64("total_secs", s.total_secs)
+                .f64("max_secs", s.max_secs)
+                .finish(),
+        );
+    }
+    for (name, h) in &snap.histograms {
+        lines.push(
+            JsonObject::new()
+                .str("kind", "histogram")
+                .str("name", name)
+                .f64_array("bounds", h.bounds())
+                .u64_array("counts", h.counts())
+                .u64("total", h.total())
+                .f64("sum", h.sum())
+                .finish(),
+        );
+    }
+    lines
+}
+
+/// A line-flushed JSONL trace writer. Construct over any [`Write`] (for
+/// tests) or via [`TraceSink::create`] for a file; write the manifest
+/// first, then events as they happen. Each line is flushed immediately
+/// so a killed process loses at most the line being written.
+#[derive(Debug)]
+pub struct TraceSink<W: Write> {
+    w: W,
+    lines: u64,
+}
+
+impl TraceSink<BufWriter<File>> {
+    /// Opens (truncating) a trace file at `path`, creating parent
+    /// directories as needed.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(TraceSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> TraceSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(w: W) -> Self {
+        TraceSink { w, lines: 0 }
+    }
+
+    fn line(&mut self, s: &str) -> io::Result<()> {
+        self.w.write_all(s.as_bytes())?;
+        self.w.write_all(b"\n")?;
+        self.w.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Writes the manifest header line. Call exactly once, first.
+    pub fn manifest(&mut self, m: &RunManifest) -> io::Result<()> {
+        self.line(&m.to_json_line())
+    }
+
+    /// Writes one event line.
+    pub fn event(&mut self, e: &TraceEvent) -> io::Result<()> {
+        self.line(&e.to_json_line())
+    }
+
+    /// Writes one line per metric in the snapshot (counters, gauges,
+    /// spans, histograms) — the usual end-of-run registry export.
+    pub fn metrics(&mut self, snap: &Snapshot) -> io::Result<()> {
+        for l in metric_lines(snap) {
+            self.line(&l)?;
+        }
+        Ok(())
+    }
+
+    /// Lines written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Unwraps the inner writer (tests inspect the buffer).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+/// What [`validate_jsonl`] found in a well-formed trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total lines (including the manifest).
+    pub lines: usize,
+    /// Line count per record kind (`"manifest"`, `"cell"`, …).
+    pub by_kind: BTreeMap<String, usize>,
+}
+
+/// Validates a whole trace: every line must pass the strict JSON parser,
+/// the first line must be a `manifest` with a matching
+/// [`SCHEMA_VERSION`], and every line must carry a `kind`. This is the
+/// single validation path shared by the golden tests, the CI smoke step,
+/// and `gorder-cli validate-trace`.
+pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        let obj = parse_object(line).map_err(|e| format!("line {n}: {e}"))?;
+        let kind = obj
+            .get("kind")
+            .ok_or_else(|| format!("line {n}: missing \"kind\""))?;
+        let kind = kind.trim_matches('"').to_string();
+        if idx == 0 {
+            if kind != "manifest" {
+                return Err(format!(
+                    "line 1: first line must be a manifest, got {kind:?}"
+                ));
+            }
+            let ver = obj
+                .get("schema_version")
+                .ok_or_else(|| "line 1: manifest missing schema_version".to_string())?;
+            if ver != &SCHEMA_VERSION.to_string() {
+                return Err(format!(
+                    "line 1: schema_version {ver} != supported {SCHEMA_VERSION}"
+                ));
+            }
+        }
+        *summary.by_kind.entry(kind).or_insert(0) += 1;
+        summary.lines = n;
+    }
+    if summary.lines == 0 {
+        return Err("empty trace: expected at least a manifest line".to_string());
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn demo_manifest() -> RunManifest {
+        let mut m = RunManifest::new("test-tool", "scale=4,seed=7");
+        m.dataset = Some("flickr".to_string());
+        m.ordering = Some("Gorder".to_string());
+        m.algo = Some("pagerank".to_string());
+        m.threads = 4;
+        m.window = Some(5);
+        m
+    }
+
+    #[test]
+    fn config_hash_is_stable_fnv1a() {
+        // FNV-1a reference values: empty string hashes to the offset
+        // basis; any change to the algorithm breaks cross-run joins.
+        assert_eq!(config_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(config_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(config_hash("scale=4"), config_hash("scale=5"));
+    }
+
+    #[test]
+    fn manifest_line_parses_and_orders_keys() {
+        let line = demo_manifest().to_json_line();
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj["schema_version"], SCHEMA_VERSION.to_string());
+        assert_eq!(obj["kind"], "\"manifest\"");
+        assert_eq!(
+            crate::json::top_level_keys(&line),
+            vec![
+                "schema_version",
+                "kind",
+                "tool",
+                "dataset",
+                "ordering",
+                "algo",
+                "threads",
+                "window",
+                "config_hash",
+                "started_unix_secs",
+            ]
+        );
+    }
+
+    #[test]
+    fn nan_seconds_serialise_as_null_and_still_parse() {
+        let line = TraceEvent::Cell(CellEvent {
+            dataset: "flickr".into(),
+            ordering: "Gorder".into(),
+            algo: "bfs".into(),
+            status: "timeout".into(),
+            seconds: f64::NAN,
+            checksum: 0,
+        })
+        .to_json_line();
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj["seconds"], "null");
+    }
+
+    #[test]
+    fn sink_writes_manifest_events_and_metrics() {
+        let reg = Registry::new();
+        reg.counter_add("gorder.increments", 10);
+        reg.span_record("gorder.build", 0.5);
+        reg.observe("edge_span", &[1.0, 8.0], 3.0);
+        reg.gauge_set("locality.score", 0.9);
+
+        let mut sink = TraceSink::new(Vec::new());
+        sink.manifest(&demo_manifest()).unwrap();
+        sink.event(&TraceEvent::Phase(PhaseEvent {
+            name: "order".into(),
+            seconds: 0.25,
+        }))
+        .unwrap();
+        sink.metrics(&reg.snapshot()).unwrap();
+        assert_eq!(sink.lines_written(), 6);
+
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let summary = validate_jsonl(&text).unwrap();
+        assert_eq!(summary.lines, 6);
+        assert_eq!(summary.by_kind["manifest"], 1);
+        assert_eq!(summary.by_kind["phase"], 1);
+        assert_eq!(summary.by_kind["counter"], 1);
+        assert_eq!(summary.by_kind["gauge"], 1);
+        assert_eq!(summary.by_kind["span"], 1);
+        assert_eq!(summary.by_kind["histogram"], 1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_traces() {
+        assert!(validate_jsonl("").is_err());
+        let ev = TraceEvent::Phase(PhaseEvent {
+            name: "x".into(),
+            seconds: 1.0,
+        });
+        // First line not a manifest.
+        assert!(validate_jsonl(&ev.to_json_line()).is_err());
+        // Wrong schema version.
+        let bad = demo_manifest().to_json_line().replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            "\"schema_version\":999",
+            1,
+        );
+        assert!(validate_jsonl(&bad).is_err());
+        // Malformed JSON mid-file (the interrupted-write case).
+        let good = demo_manifest().to_json_line();
+        assert!(validate_jsonl(&format!("{good}\n{{\"kind\":\"cell\"")).is_err());
+        // Missing kind.
+        assert!(validate_jsonl(&format!("{good}\n{{\"a\":1}}")).is_err());
+    }
+
+    #[test]
+    fn kernel_event_mirrors_stats_key_order() {
+        let line = TraceEvent::Kernel(KernelEvent {
+            algo: "pagerank".into(),
+            ordering: "Gorder".into(),
+            checksum: 7,
+            seconds: 1.0,
+            engine: "serial".into(),
+            iterations: 3,
+            edges_relaxed: 100,
+            frontier_pushes: 0,
+            frontier_peak: 0,
+            init_secs: 0.1,
+            compute_secs: 0.8,
+            finish_secs: 0.1,
+            threads_used: 1,
+            thread_busy_secs: 0.9,
+        })
+        .to_json_line();
+        let keys = crate::json::top_level_keys(&line);
+        assert_eq!(keys[0], "kind");
+        // The remaining keys are exactly the --stats line's key set, in
+        // the same order, so tooling can join the two surfaces.
+        assert_eq!(
+            &keys[1..],
+            &[
+                "algo",
+                "ordering",
+                "checksum",
+                "seconds",
+                "engine",
+                "iterations",
+                "edges_relaxed",
+                "frontier_pushes",
+                "frontier_peak",
+                "init_secs",
+                "compute_secs",
+                "finish_secs",
+                "threads_used",
+                "thread_busy_secs",
+            ]
+        );
+    }
+}

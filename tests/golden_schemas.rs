@@ -100,3 +100,83 @@ fn key_extractor_handles_strings_and_arrays() {
     let keys = top_level_keys(r#"{"a":"x:y","b":[1,2],"c":{"inner":1},"d":null}"#);
     assert_eq!(keys, vec!["a", "b", "c", "d"]);
 }
+
+#[test]
+fn trace_jsonl_keys_match_golden() {
+    use gorder_obs::json::parse_object;
+    use gorder_obs::{
+        CellEvent, KernelEvent, PhaseEvent, Registry, RunManifest, TraceEvent, TraceSink,
+        SCHEMA_VERSION,
+    };
+
+    assert_eq!(
+        SCHEMA_VERSION, 1,
+        "bumping the trace schema version requires regenerating \
+         tests/golden/trace_keys.txt and notifying trace consumers"
+    );
+
+    // One line of every kind the sink can emit, through the real writer.
+    let mut manifest = RunManifest::new("golden", "cfg");
+    manifest.dataset = Some("d".into());
+    manifest.ordering = Some("Gorder".into());
+    manifest.algo = Some("BFS".into());
+    manifest.window = Some(5);
+    let reg = Registry::new();
+    reg.counter_add("c", 1);
+    reg.gauge_set("g", 2.0);
+    reg.observe("h", &[1.0, 2.0], 1.5);
+    reg.span("s").finish();
+    let mut sink = TraceSink::new(Vec::new());
+    sink.manifest(&manifest).unwrap();
+    sink.event(&TraceEvent::Cell(CellEvent {
+        dataset: "d".into(),
+        ordering: "Gorder".into(),
+        algo: "BFS".into(),
+        status: "completed".into(),
+        seconds: 0.5,
+        checksum: 7,
+    }))
+    .unwrap();
+    sink.event(&TraceEvent::Kernel(KernelEvent {
+        algo: "BFS".into(),
+        ordering: "Gorder".into(),
+        checksum: 7,
+        seconds: 0.5,
+        engine: "serial".into(),
+        iterations: 3,
+        edges_relaxed: 9,
+        frontier_pushes: 4,
+        frontier_peak: 2,
+        init_secs: 0.1,
+        compute_secs: 0.3,
+        finish_secs: 0.1,
+        threads_used: 1,
+        thread_busy_secs: 0.0,
+    }))
+    .unwrap();
+    sink.event(&TraceEvent::Phase(PhaseEvent {
+        name: "order".into(),
+        seconds: 0.2,
+    }))
+    .unwrap();
+    sink.metrics(&reg.snapshot()).unwrap();
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+
+    let mut seen: std::collections::BTreeMap<String, String> = Default::default();
+    for line in text.lines() {
+        let obj = parse_object(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        let kind = obj["kind"].trim_matches('"').to_string();
+        seen.entry(kind)
+            .or_insert_with(|| top_level_keys(line).join(","));
+    }
+    let got: String = seen
+        .iter()
+        .map(|(kind, keys)| format!("{kind}: {keys}\n"))
+        .collect();
+    assert_eq!(
+        got,
+        golden("trace_keys.txt"),
+        "trace JSONL schema drifted; update tests/golden/trace_keys.txt, \
+         bump gorder_obs::SCHEMA_VERSION, and notify trace consumers"
+    );
+}
