@@ -22,6 +22,21 @@ pub struct HarnessArgs {
     /// The experiment binaries stream one event per finished cell here,
     /// so an interrupted sweep is reconstructable from disk.
     pub trace_out: Option<String>,
+    /// Prior trace to resume from (`--resume`). Deliberately **not**
+    /// part of the config hash: a resumed run is the same experiment.
+    pub resume: Option<String>,
+    /// Fault-injection spec (`--faults`, same grammar as
+    /// `GORDER_FAULTS`). Not part of the config hash either — injected
+    /// faults degrade how a run executes, never what it computes.
+    pub faults: Option<String>,
+    /// Dataset-name filter (`--datasets a,b,…`); `None` = the binary's
+    /// default set. Part of the config hash — it changes the grid.
+    pub datasets: Option<Vec<String>>,
+    /// Ordering-name filter (`--orderings a,b,…`); hashed like
+    /// `datasets`.
+    pub orderings: Option<Vec<String>>,
+    /// Algorithm-name filter (`--algos a,b,…`); hashed like `datasets`.
+    pub algos: Option<Vec<String>>,
     /// Extra free-standing flags the binary may interpret (e.g.
     /// `--by-ordering` for the S1 grouping).
     pub extra: Vec<String>,
@@ -37,6 +52,11 @@ impl Default for HarnessArgs {
             cell_timeout: None,
             threads: 1,
             trace_out: None,
+            resume: None,
+            faults: None,
+            datasets: None,
+            orderings: None,
+            algos: None,
             extra: Vec::new(),
         }
     }
@@ -96,6 +116,30 @@ impl HarnessArgs {
                     out.trace_out =
                         Some(it.next().unwrap_or_else(|| die("--trace-out needs a path")));
                 }
+                "--resume" => {
+                    out.resume = Some(it.next().unwrap_or_else(|| die("--resume needs a path")));
+                }
+                "--faults" => {
+                    out.faults = Some(it.next().unwrap_or_else(|| die("--faults needs a spec")));
+                }
+                "--datasets" => {
+                    out.datasets = Some(parse_list(
+                        it.next().unwrap_or_else(|| die("--datasets needs a list")),
+                        "--datasets",
+                    ));
+                }
+                "--orderings" => {
+                    out.orderings = Some(parse_list(
+                        it.next().unwrap_or_else(|| die("--orderings needs a list")),
+                        "--orderings",
+                    ));
+                }
+                "--algos" => {
+                    out.algos = Some(parse_list(
+                        it.next().unwrap_or_else(|| die("--algos needs a list")),
+                        "--algos",
+                    ));
+                }
                 "--quick" => {
                     out.quick = true;
                     out.scale = out.scale.min(0.05);
@@ -128,6 +172,16 @@ impl HarnessArgs {
 fn die<T>(msg: &str) -> T {
     eprintln!("error: {msg}");
     std::process::exit(2)
+}
+
+/// Splits a `--datasets`-style comma list, rejecting empty entries so a
+/// typo like `a,,b` fails loudly instead of silently filtering nothing.
+fn parse_list(raw: String, flag: &str) -> Vec<String> {
+    let items: Vec<String> = raw.split(',').map(|s| s.trim().to_string()).collect();
+    if items.iter().any(|s| s.is_empty()) {
+        die::<()>(&format!("{flag} needs a non-empty comma-separated list"));
+    }
+    items
 }
 
 #[cfg(test)]
@@ -192,6 +246,37 @@ mod tests {
         let a = parse(&["--trace-out", "results/x.trace.jsonl", "--quick"]);
         assert_eq!(a.trace_out.as_deref(), Some("results/x.trace.jsonl"));
         assert!(a.quick, "flags after --trace-out still parse");
+    }
+
+    #[test]
+    fn resume_and_faults_parse() {
+        let a = parse(&["--resume", "results/t.jsonl", "--faults", "bench.cell=1+"]);
+        assert_eq!(a.resume.as_deref(), Some("results/t.jsonl"));
+        assert_eq!(a.faults.as_deref(), Some("bench.cell=1+"));
+        assert_eq!(parse(&[]).resume, None);
+        assert_eq!(parse(&[]).faults, None);
+    }
+
+    #[test]
+    fn grid_filters_parse_as_comma_lists() {
+        let a = parse(&[
+            "--datasets",
+            "epinion,flickr",
+            "--orderings",
+            "Original,Gorder",
+            "--algos",
+            "PR",
+        ]);
+        assert_eq!(
+            a.datasets.as_deref(),
+            Some(&["epinion".to_string(), "flickr".to_string()][..])
+        );
+        assert_eq!(
+            a.orderings.as_deref(),
+            Some(&["Original".to_string(), "Gorder".to_string()][..])
+        );
+        assert_eq!(a.algos.as_deref(), Some(&["PR".to_string()][..]));
+        assert_eq!(parse(&[]).datasets, None);
     }
 
     #[test]

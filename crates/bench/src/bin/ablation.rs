@@ -12,7 +12,7 @@ use gorder_algos::{GraphAlgorithm, RunCtx};
 use gorder_bench::fmt::{write_csv, Table};
 use gorder_bench::robust::guarded_ordering;
 use gorder_bench::timing::{median_secs, pretty_secs, time_once};
-use gorder_bench::{HarnessArgs, SweepTrace};
+use gorder_bench::{expected_config_hash, HarnessArgs, ResumeState, SweepTrace};
 use gorder_cachesim::trace::{pagerank as traced_pr, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, Tracer};
 use gorder_core::budget::ExecOutcome;
@@ -24,6 +24,12 @@ use std::sync::Arc;
 
 fn main() {
     let args = HarnessArgs::parse();
+    if let Some(spec) = &args.faults {
+        if let Err(e) = gorder_obs::faults::arm_from_spec(spec) {
+            eprintln!("error: --faults {e}");
+            std::process::exit(2);
+        }
+    }
     let ctx = RunCtx {
         pr_iterations: if args.quick { 5 } else { 50 },
         ..Default::default()
@@ -35,13 +41,38 @@ fn main() {
     let pr = gorder_algos::pagerank::Pr;
     let mut csv_rows = Vec::new();
     let timeout = args.cell_timeout_duration();
-    // --trace-out streams one `phase` line per ordering construction and
-    // one `cell` line per PageRank row, flushed as each lands.
+    // Parse the prior trace before SweepTrace::open truncates the
+    // `--trace-out` target (`--resume X --trace-out X` after a crash).
+    let resume = args.resume.as_ref().map(|path| {
+        match ResumeState::load(path, expected_config_hash("ablation", &args)) {
+            Ok(s) => {
+                eprintln!(
+                    "[ablation] resuming from {path}: {} completed cells, {} rows",
+                    s.cell_count(),
+                    s.row_count()
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("error: --resume {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    // --trace-out streams one `phase` line per ordering construction,
+    // one `cell` line per PageRank row, and one verbatim `row` line per
+    // CSV row, flushed as each lands.
     let mut trace = SweepTrace::open("ablation", &args);
-    for d in [
+    let datasets = [
         gorder_graph::datasets::flickr_like(),
         gorder_graph::datasets::pldarc_like(),
-    ] {
+    ]
+    .into_iter()
+    .filter(|d| match &args.datasets {
+        None => true,
+        Some(keep) => keep.iter().any(|k| k == d.name),
+    });
+    for d in datasets {
         let g = Arc::new(d.build(args.scale));
         println!(
             "Ablation on {} ({}, n = {}, m = {})\n",
@@ -61,6 +92,45 @@ fn main() {
         ]);
         for o in gorder_orders::extensions::extended(args.seed) {
             let o: Arc<dyn OrderingAlgorithm> = Arc::from(o);
+            if let Some(keep) = &args.orderings {
+                if !keep.iter().any(|k| k == o.name()) {
+                    continue;
+                }
+            }
+            // Recovery first: a row whose PR `cell` line completed and
+            // whose verbatim `row` line survived is replayed without
+            // recomputing the ordering or any metric. The ordering's
+            // `phase` line is deliberately not re-emitted — no ordering
+            // was computed in this process.
+            let key = format!("{}|{}", d.name, o.name());
+            let recovered = resume.as_ref().and_then(|s| {
+                let c = s.completed_cell(d.name, o.name(), "PR")?;
+                Some((c, s.row("ablation.csv", &key)?.to_vec()))
+            });
+            if let Some((rec, row)) = recovered {
+                trace.event(&TraceEvent::Cell(CellEvent {
+                    dataset: d.name.to_string(),
+                    ordering: o.name().to_string(),
+                    algo: "PR".to_string(),
+                    status: "completed".to_string(),
+                    seconds: rec.seconds,
+                    checksum: rec.checksum,
+                }));
+                trace.row("ablation.csv", &key, &row);
+                let num = |i: usize| row[i].parse::<f64>().unwrap_or(f64::NAN);
+                t.row([
+                    o.name().to_string(),
+                    pretty_secs(num(2)),
+                    pretty_secs(num(3)),
+                    format!("{:.1}%", num(4) * 100.0),
+                    format!("{:.2}", num(5)),
+                    format!("{:.0}", num(6)),
+                    row[7].clone(),
+                ]);
+                csv_rows.push(row);
+                eprintln!("[ablation] {} on {} recovered", o.name(), d.name);
+                continue;
+            }
             // Guarded: a misbehaving ordering loses its row, not the run.
             let (order_secs, outcome) = time_once(|| guarded_ordering(&o, &g, timeout));
             let skipped_cell = |status: &str| {
@@ -132,7 +202,7 @@ fn main() {
                 format!("{span:.0}"),
                 bw.to_string(),
             ]);
-            csv_rows.push(vec![
+            let row = vec![
                 d.name.to_string(),
                 o.name().to_string(),
                 format!("{order_secs:.6}"),
@@ -141,7 +211,10 @@ fn main() {
                 format!("{f:.4}"),
                 format!("{span:.1}"),
                 bw.to_string(),
-            ]);
+            ];
+            // the verbatim row line is what a later --resume replays
+            trace.row("ablation.csv", &key, &row);
+            csv_rows.push(row);
             eprintln!("[ablation] {} on {} done", o.name(), d.name);
         }
         t.print();

@@ -17,21 +17,45 @@
 
 use gorder_bench::experiment::run_grid_sim;
 use gorder_bench::fmt::{write_csv, Table};
-use gorder_bench::robust::run_grid_robust_observed;
+use gorder_bench::robust::run_grid_robust_resumed;
 use gorder_bench::schema::FIG5_HEADER;
 use gorder_bench::timing::pretty_secs;
 use gorder_bench::{
-    run_grid, CellResult, CellStatus, GridConfig, HarnessArgs, RobustCell, SweepTrace,
+    expected_config_hash, run_grid, CellResult, CellStatus, GridConfig, HarnessArgs, ResumeState,
+    RobustCell, SweepTrace,
 };
 
 fn main() {
     let args = HarnessArgs::parse();
+    // --faults arms the deterministic fault-injection layer (same
+    // grammar as GORDER_FAULTS) — crash-safety tests only.
+    if let Some(spec) = &args.faults {
+        if let Err(e) = gorder_obs::faults::arm_from_spec(spec) {
+            eprintln!("error: --faults {e}");
+            std::process::exit(2);
+        }
+    }
     let mut cfg = GridConfig::new(args.scale, args.reps, args.seed, args.quick);
     // --extended adds HubSort/HubCluster/DBG/Bisect and WCC/Tri/LP/BC
     cfg.extended = args.has_flag("--extended");
     // --threads N parallelises the engine-backed kernels in wall-clock
     // mode; simulated cells always trace serially (and report threads 1).
     cfg.threads = args.threads;
+    // --datasets/--orderings/--algos narrow the grid (and are part of
+    // the manifest's config hash, so a resumed run must repeat them).
+    if let Some(names) = &args.datasets {
+        cfg.datasets = names
+            .iter()
+            .map(|n| {
+                gorder_graph::datasets::by_name(n).unwrap_or_else(|| {
+                    eprintln!("error: --datasets: unknown dataset {n:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+    cfg.orderings = args.orderings.clone();
+    cfg.algos = args.algos.clone();
     // Default: modelled time via the cache simulator (reproduces the
     // paper's cache-bound regime regardless of host hardware). Pass
     // --wall for raw wall-clock — meaningful only when the datasets
@@ -45,58 +69,107 @@ fn main() {
         "(mode: simulated — stall-model cycles at 4 GHz; pass --wall for wall-clock)".to_string()
     };
     println!("{mode_note}");
-    // --trace-out streams one JSONL line per finished cell (plus the run
-    // manifest up front), so a sweep interrupted partway still leaves a
-    // reconstructable record next to the CSV.
-    let mut trace = SweepTrace::open("fig5", &args);
-    let cells = match args.cell_timeout_duration() {
-        Some(timeout) => {
-            let report =
-                run_grid_robust_observed(&cfg, Some(timeout), !wall, &mut |c| trace.cell(c));
-            report.print_skip_report();
-            report.usable()
-        }
-        None => {
-            let plain = if wall {
-                run_grid(&cfg)
-            } else {
-                run_grid_sim(&cfg)
-            };
-            // unguarded grids either complete every cell or die; anything
-            // we got back is a completed cell
-            for c in &plain {
-                trace.cell(&RobustCell {
-                    result: c.clone(),
-                    status: CellStatus::Completed,
-                });
-            }
-            plain
-        }
-    };
-
-    let csv_rows: Vec<Vec<String>> = cells
-        .iter()
-        .map(|c| {
-            vec![
-                c.dataset.clone(),
-                c.algo.clone(),
-                c.ordering.clone(),
-                format!("{:.6}", c.seconds),
-                c.checksum.to_string(),
-                c.stats.iterations.to_string(),
-                c.stats.edges_relaxed.to_string(),
-                c.stats.frontier_peak.to_string(),
-                // threads actually used: 1 for simulated/serial cells and
-                // the extension algorithms (which ignore the plan).
-                c.stats.threads_used.max(1).to_string(),
-            ]
-        })
-        .collect();
     let csv_name = if cfg.extended {
         "fig5_extended.csv"
     } else {
         "fig5.csv"
     };
+    // Parse the prior trace *before* SweepTrace::open truncates the
+    // `--trace-out` target — `--resume X --trace-out X` is the natural
+    // invocation after a crash.
+    let resume = args.resume.as_ref().map(|path| {
+        match ResumeState::load(path, expected_config_hash("fig5", &args)) {
+            Ok(s) => {
+                eprintln!(
+                    "[fig5] resuming from {path}: {} completed cells, {} rows{}",
+                    s.cell_count(),
+                    s.row_count(),
+                    if s.truncated_final_line {
+                        " (trace ends in a torn line — crash artifact, tolerated)"
+                    } else {
+                        ""
+                    }
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("error: --resume {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    // --trace-out streams one JSONL line per finished cell plus one
+    // `row` line per finished CSV row (the run manifest up front), so a
+    // sweep interrupted partway still leaves a reconstructable record
+    // next to the CSV — the write-ahead log `--resume` replays.
+    let mut trace = SweepTrace::open("fig5", &args);
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let cells = if args.cell_timeout.is_some() || resume.is_some() {
+        // A cell is recovered only when both its `cell` line and its
+        // verbatim `row` line survived — a crash between the two lines
+        // re-runs the cell rather than guessing at the missing half.
+        let recovered = |dataset: &str, ordering: &str, algo: &str| -> Option<CellResult> {
+            let s = resume.as_ref()?;
+            let cell = s.completed_cell(dataset, ordering, algo)?;
+            s.row(csv_name, &format!("{dataset}|{algo}|{ordering}"))?;
+            Some(CellResult {
+                dataset: dataset.to_string(),
+                algo: algo.to_string(),
+                ordering: ordering.to_string(),
+                seconds: cell.seconds,
+                checksum: cell.checksum,
+                stats: Default::default(),
+            })
+        };
+        let mut on_cell = |c: &RobustCell| {
+            trace.cell(c);
+            if c.status.is_usable() {
+                let r = &c.result;
+                let key = format!("{}|{}|{}", r.dataset, r.algo, r.ordering);
+                // prefer the recovered verbatim row (stats of recovered
+                // cells are zeroed; the prior run's bytes are the truth)
+                let row = resume
+                    .as_ref()
+                    .and_then(|s| s.row(csv_name, &key))
+                    .map(<[String]>::to_vec)
+                    .unwrap_or_else(|| fig5_row(r));
+                trace.row(csv_name, &key, &row);
+                csv_rows.push(row);
+            }
+        };
+        let report = run_grid_robust_resumed(
+            &cfg,
+            args.cell_timeout_duration(),
+            !wall,
+            &recovered,
+            &mut on_cell,
+        );
+        report.print_skip_report();
+        report.usable()
+    } else {
+        let plain = if wall {
+            run_grid(&cfg)
+        } else {
+            run_grid_sim(&cfg)
+        };
+        // unguarded grids either complete every cell or die; anything
+        // we got back is a completed cell
+        for c in &plain {
+            trace.cell(&RobustCell {
+                result: c.clone(),
+                status: CellStatus::Completed,
+            });
+            let row = fig5_row(c);
+            trace.row(
+                csv_name,
+                &format!("{}|{}|{}", c.dataset, c.algo, c.ordering),
+                &row,
+            );
+            csv_rows.push(row);
+        }
+        plain
+    };
+
     match write_csv(csv_name, FIG5_HEADER, &csv_rows) {
         Ok(p) => eprintln!("[fig5] wrote {}", p.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
@@ -158,6 +231,24 @@ fn main() {
             println!();
         }
     }
+}
+
+/// One `results/fig5*.csv` row for a freshly computed cell — the exact
+/// bytes also recorded as the cell's trace `row` line.
+fn fig5_row(c: &CellResult) -> Vec<String> {
+    vec![
+        c.dataset.clone(),
+        c.algo.clone(),
+        c.ordering.clone(),
+        format!("{:.6}", c.seconds),
+        c.checksum.to_string(),
+        c.stats.iterations.to_string(),
+        c.stats.edges_relaxed.to_string(),
+        c.stats.frontier_peak.to_string(),
+        // threads actually used: 1 for simulated/serial cells and
+        // the extension algorithms (which ignore the plan).
+        c.stats.threads_used.max(1).to_string(),
+    ]
 }
 
 fn relative(cell: Option<&CellResult>, gorder: Option<&CellResult>) -> String {

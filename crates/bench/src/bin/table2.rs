@@ -10,7 +10,7 @@ use gorder_bench::fmt::{write_csv, Table};
 use gorder_bench::robust::guarded_ordering;
 use gorder_bench::schema::TABLE2_HEADER;
 use gorder_bench::timing::{pretty_secs, time_once};
-use gorder_bench::{HarnessArgs, SweepTrace};
+use gorder_bench::{expected_config_hash, HarnessArgs, ResumeState, SweepTrace};
 use gorder_core::budget::ExecOutcome;
 use gorder_obs::{CellEvent, TraceEvent};
 use gorder_orders::OrderingAlgorithm;
@@ -18,16 +18,55 @@ use std::sync::Arc;
 
 fn main() {
     let args = HarnessArgs::parse();
+    if let Some(spec) = &args.faults {
+        if let Err(e) = gorder_obs::faults::arm_from_spec(spec) {
+            eprintln!("error: --faults {e}");
+            std::process::exit(2);
+        }
+    }
     println!(
         "Table 2: ordering computation time in seconds (scale = {})\n",
         args.scale
     );
     let timeout = args.cell_timeout_duration();
-    let datasets = gorder_graph::datasets::all();
+    let datasets = match &args.datasets {
+        None => gorder_graph::datasets::all(),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                gorder_graph::datasets::by_name(n).unwrap_or_else(|| {
+                    eprintln!("error: --datasets: unknown dataset {n:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
     let orderings: Vec<Arc<dyn OrderingAlgorithm>> = gorder_orders::all(args.seed)
         .into_iter()
+        .filter(|o| match &args.orderings {
+            None => true,
+            Some(keep) => keep.iter().any(|k| k == o.name()),
+        })
         .map(Arc::from)
         .collect();
+    // Parse the prior trace before SweepTrace::open truncates the
+    // `--trace-out` target (`--resume X --trace-out X` after a crash).
+    let resume = args.resume.as_ref().map(|path| {
+        match ResumeState::load(path, expected_config_hash("table2", &args)) {
+            Ok(s) => {
+                eprintln!(
+                    "[table2] resuming from {path}: {} completed cells, {} rows",
+                    s.cell_count(),
+                    s.row_count()
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("error: --resume {e}");
+                std::process::exit(2);
+            }
+        }
+    });
     // Original and Random cost nothing interesting; the paper's table
     // starts at MinLA. Keep them anyway — they are part of the zoo.
     let mut header = vec!["Ordering".to_string()];
@@ -52,6 +91,33 @@ fn main() {
     for o in &orderings {
         let mut cells = vec![o.name().to_string()];
         for (d, g) in datasets.iter().zip(&graphs) {
+            // Recovery first: a cell whose `cell` line (status
+            // completed) *and* verbatim `row` line both survived the
+            // prior trace is re-emitted without recomputing. The graphs
+            // themselves are still built — the "Edges m" footer needs
+            // every m — but the expensive ordering computation and BFS
+            // probe are skipped.
+            let key = format!("{}|{}", o.name(), d.name);
+            let recovered = resume.as_ref().and_then(|s| {
+                let c = s.completed_cell(d.name, o.name(), "order")?;
+                Some((c, s.row("table2.csv", &key)?.to_vec()))
+            });
+            if let Some((rec, row)) = recovered {
+                let shown = pretty_secs(rec.seconds);
+                trace.event(&TraceEvent::Cell(CellEvent {
+                    dataset: d.name.to_string(),
+                    ordering: o.name().to_string(),
+                    algo: "order".to_string(),
+                    status: "completed".to_string(),
+                    seconds: rec.seconds,
+                    checksum: 0,
+                }));
+                trace.row("table2.csv", &key, &row);
+                cells.push(shown.clone());
+                csv_rows.push(row);
+                eprintln!("[table2]   {} on {}: {shown} (recovered)", o.name(), d.name);
+                continue;
+            }
             // Guarded: a panicking or runaway ordering marks its cell
             // and the table continues, instead of the whole run dying.
             let (secs, outcome) = time_once(|| guarded_ordering(o, g, timeout));
@@ -108,14 +174,17 @@ fn main() {
                 None => (String::new(), String::new(), String::new()),
             };
             cells.push(shown.clone());
-            csv_rows.push(vec![
+            let row = vec![
                 o.name().to_string(),
                 d.name.to_string(),
                 format!("{secs:.6}"),
                 bfs_iters,
                 bfs_edges,
                 bfs_threads,
-            ]);
+            ];
+            // the verbatim row line is what a later --resume replays
+            trace.row("table2.csv", &key, &row);
+            csv_rows.push(row);
             eprintln!("[table2]   {} on {}: {shown}", o.name(), d.name);
         }
         t.row(cells);

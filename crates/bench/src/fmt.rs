@@ -63,6 +63,11 @@ impl Table {
 
 /// Writes rows as CSV under `results/` (created on demand); returns the
 /// path written.
+///
+/// The write is atomic: rows land in `results/.<name>.tmp`, are flushed
+/// through to the device, and the temp file is renamed over the final
+/// path. A crash mid-write therefore leaves either the previous complete
+/// CSV or the new one — never a half-written artifact.
 pub fn write_csv(
     name: &str,
     header: &[&str],
@@ -71,12 +76,18 @@ pub fn write_csv(
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
-    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
-    writeln!(f, "{}", header.join(","))?;
-    for row in rows {
-        writeln!(f, "{}", row.join(","))?;
+    let tmp = dir.join(format!(".{name}.tmp"));
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut f = std::io::BufWriter::new(file);
+        writeln!(f, "{}", header.join(","))?;
+        for row in rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        f.flush()?;
+        f.get_ref().sync_all()?;
     }
-    f.flush()?;
+    std::fs::rename(&tmp, &path)?;
     Ok(path)
 }
 
@@ -136,6 +147,24 @@ mod tests {
         std::env::set_current_dir(prev).unwrap();
         assert_eq!(h, vec!["k", "v"]);
         assert_eq!(r, rows);
+    }
+
+    #[test]
+    fn write_csv_is_atomic_rename() {
+        let _guard = CWD_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("gorder_fmt_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let res1 = write_csv("a.csv", &["k"], &[vec!["1".to_string()]]);
+        let res2 = write_csv("a.csv", &["k"], &[vec!["2".to_string()]]);
+        let leftover = Path::new("results/.a.csv.tmp").exists();
+        let text = std::fs::read_to_string("results/a.csv");
+        std::env::set_current_dir(prev).unwrap();
+        res1.unwrap();
+        res2.unwrap();
+        assert!(!leftover, "temp file must be renamed away");
+        assert_eq!(text.unwrap(), "k\n2\n", "second write replaced the first");
     }
 
     #[test]

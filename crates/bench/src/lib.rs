@@ -22,6 +22,7 @@ pub mod args;
 pub mod experiment;
 pub mod fmt;
 pub mod ranking;
+pub mod resume;
 pub mod robust;
 pub mod schema;
 pub mod timing;
@@ -30,8 +31,10 @@ pub mod tracefile;
 pub use args::HarnessArgs;
 pub use experiment::{run_grid, CellResult, GridConfig};
 pub use ranking::{rank_counts, Ranking};
+pub use resume::{RecoveredCell, ResumeState};
 pub use robust::{
-    run_grid_robust, run_grid_robust_observed, run_grid_robust_with, run_grid_robust_with_observed,
-    run_guarded, CellStatus, RobustCell, SweepReport,
+    abandoned_count, reap_abandoned, run_grid_robust, run_grid_robust_observed,
+    run_grid_robust_resumed, run_grid_robust_with, run_grid_robust_with_observed, run_guarded,
+    CellStatus, RobustCell, SweepReport,
 };
-pub use tracefile::SweepTrace;
+pub use tracefile::{expected_config_hash, SweepTrace};

@@ -19,7 +19,8 @@ use gorder_core::budget::{Budget, DegradeReason, ExecOutcome};
 use gorder_graph::Graph;
 use gorder_orders::OrderingAlgorithm;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How one sweep cell ended.
@@ -140,13 +141,52 @@ impl SweepReport {
 /// spuriously on a loaded machine.
 const WATCHDOG_GRACE: Duration = Duration::from_millis(250);
 
+/// Threads the watchdog walked away from. Abandoning a handle used to
+/// mean `drop(worker)` — the thread could never be joined again, so a
+/// sweep full of timeouts accumulated runaway threads (and their
+/// captured graphs) until exit. Handles now land here instead, and
+/// [`reap_abandoned`] joins the ones that have since noticed their
+/// cancelled budget and returned.
+static ABANDONED: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+
+/// Joins every abandoned worker that has finished since the last call,
+/// releasing its stack and captured state; still-running workers stay in
+/// the registry. Returns how many were reaped. Called opportunistically
+/// at every [`run_guarded`] entry, so a long sweep cleans up after its
+/// own timeouts instead of hoarding dead threads.
+pub fn reap_abandoned() -> usize {
+    let finished: Vec<JoinHandle<()>> = {
+        let mut held = ABANDONED.lock().unwrap();
+        let (done, still) = std::mem::take(&mut *held)
+            .into_iter()
+            .partition(|h| h.is_finished());
+        *held = still;
+        done
+    };
+    // join outside the lock: a finished thread joins instantly, but
+    // there is no reason to hold the registry closed while it does
+    let n = finished.len();
+    for h in finished {
+        let _ = h.join();
+    }
+    n
+}
+
+/// Abandoned workers still running (timed-out cells that have not yet
+/// honoured their cancelled budget).
+pub fn abandoned_count() -> usize {
+    ABANDONED.lock().unwrap().len()
+}
+
 /// Runs `f` isolated on its own thread under `catch_unwind` and a
 /// watchdog deadline. `f` receives a [`Budget`] carrying the deadline so
 /// cooperative work can degrade instead of being abandoned. A panic maps
 /// to [`ExecOutcome::Failed`]; a worker that is still running one grace
-/// period after the deadline is cancelled, and abandoned (the thread is
-/// detached — it parks no resources beyond what it captured) one grace
-/// period later with [`ExecOutcome::TimedOut`].
+/// period after the deadline is cancelled, and abandoned one grace
+/// period later with [`ExecOutcome::TimedOut`]. Abandoned workers are
+/// not leaked: their handles land in the abandoned-handle registry and are
+/// joined by [`reap_abandoned`] (called here on every entry) once they
+/// notice their cancelled budget and return.
 ///
 /// With `timeout = None` the closure simply runs on the current thread
 /// under `catch_unwind` with an unlimited budget.
@@ -155,6 +195,7 @@ where
     T: Send + 'static,
     F: FnOnce(&Budget) -> ExecOutcome<T> + Send + 'static,
 {
+    reap_abandoned();
     let Some(timeout) = timeout else {
         let budget = Budget::unlimited();
         return match catch_unwind(AssertUnwindSafe(|| f(&budget))) {
@@ -186,7 +227,9 @@ where
                     outcome
                 }
                 Err(_) => {
-                    drop(worker); // detach: the runaway thread dies with the process
+                    // the budget is cancelled; park the handle so a
+                    // later reap joins the thread when it gives up
+                    ABANDONED.lock().unwrap().push(worker);
                     ExecOutcome::TimedOut
                 }
             }
@@ -235,20 +278,43 @@ pub fn run_grid_robust_observed(
     sim: bool,
     on_cell: &mut dyn FnMut(&RobustCell),
 ) -> SweepReport {
+    run_grid_robust_with_observed(cfg, timeout, sim, pool_for(cfg), on_cell)
+}
+
+/// The ordering pool `cfg` implies: the standard or extended set,
+/// narrowed by `cfg.orderings` when present.
+fn pool_for(cfg: &GridConfig) -> Vec<Arc<dyn OrderingAlgorithm>> {
     let pool = if cfg.extended {
         gorder_orders::extensions::extended(cfg.seed)
     } else {
         gorder_orders::all(cfg.seed)
     };
-    let pool = pool
-        .into_iter()
+    pool.into_iter()
         .filter(|o| match &cfg.orderings {
             None => true,
             Some(keep) => keep.iter().any(|k| k == o.name()),
         })
         .map(Arc::from)
-        .collect();
-    run_grid_robust_with_observed(cfg, timeout, sim, pool, on_cell)
+        .collect()
+}
+
+/// [`run_grid_robust_observed`] resuming a crashed sweep: `recovered` is
+/// consulted with `(dataset, ordering, algo)` before any work is done
+/// for a cell, and a `Some(CellResult)` is emitted as a completed cell
+/// without recomputing anything. When **every** algorithm cell of a
+/// (dataset, ordering) pair is recovered, the ordering itself is not
+/// recomputed either — and a dataset whose every cell is recovered is
+/// never even built. A pair with any missing cell re-runs whole: the
+/// ordering must be recomputed anyway, so partial recovery would mix a
+/// fresh permutation with stale timings.
+pub fn run_grid_robust_resumed(
+    cfg: &GridConfig,
+    timeout: Option<Duration>,
+    sim: bool,
+    recovered: RecoveredLookup<'_>,
+    on_cell: &mut dyn FnMut(&RobustCell),
+) -> SweepReport {
+    grid_with_recovery(cfg, timeout, sim, pool_for(cfg), Some(recovered), on_cell)
 }
 
 /// Guarded sweep over an explicit ordering pool — the entry point the
@@ -280,6 +346,23 @@ pub fn run_grid_robust_with_observed(
     orderings: Vec<Arc<dyn OrderingAlgorithm>>,
     on_cell: &mut dyn FnMut(&RobustCell),
 ) -> SweepReport {
+    grid_with_recovery(cfg, timeout, sim, orderings, None, on_cell)
+}
+
+/// A resume lookup: maps `(dataset, ordering, algo)` to the recovered
+/// cell from a prior run's trace, or `None` when the cell must re-run.
+pub type RecoveredLookup<'a> = &'a dyn Fn(&str, &str, &str) -> Option<CellResult>;
+
+/// The guarded grid with an optional trace-recovery hook — the single
+/// body behind every `run_grid_robust*` entry point.
+fn grid_with_recovery(
+    cfg: &GridConfig,
+    timeout: Option<Duration>,
+    sim: bool,
+    orderings: Vec<Arc<dyn OrderingAlgorithm>>,
+    recovered: Option<RecoveredLookup<'_>>,
+    on_cell: &mut dyn FnMut(&RobustCell),
+) -> SweepReport {
     let algos: Vec<Arc<dyn GraphAlgorithm>> = if cfg.extended {
         gorder_algos::extended()
     } else {
@@ -295,10 +378,42 @@ pub fn run_grid_robust_with_observed(
     let base_ctx = cfg.run_ctx();
     let mut report = SweepReport::default();
     for d in &cfg.datasets {
-        let g = Arc::new(d.build(cfg.scale));
-        eprintln!("[grid/robust] {}: n = {}, m = {}", d.name, g.n(), g.m());
-        let logical_source = g.max_degree_node().unwrap_or(0);
+        // built lazily: a fully recovered dataset is never constructed
+        let mut built: Option<(Arc<Graph>, u32)> = None;
         for o in &orderings {
+            let rec_cells: Option<Vec<CellResult>> = recovered.and_then(|rec| {
+                algos
+                    .iter()
+                    .map(|a| rec(d.name, o.name(), a.name()))
+                    .collect()
+            });
+            if let Some(cells) = rec_cells {
+                for result in cells {
+                    emit(
+                        &mut report,
+                        on_cell,
+                        RobustCell {
+                            result,
+                            status: CellStatus::Completed,
+                        },
+                    );
+                }
+                eprintln!(
+                    "[grid/robust]   {}/{} recovered from trace ({} cells)",
+                    d.name,
+                    o.name(),
+                    algos.len()
+                );
+                continue;
+            }
+            if built.is_none() {
+                let g = Arc::new(d.build(cfg.scale));
+                eprintln!("[grid/robust] {}: n = {}, m = {}", d.name, g.n(), g.m());
+                let source = g.max_degree_node().unwrap_or(0);
+                built = Some((g, source));
+            }
+            let (g, logical_source) = built.as_ref().expect("built above");
+            let (g, logical_source) = (Arc::clone(g), *logical_source);
             let blank = |algo: &str| CellResult {
                 dataset: d.name.to_string(),
                 algo: algo.to_string(),
@@ -423,6 +538,9 @@ fn run_algo_cell(
             seed: base_ctx.seed,
         };
         run_guarded(timeout, move |_budget| {
+            // fault point: holds a crashing-sweep test mid-grid; the
+            // sleep never touches the modelled (simulated) seconds
+            gorder_obs::faults::slow_cell("bench.cell");
             let mut tracer = Tracer::new(CacheHierarchy::new(&HierarchyConfig::scaled_down()));
             match replay_with_stats(a.name(), &rg, &mut tracer, &tctx) {
                 Some((checksum, stats)) => {
@@ -440,6 +558,7 @@ fn run_algo_cell(
         let reps = cfg.reps;
         let plan = cfg.exec_plan();
         run_guarded(timeout, move |_budget| {
+            gorder_obs::faults::slow_cell("bench.cell");
             let mut stats = KernelStats::default();
             let (secs, checksum) = median_secs(
                 || {
@@ -646,6 +765,67 @@ mod tests {
             assert_eq!(r.algo, p.algo);
             assert_eq!(r.ordering, p.ordering);
             assert_eq!(r.checksum, p.checksum, "{}/{}", p.ordering, p.algo);
+        }
+    }
+
+    #[test]
+    fn resumed_grid_recovers_cells_verbatim_and_recomputes_the_rest() {
+        let mut cfg = tiny_cfg();
+        cfg.orderings = Some(vec!["Original".into(), "ChDFS".into()]);
+        // sim mode: modelled seconds are deterministic, so recomputed
+        // cells must match the fresh sweep exactly
+        let fresh = run_grid_robust(&cfg, Some(Duration::from_secs(60)), true);
+        // pretend Original's cells survived a crash; ChDFS's did not
+        let rec = |dataset: &str, ordering: &str, algo: &str| -> Option<CellResult> {
+            fresh
+                .cells
+                .iter()
+                .find(|c| {
+                    ordering == "Original"
+                        && c.result.dataset == dataset
+                        && c.result.ordering == ordering
+                        && c.result.algo == algo
+                })
+                .map(|c| c.result.clone())
+        };
+        let mut observed = 0usize;
+        let resumed =
+            run_grid_robust_resumed(&cfg, Some(Duration::from_secs(60)), true, &rec, &mut |_| {
+                observed += 1
+            });
+        assert_eq!(resumed.cells.len(), fresh.cells.len());
+        assert_eq!(observed, fresh.cells.len(), "recovered cells still stream");
+        for (f, r) in fresh.cells.iter().zip(&resumed.cells) {
+            assert_eq!(f.result.ordering, r.result.ordering);
+            assert_eq!(f.result.algo, r.result.algo);
+            assert_eq!(f.result.checksum, r.result.checksum);
+            assert_eq!(f.result.seconds, r.result.seconds, "{:?}", r.result);
+            assert_eq!(r.status, CellStatus::Completed);
+        }
+    }
+
+    #[test]
+    fn partially_recovered_pair_is_rerun_whole() {
+        let mut cfg = tiny_cfg(); // algos: NQ + BFS
+        cfg.orderings = Some(vec!["Original".into()]);
+        // only NQ recovered: the ordering must be recomputed for BFS
+        // anyway, so the sentinel recovery must be discarded
+        let rec = |dataset: &str, ordering: &str, algo: &str| -> Option<CellResult> {
+            (algo == "NQ").then(|| CellResult {
+                dataset: dataset.to_string(),
+                algo: algo.to_string(),
+                ordering: ordering.to_string(),
+                seconds: 999.0,
+                checksum: 7,
+                stats: KernelStats::default(),
+            })
+        };
+        let resumed =
+            run_grid_robust_resumed(&cfg, Some(Duration::from_secs(60)), true, &rec, &mut |_| {});
+        assert_eq!(resumed.cells.len(), 2);
+        for c in &resumed.cells {
+            assert_ne!(c.result.seconds, 999.0, "{:?}", c.result);
+            assert_eq!(c.status, CellStatus::Completed);
         }
     }
 

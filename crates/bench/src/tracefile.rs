@@ -10,7 +10,7 @@
 
 use crate::robust::RobustCell;
 use crate::HarnessArgs;
-use gorder_obs::{CellEvent, RunManifest, TraceEvent, TraceSink};
+use gorder_obs::{CellEvent, RowEvent, RunManifest, TraceEvent, TraceSink};
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::Path;
@@ -67,6 +67,17 @@ impl SweepTrace {
         self.event(&TraceEvent::Cell(cell_event(c)));
     }
 
+    /// Records one finished CSV row verbatim (flushed immediately). Row
+    /// lines are what `--resume` replays: a cell whose `row` line made it
+    /// to disk is recovered byte-identically; one that didn't is re-run.
+    pub fn row(&mut self, table: &str, key: &str, cells: &[String]) {
+        self.event(&TraceEvent::Row(RowEvent {
+            table: table.to_string(),
+            key: key.to_string(),
+            cells: cells.to_vec(),
+        }));
+    }
+
     /// Records an arbitrary trace event (flushed immediately).
     pub fn event(&mut self, e: &TraceEvent) {
         if let Some(sink) = &mut self.sink {
@@ -117,22 +128,39 @@ pub fn cell_event(c: &RobustCell) -> CellEvent {
     }
 }
 
-/// The manifest for one harness invocation: every shared flag, in a
-/// fixed order, folded into the config hash.
+/// The manifest for one harness invocation: every flag that shapes the
+/// grid, in a fixed order, folded into the config hash. `--resume` and
+/// `--faults` are deliberately excluded — a resumed or fault-hammered
+/// run is still the *same* experiment, and its trace must hash-match
+/// the original so `--resume` accepts it.
 fn manifest_for(tool: &str, args: &HarnessArgs) -> RunManifest {
+    fn list(v: &Option<Vec<String>>) -> String {
+        v.as_ref().map_or("-".to_string(), |v| v.join("+"))
+    }
     let config = format!(
-        "tool={tool},scale={},reps={},seed={},quick={},cell_timeout={},threads={},extra={}",
+        "tool={tool},scale={},reps={},seed={},quick={},cell_timeout={},threads={},\
+         datasets={},orderings={},algos={},extra={}",
         args.scale,
         args.reps,
         args.seed,
         args.quick,
         args.cell_timeout.map_or("-".to_string(), |t| t.to_string()),
         args.threads,
+        list(&args.datasets),
+        list(&args.orderings),
+        list(&args.algos),
         args.extra.join("+"),
     );
     let mut m = RunManifest::new(tool, &config);
     m.threads = u64::from(args.threads);
     m
+}
+
+/// The config hash a trace written by `tool` under `args` carries in its
+/// manifest line. `--resume` compares this against the prior trace's
+/// manifest before trusting any recovered cell.
+pub fn expected_config_hash(tool: &str, args: &HarnessArgs) -> u64 {
+    manifest_for(tool, args).config_hash
 }
 
 #[cfg(test)]
@@ -191,6 +219,48 @@ mod tests {
         // the timed-out cell's seconds went null, not NaN
         assert!(text.lines().nth(2).unwrap().contains("\"seconds\":null"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn row_events_stream_and_validate() {
+        let path = tmp("rows.trace.jsonl");
+        let args = HarnessArgs {
+            trace_out: Some(path.display().to_string()),
+            ..Default::default()
+        };
+        let mut t = SweepTrace::open("test", &args);
+        t.row("fig5.csv", "d|BFS|Gorder", &["d".into(), "0.5".into()]);
+        t.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = validate_jsonl(&text).unwrap();
+        assert_eq!(summary.by_kind["row"], 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn config_hash_tracks_grid_filters_but_not_resume() {
+        let base = HarnessArgs::default();
+        let h0 = expected_config_hash("fig5", &base);
+        let filtered = HarnessArgs {
+            datasets: Some(vec!["epinion".into()]),
+            ..base.clone()
+        };
+        assert_ne!(
+            h0,
+            expected_config_hash("fig5", &filtered),
+            "dataset filter changes the grid, so it changes the hash"
+        );
+        let resumed = HarnessArgs {
+            resume: Some("old.jsonl".into()),
+            faults: Some("bench.cell=1".into()),
+            ..base.clone()
+        };
+        assert_eq!(
+            h0,
+            expected_config_hash("fig5", &resumed),
+            "--resume/--faults never change the hash"
+        );
+        assert_ne!(h0, expected_config_hash("table2", &base), "tool is hashed");
     }
 
     #[test]

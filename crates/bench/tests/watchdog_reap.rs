@@ -1,0 +1,59 @@
+//! Regression test for the watchdog thread leak (own binary: the
+//! abandoned-worker registry is process-global, and other tests abandon
+//! never-terminating workers that would make its counts meaningless).
+//!
+//! `run_guarded` used to `drop()` the handle of a worker that outlived
+//! its grace periods, detaching the thread forever — a sweep full of
+//! timeouts accumulated runaway threads and their captured graphs until
+//! process exit. Abandoned handles now land in a registry and are
+//! joined by `reap_abandoned()` once the worker honours its cancelled
+//! budget and returns.
+
+use gorder_bench::{abandoned_count, reap_abandoned, run_guarded};
+use gorder_core::budget::ExecOutcome;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn timed_out_worker_is_joined_once_it_honours_cancel() {
+    let finished = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&finished);
+    let out: ExecOutcome<u32> = run_guarded(Some(Duration::from_millis(10)), move |budget| {
+        // too slow for the watchdog's two 250 ms grace periods, but not
+        // a runaway: it checks the cancel flag when it finally wakes
+        while !budget.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(700));
+        flag.store(true, Ordering::SeqCst);
+        ExecOutcome::Completed(0)
+    });
+    assert_eq!(out, ExecOutcome::TimedOut);
+    assert_eq!(
+        abandoned_count(),
+        1,
+        "the abandoned handle is parked, not dropped"
+    );
+
+    // once the worker returns, a reap must join it and drain the registry
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut reaped = 0usize;
+    while reaped == 0 {
+        assert!(Instant::now() < deadline, "abandoned worker never reaped");
+        std::thread::sleep(Duration::from_millis(25));
+        reaped = reap_abandoned();
+    }
+    assert!(
+        finished.load(Ordering::SeqCst),
+        "worker actually terminated"
+    );
+    assert_eq!(abandoned_count(), 0, "registry drained");
+
+    // and the next guarded call starts from a clean registry
+    let out = run_guarded(Some(Duration::from_secs(5)), |_b| {
+        ExecOutcome::Completed(1u32)
+    });
+    assert_eq!(out, ExecOutcome::Completed(1));
+    assert_eq!(abandoned_count(), 0);
+}

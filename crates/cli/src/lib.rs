@@ -123,6 +123,7 @@ fn stats_json_line(
         .f64("finish_secs", stats.finish_secs)
         .u64("threads_used", u64::from(stats.threads_used))
         .f64_array("thread_busy_secs", &stats.thread_busy_secs)
+        .bool("degraded_serial", stats.degraded_serial)
         .finish()
 }
 
@@ -159,25 +160,39 @@ fn kernel_trace_event(
         finish_secs: stats.finish_secs,
         threads_used: u64::from(stats.threads_used),
         thread_busy_secs: stats.thread_busy_secs.iter().sum(),
+        degraded_serial: stats.degraded_serial,
     })
 }
 
 /// `validate-trace` subcommand: checks that every line of the file at
 /// `path` passes the strict JSON parser and that the first line is a
 /// manifest with a supported schema version. Returns a one-line summary.
-pub fn validate_trace_file(path: &Path) -> Result<String, CliError> {
+///
+/// With `lenient` (the `--lenient` flag), exactly one invalid,
+/// unterminated **final** line is tolerated and reported — the signature
+/// a crash mid-write leaves, and exactly what `--resume` accepts.
+pub fn validate_trace_file(path: &Path, lenient: bool) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Failed(format!("cannot read {}: {e}", path.display())))?;
-    let summary = gorder_obs::validate_jsonl(&text)
-        .map_err(|e| CliError::Failed(format!("{}: {e}", path.display())))?;
+    let validated = if lenient {
+        gorder_obs::validate_jsonl_lenient(&text)
+    } else {
+        gorder_obs::validate_jsonl(&text)
+    };
+    let summary = validated.map_err(|e| CliError::Failed(format!("{}: {e}", path.display())))?;
     let kinds = summary
         .by_kind
         .iter()
         .map(|(k, n)| format!("{n} {k}"))
         .collect::<Vec<_>>()
         .join(", ");
+    let torn = if summary.truncated_final_line {
+        " + 1 torn final line (crash artifact, tolerated)"
+    } else {
+        ""
+    };
     Ok(format!(
-        "{}: valid trace, {} lines ({kinds})",
+        "{}: valid trace, {} lines ({kinds}){torn}",
         path.display(),
         summary.lines
     ))
@@ -590,7 +605,7 @@ mod tests {
     /// use, so "parses here" means "parses everywhere downstream".
     use gorder_obs::json::parse_object as parse_json_object;
 
-    const STATS_KEYS: [&str; 14] = [
+    const STATS_KEYS: [&str; 15] = [
         "algo",
         "ordering",
         "checksum",
@@ -605,6 +620,7 @@ mod tests {
         "finish_secs",
         "threads_used",
         "thread_busy_secs",
+        "degraded_serial",
     ];
 
     #[test]
@@ -621,6 +637,7 @@ mod tests {
         assert_eq!(obj["engine"], "true");
         assert_eq!(obj["threads_used"], "1");
         assert_eq!(obj["thread_busy_secs"], "[]", "serial runs have no workers");
+        assert_eq!(obj["degraded_serial"], "false", "clean runs never degrade");
         assert!(obj["iterations"].parse::<u64>().unwrap() >= 1, "{line}");
         // BFS (with restarts) scans every out-edge exactly once
         assert_eq!(obj["edges_relaxed"].parse::<u64>().unwrap(), g.m());
@@ -697,13 +714,13 @@ mod tests {
         sink.manifest(&gorder_obs::RunManifest::new("t", "c"))
             .unwrap();
         drop(sink);
-        let summary = validate_trace_file(&good).unwrap();
+        let summary = validate_trace_file(&good, false).unwrap();
         assert!(summary.contains("valid trace, 1 lines"), "{summary}");
         std::fs::remove_file(&good).ok();
 
         let bad = dir.join(format!("gorder-cli-bad-{}.jsonl", std::process::id()));
         std::fs::write(&bad, "{\"kind\":\"cell\"}\n").unwrap();
-        match validate_trace_file(&bad) {
+        match validate_trace_file(&bad, false) {
             Err(CliError::Failed(msg)) => {
                 assert!(
                     msg.contains("manifest"),
@@ -713,5 +730,40 @@ mod tests {
             other => panic!("expected Failed, got {other:?}"),
         }
         std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn validate_trace_file_lenient_tolerates_a_torn_final_line() {
+        // The exact artifact a SIGKILL mid-write leaves: a valid
+        // manifest, a valid event, then a half-written line with no
+        // trailing newline. Strict mode must reject it; --lenient must
+        // accept it and say so in the summary.
+        let dir = std::env::temp_dir();
+        let torn = dir.join(format!("gorder-cli-torn-{}.jsonl", std::process::id()));
+        let mut sink = gorder_obs::TraceSink::create(&torn).unwrap();
+        sink.manifest(&gorder_obs::RunManifest::new("t", "c"))
+            .unwrap();
+        sink.event(&gorder_obs::TraceEvent::Phase(gorder_obs::PhaseEvent {
+            name: "order".to_string(),
+            seconds: 0.5,
+        }))
+        .unwrap();
+        drop(sink);
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&torn)
+            .unwrap();
+        f.write_all(b"{\"kind\":\"ce").unwrap();
+        drop(f);
+
+        match validate_trace_file(&torn, false) {
+            Err(CliError::Failed(_)) => {}
+            other => panic!("strict mode must reject a torn line, got {other:?}"),
+        }
+        let summary = validate_trace_file(&torn, true).unwrap();
+        assert!(summary.contains("torn final line"), "{summary}");
+        assert!(summary.contains("valid trace, 2 lines"), "{summary}");
+        std::fs::remove_file(&torn).ok();
     }
 }

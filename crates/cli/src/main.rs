@@ -23,7 +23,7 @@ fn usage() -> &'static str {
      gorder-cli convert  <input> <output>\n  \
      gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--threads N] [--stats] [--trace-out PATH]\n  \
      gorder-cli simulate <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--stats] [--trace-out PATH]\n  \
-     gorder-cli validate-trace <trace.jsonl>\n\n\
+     gorder-cli validate-trace <trace.jsonl> [--lenient]\n\n\
      formats by extension: .mtx (Matrix Market), .bin (compact CSR), else edge list\n\
      --timeout bounds the ordering phase: anytime orderings return their\n\
      best-so-far (exit 3, reason on stderr); others exit 4\n\
@@ -34,7 +34,8 @@ fn usage() -> &'static str {
      times) to stdout\n\
      --trace-out writes a schema-versioned JSONL run trace (manifest line,\n\
      then one event per phase/kernel plus registry metrics); validate it\n\
-     with `gorder-cli validate-trace`"
+     with `gorder-cli validate-trace` (--lenient tolerates one torn\n\
+     final line — the signature a crash mid-write leaves)"
 }
 
 struct Flags {
@@ -81,20 +82,33 @@ impl Flags {
 /// Opens the `--trace-out` sink, writes the manifest and `events`, then
 /// appends every metric the global registry accumulated during the run
 /// (gorder.build spans, unit-heap counters, kernel.* aggregates).
+///
+/// Written atomically (dotted temp name + rename): unlike the sweep
+/// harness's streaming traces — which double as crash logs and are
+/// deliberately left torn — a CLI trace is assembled after the run
+/// finished, so a crash mid-write should leave nothing at `path`.
 fn write_trace(path: &Path, manifest: &RunManifest, events: &[TraceEvent]) -> Result<(), CliError> {
     let fail = |e: std::io::Error| CliError::Failed(format!("trace {}: {e}", path.display()));
-    let mut sink = TraceSink::create(path).map_err(fail)?;
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .ok_or_else(|| CliError::Failed(format!("trace {}: not a file path", path.display())))?;
+    let tmp = path.with_file_name(format!(".{name}.tmp"));
+    let mut sink = TraceSink::create(&tmp).map_err(fail)?;
     sink.manifest(manifest).map_err(fail)?;
     for e in events {
         sink.event(e).map_err(fail)?;
     }
     sink.metrics(&gorder_obs::global().snapshot())
         .map_err(fail)?;
-    eprintln!(
-        "trace: {} lines -> {}",
-        sink.lines_written(),
-        path.display()
-    );
+    let lines = sink.lines_written();
+    let file = sink
+        .into_inner()
+        .into_inner()
+        .map_err(|e| CliError::Failed(format!("trace {}: {e}", path.display())))?;
+    file.sync_all().map_err(fail)?;
+    std::fs::rename(&tmp, path).map_err(fail)?;
+    eprintln!("trace: {} lines -> {}", lines, path.display());
     Ok(())
 }
 
@@ -252,7 +266,15 @@ fn real_main() -> Result<Option<DegradeReason>, CliError> {
             Ok(degraded)
         }
         "validate-trace" => {
-            let summary = validate_trace_file(&PathBuf::from(need(1)?))?;
+            let path = PathBuf::from(need(1)?);
+            let lenient = match args.get(2).map(String::as_str) {
+                None => false,
+                Some("--lenient") => true,
+                Some(other) => {
+                    return Err(CliError::Usage(format!("unknown flag {other:?}")));
+                }
+            };
+            let summary = validate_trace_file(&path, lenient)?;
             println!("{summary}");
             Ok(None)
         }

@@ -327,6 +327,17 @@ pub fn execute<P: Probe>(
 /// [`execute`] under an explicit [`ExecPlan`]. The plan only changes how
 /// the work is scheduled — results and work counters are identical to
 /// the serial run for every kernel.
+///
+/// **Degradation ladder (Parallel → Serial).** A worker panic during a
+/// parallel run does not abort the process: the failed attempt is
+/// discarded and — when the probe can be duplicated
+/// ([`Probe::duplicate`]; [`NoProbe`] always can) — the whole cell
+/// re-runs serially on a **fresh** kernel. The retry's stats carry
+/// [`KernelStats::degraded_serial`]` = true` and the global
+/// `engine.panic_recovered` counter is incremented. A panic that is not
+/// a worker panic, or one under a non-duplicable probe, propagates
+/// unchanged (the guarded-sweep layer above turns it into a failed
+/// cell).
 pub fn execute_plan<P: Probe>(
     name: &str,
     g: &Graph,
@@ -336,12 +347,57 @@ pub fn execute_plan<P: Probe>(
     budget: &Budget,
     plan: ExecPlan,
 ) -> Option<ExecOutcome<KernelRun>> {
-    let mut kernel = by_name::<P>(name)?;
+    if !is_kernel(name) {
+        return None;
+    }
+    let retry_probe = match plan {
+        ExecPlan::Serial => None,
+        _ => probe.duplicate(),
+    };
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_plan_once(name, g, ctx, probe, pool, budget, plan)
+    }));
+    match attempt {
+        Ok(outcome) => Some(outcome),
+        Err(payload) => {
+            let Some(wp) = payload.downcast_ref::<parallel::WorkerPanic>() else {
+                std::panic::resume_unwind(payload);
+            };
+            let Some(retry_probe) = retry_probe else {
+                std::panic::resume_unwind(payload);
+            };
+            eprintln!(
+                "[engine] {name}: worker panicked ({}); retrying serially",
+                wp.0
+            );
+            gorder_obs::global().counter_add("engine.panic_recovered", 1);
+            let outcome =
+                execute_plan_once(name, g, ctx, retry_probe, pool, budget, ExecPlan::Serial);
+            Some(outcome.map(|mut run| {
+                run.stats.degraded_serial = true;
+                run
+            }))
+        }
+    }
+}
+
+/// One attempt of [`execute_plan`]: builds a fresh kernel (used kernels
+/// are not re-init-safe) and runs it under `plan`.
+fn execute_plan_once<P: Probe>(
+    name: &str,
+    g: &Graph,
+    ctx: &KernelCtx,
+    probe: P,
+    pool: &mut BufferPool,
+    budget: &Budget,
+    plan: ExecPlan,
+) -> ExecOutcome<KernelRun> {
+    let mut kernel = by_name::<P>(name).expect("caller checked is_kernel");
     let mut ex = Exec::with_plan(probe, pool, plan);
     let outcome = run_kernel(kernel.as_mut(), g, ctx, &mut ex, budget);
     let stats = ex.stats.clone();
     kernel.reclaim(ex.pool);
-    Some(outcome.map(|checksum| KernelRun { checksum, stats }))
+    outcome.map(|checksum| KernelRun { checksum, stats })
 }
 
 /// Unbudgeted convenience wrapper around [`execute`] with a fresh pool:

@@ -58,6 +58,17 @@ pub trait Probe {
     fn touch(&mut self, slot: Slot, i: usize);
     /// Records `n` non-memory operations (arithmetic / compare).
     fn op(&mut self, n: u64);
+    /// A fresh probe equivalent to this one, for retrying a run after a
+    /// worker panic (the original probe is consumed by the failed
+    /// attempt). `None` — the default — means the run cannot be retried:
+    /// stateful probes have already absorbed part of the aborted
+    /// attempt's access stream, so a retry would record garbage.
+    fn duplicate(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// The zero-cost probe used for wall-clock execution.
@@ -77,6 +88,10 @@ impl Probe for NoProbe {
 
     #[inline(always)]
     fn op(&mut self, _n: u64) {}
+
+    fn duplicate(&self) -> Option<Self> {
+        Some(NoProbe)
+    }
 }
 
 /// Probe handles for a graph's CSR arrays (out/in offsets and targets),

@@ -10,38 +10,109 @@
 //! Each task's busy time is measured on its own thread and returned next
 //! to its result, so callers can feed [`crate::KernelStats::note_thread_busy`]
 //! and make partition imbalance observable.
+//!
+//! Worker panics are **isolated**, not fatal: every task body runs under
+//! `catch_unwind`, all workers are joined even when one of them dies,
+//! and the caller decides what a [`TaskOutcome::Panicked`] means. The
+//! kernel call sites use the [`run_tasks`] wrapper, which rethrows the
+//! first panic as a typed [`WorkerPanic`] payload that the engine driver
+//! catches to retry the whole cell serially — a panic degrades one cell
+//! instead of aborting the sweep.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-/// Runs `tasks` to completion and returns `(result, busy_secs)` pairs in
-/// task order.
+/// How one worker task ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome<R> {
+    /// The task returned `R` after `f64` busy seconds on its thread.
+    Completed(R, f64),
+    /// The task panicked; the payload's message is attached.
+    Panicked(String),
+}
+
+/// The typed panic payload [`run_tasks`] rethrows when a worker task
+/// panicked, carrying the worker's own panic message. The engine driver
+/// downcasts for this to distinguish "a parallel worker died — retry the
+/// cell serially" from panics it must propagate untouched.
+#[derive(Debug, Clone)]
+pub struct WorkerPanic(pub String);
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `tasks` to completion and returns one [`TaskOutcome`] per task,
+/// in task order. Panicking workers are caught — never propagated — and
+/// every worker is joined before this returns, so a panic in task 3
+/// still waits for tasks 4…n instead of leaving them running against
+/// state the caller is about to drop.
 ///
 /// A single task runs inline on the caller's thread (no spawn cost for
 /// `threads == 1` plans); anything more spawns one scoped thread per
-/// task. A worker panic propagates to the caller.
-pub fn run_tasks<R, F>(tasks: Vec<F>) -> Vec<(R, f64)>
+/// task.
+pub fn run_tasks_outcomes<R, F>(tasks: Vec<F>) -> Vec<TaskOutcome<R>>
 where
     R: Send,
     F: FnOnce() -> R + Send,
 {
-    fn timed<R, F: FnOnce() -> R>(f: F) -> (R, f64) {
+    fn guarded<R, F: FnOnce() -> R>(f: F) -> TaskOutcome<R> {
         let t = Instant::now();
-        let r = f();
-        (r, t.elapsed().as_secs_f64())
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            gorder_obs::faults::worker_panic("engine.worker");
+            f()
+        }));
+        match attempt {
+            Ok(r) => TaskOutcome::Completed(r, t.elapsed().as_secs_f64()),
+            Err(payload) => TaskOutcome::Panicked(panic_message(payload.as_ref())),
+        }
     }
 
     let mut tasks = tasks;
     match tasks.len() {
         0 => Vec::new(),
-        1 => vec![timed(tasks.pop().expect("len checked"))],
+        1 => vec![guarded(tasks.pop().expect("len checked"))],
         _ => std::thread::scope(|s| {
-            let handles: Vec<_> = tasks.into_iter().map(|f| s.spawn(|| timed(f))).collect();
+            let handles: Vec<_> = tasks.into_iter().map(|f| s.spawn(|| guarded(f))).collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("engine worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(outcome) => outcome,
+                    // guarded() catches every panic inside the task, so
+                    // a join error should be impossible; still, map it
+                    // like any panic rather than aborting the caller.
+                    Err(payload) => TaskOutcome::Panicked(panic_message(payload.as_ref())),
+                })
                 .collect()
         }),
     }
+}
+
+/// Runs `tasks` to completion and returns `(result, busy_secs)` pairs in
+/// task order. If any worker panicked, rethrows the first panic as a
+/// [`WorkerPanic`] payload on the **caller's** thread — after every
+/// worker has been joined — so the engine driver's `catch_unwind` can
+/// downgrade the cell to a serial retry.
+pub fn run_tasks<R, F>(tasks: Vec<F>) -> Vec<(R, f64)>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    let outcomes = run_tasks_outcomes(tasks);
+    let mut results = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        match outcome {
+            TaskOutcome::Completed(r, busy) => results.push((r, busy)),
+            TaskOutcome::Panicked(msg) => std::panic::panic_any(WorkerPanic(msg)),
+        }
+    }
+    results
 }
 
 #[cfg(test)]
@@ -94,5 +165,40 @@ mod tests {
             .collect();
         let out = run_tasks(tasks);
         assert_eq!(out[0].0 + out[1].0, 21);
+    }
+
+    #[test]
+    fn panicking_worker_is_an_outcome_not_an_abort() {
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("worker three died")),
+            Box::new(|| 3),
+        ];
+        let out = run_tasks_outcomes(tasks);
+        assert_eq!(out.len(), 3, "all workers joined despite the panic");
+        assert!(matches!(out[0], TaskOutcome::Completed(1, _)));
+        match &out[1] {
+            TaskOutcome::Panicked(msg) => assert!(msg.contains("worker three died"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(matches!(out[2], TaskOutcome::Completed(3, _)));
+    }
+
+    #[test]
+    fn inline_single_task_panic_is_caught_too() {
+        let out: Vec<TaskOutcome<u32>> =
+            run_tasks_outcomes(vec![|| -> u32 { panic!("inline death") }]);
+        assert!(matches!(&out[0], TaskOutcome::Panicked(m) if m.contains("inline death")));
+    }
+
+    #[test]
+    fn run_tasks_rethrows_as_worker_panic() {
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom"))];
+        let err = catch_unwind(AssertUnwindSafe(|| run_tasks(tasks))).expect_err("must rethrow");
+        let wp = err
+            .downcast_ref::<WorkerPanic>()
+            .expect("payload is a typed WorkerPanic");
+        assert!(wp.0.contains("boom"), "{}", wp.0);
     }
 }

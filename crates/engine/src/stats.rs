@@ -43,6 +43,11 @@ pub struct KernelStats {
     /// sections of the run, indexed by worker. Empty for serial runs;
     /// the spread between entries makes partition imbalance observable.
     pub thread_busy_secs: Vec<f64>,
+    /// Whether a worker panic forced this run onto the degradation
+    /// ladder's serial rung: the parallel attempt was discarded and the
+    /// whole cell re-ran serially (so every counter above describes the
+    /// serial retry, not the aborted attempt).
+    pub degraded_serial: bool,
 }
 
 impl KernelStats {

@@ -136,6 +136,9 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
 
 /// Reads an edge list from a file path.
 pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<Graph, GraphIoError> {
+    if let Some(e) = gorder_obs::faults::io_read_error("graph.io_read") {
+        return Err(e.into());
+    }
     read_edge_list(std::fs::File::open(path)?)
 }
 
@@ -243,6 +246,9 @@ pub fn write_binary_path<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), Graph
 
 /// Reads the binary format from a file path.
 pub fn read_binary_path<P: AsRef<Path>>(path: P) -> Result<Graph, GraphIoError> {
+    if let Some(e) = gorder_obs::faults::io_read_error("graph.io_read") {
+        return Err(e.into());
+    }
     read_binary(std::fs::File::open(path)?)
 }
 
@@ -252,6 +258,23 @@ mod tests {
 
     fn sample() -> Graph {
         Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 3)])
+    }
+
+    #[test]
+    fn injected_io_fault_surfaces_as_io_error() {
+        // Own site counter; no other graph test arms faults, so no lock.
+        gorder_obs::faults::arm_from_spec("graph.io_read=1+").unwrap();
+        let path = std::env::temp_dir().join(format!("gorder-io-fault-{}.el", std::process::id()));
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+        let err = read_edge_list_path(&path).expect_err("armed fault must fire");
+        gorder_obs::faults::disarm();
+        match err {
+            GraphIoError::Io(e) => assert!(e.to_string().contains("injected"), "{e}"),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        // Disarmed, the same read succeeds.
+        assert!(read_edge_list_path(&path).is_ok());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

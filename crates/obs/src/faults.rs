@@ -1,0 +1,283 @@
+//! Deterministic fault injection for crash-safety testing.
+//!
+//! Production code sprinkles *fault points* — named call sites like
+//! `graph.io_read` or `engine.worker` — through its IO and execution
+//! paths. Each point is an ordinary function call that does nothing
+//! unless the process has been **armed** with a fault plan, either via
+//! the `GORDER_FAULTS` environment variable or programmatically with
+//! [`arm_from_spec`]. Disarmed, every helper is a single relaxed atomic
+//! load; no site pays for the machinery it is not using.
+//!
+//! A plan is a comma-separated spec of `site=rule` clauses plus two
+//! knobs:
+//!
+//! * `site=N` — fire on exactly the `N`th call to that site (1-based);
+//! * `site=N+` — fire on the `N`th call and every call after it;
+//! * `site=%K` — fire on `K` percent of calls, decided by a hash of
+//!   `(seed, site, call index)` so the same spec + seed always fires on
+//!   the same calls (deterministic, unlike a true coin flip);
+//! * `slow_ms=X` — how long [`slow_cell`] sleeps when it fires
+//!   (default 100 ms);
+//! * `seed=S` — the seed for `%K` rules (default 0).
+//!
+//! Example: `GORDER_FAULTS='graph.io_read=2,engine.worker=%25,seed=7'`
+//! makes the second graph read fail and roughly a quarter of engine
+//! worker tasks panic, reproducibly.
+//!
+//! Every firing increments the `faults.fired.<site>` counter in the
+//! [`global`](crate::global) registry, so a trace of a fault run records
+//! which injections actually happened.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::Duration;
+
+/// One site's firing rule (see the module docs for the spec grammar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    /// Fire on exactly the `n`th call (1-based).
+    Exactly(u64),
+    /// Fire on the `n`th call and every later one.
+    From(u64),
+    /// Fire on `k` percent of calls, hash-decided from the plan seed.
+    Percent(u64),
+}
+
+#[derive(Debug, Default)]
+struct Plan {
+    rules: BTreeMap<String, Rule>,
+    counts: BTreeMap<String, u64>,
+    slow_ms: u64,
+    seed: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<Plan>> = Mutex::new(None);
+static ENV_ONCE: Once = Once::new();
+
+/// Parses `spec` (the grammar in the module docs) and arms the process.
+/// Replaces any previous plan and resets all call counters.
+pub fn arm_from_spec(spec: &str) -> Result<(), String> {
+    let mut plan = Plan {
+        slow_ms: 100,
+        ..Plan::default()
+    };
+    for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+        let (key, value) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("fault clause {clause:?} is not key=value"))?;
+        let parse_u64 = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("fault clause {clause:?}: {v:?} is not an integer"))
+        };
+        match key {
+            "slow_ms" => plan.slow_ms = parse_u64(value)?,
+            "seed" => plan.seed = parse_u64(value)?,
+            site => {
+                let rule = if let Some(pct) = value.strip_prefix('%') {
+                    let k = parse_u64(pct)?;
+                    if k > 100 {
+                        return Err(format!("fault clause {clause:?}: percent > 100"));
+                    }
+                    Rule::Percent(k)
+                } else if let Some(n) = value.strip_suffix('+') {
+                    Rule::From(parse_u64(n)?.max(1))
+                } else {
+                    Rule::Exactly(parse_u64(value)?.max(1))
+                };
+                plan.rules.insert(site.to_string(), rule);
+            }
+        }
+    }
+    let has_rules = !plan.rules.is_empty();
+    *PLAN.lock().expect("fault plan lock") = Some(plan);
+    ARMED.store(has_rules, Ordering::Release);
+    Ok(())
+}
+
+/// Disarms all fault points and forgets the plan and its counters.
+pub fn disarm() {
+    ARMED.store(false, Ordering::Release);
+    *PLAN.lock().expect("fault plan lock") = None;
+}
+
+/// Whether a fault plan is currently armed. The first call also reads
+/// `GORDER_FAULTS` (once per process); a malformed value warns and is
+/// ignored — bad test plumbing must never change production behaviour.
+pub fn is_armed() -> bool {
+    ENV_ONCE.call_once(|| {
+        if let Ok(spec) = std::env::var("GORDER_FAULTS") {
+            if !spec.is_empty() {
+                if let Err(e) = arm_from_spec(&spec) {
+                    eprintln!("warning: ignoring GORDER_FAULTS: {e}");
+                }
+            }
+        }
+    });
+    ARMED.load(Ordering::Acquire)
+}
+
+/// SplitMix64 — a cheap stateless mixer for `%K` decisions.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Counts one call to `site` and decides whether its rule fires.
+fn fires(site: &str) -> bool {
+    let mut guard = PLAN.lock().expect("fault plan lock");
+    let Some(plan) = guard.as_mut() else {
+        return false;
+    };
+    let Some(rule) = plan.rules.get(site).copied() else {
+        return false;
+    };
+    let count = plan.counts.entry(site.to_string()).or_insert(0);
+    *count += 1;
+    let fired = match rule {
+        Rule::Exactly(n) => *count == n,
+        Rule::From(n) => *count >= n,
+        Rule::Percent(k) => {
+            let h = mix(plan.seed ^ crate::trace::config_hash(site) ^ *count);
+            h % 100 < k
+        }
+    };
+    drop(guard);
+    if fired {
+        crate::global().counter_add(&format!("faults.fired.{site}"), 1);
+    }
+    fired
+}
+
+/// Fault point for IO read paths: returns an injected error when the
+/// site's rule fires, `None` otherwise (including when disarmed).
+pub fn io_read_error(site: &str) -> Option<io::Error> {
+    if !is_armed() || !fires(site) {
+        return None;
+    }
+    Some(io::Error::other(format!("injected i/o fault at {site}")))
+}
+
+/// Fault point for worker tasks: panics when the site's rule fires.
+/// Call it at the top of a task body that is supposed to be
+/// panic-isolated by its caller.
+pub fn worker_panic(site: &str) {
+    if is_armed() && fires(site) {
+        panic!("injected worker panic at {site}");
+    }
+}
+
+/// Fault point for slow cells: sleeps `slow_ms` when the site's rule
+/// fires. Used to hold a sweep mid-grid long enough to kill it.
+pub fn slow_cell(site: &str) {
+    if !is_armed() || !fires(site) {
+        return;
+    }
+    let ms = PLAN
+        .lock()
+        .expect("fault plan lock")
+        .as_ref()
+        .map_or(100, |p| p.slow_ms);
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The plan is process-global state; serialise the tests that arm it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disarmed_points_are_inert() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        disarm();
+        assert!(io_read_error("t.io").is_none());
+        worker_panic("t.worker"); // must not panic
+        slow_cell("t.slow"); // must not sleep
+    }
+
+    #[test]
+    fn exactly_fires_on_the_nth_call_only() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        arm_from_spec("t.exact=3").unwrap();
+        assert!(io_read_error("t.exact").is_none());
+        assert!(io_read_error("t.exact").is_none());
+        let e = io_read_error("t.exact").expect("3rd call fires");
+        assert!(e.to_string().contains("t.exact"), "{e}");
+        assert!(io_read_error("t.exact").is_none(), "4th call is clean");
+        assert!(io_read_error("t.other").is_none(), "other sites untouched");
+        disarm();
+    }
+
+    #[test]
+    fn from_fires_on_every_call_past_n() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        arm_from_spec("t.from=2+").unwrap();
+        assert!(io_read_error("t.from").is_none());
+        for _ in 0..3 {
+            assert!(io_read_error("t.from").is_some());
+        }
+        disarm();
+    }
+
+    #[test]
+    fn percent_is_deterministic_under_a_seed() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let run = || -> Vec<bool> {
+            arm_from_spec("t.pct=%40,seed=9").unwrap();
+            (0..64).map(|_| fires("t.pct")).collect()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same spec + seed fires on the same calls");
+        let hits = a.iter().filter(|f| **f).count();
+        assert!(hits > 0 && hits < 64, "{hits} of 64 fired");
+        disarm();
+    }
+
+    #[test]
+    fn injected_panic_carries_the_site() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        arm_from_spec("t.panic=1+").unwrap();
+        let caught =
+            std::panic::catch_unwind(|| worker_panic("t.panic")).expect_err("fires -> panics");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("t.panic"), "{msg}");
+        disarm();
+    }
+
+    #[test]
+    fn firing_is_counted_in_the_registry() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        arm_from_spec("t.counted=1+").unwrap();
+        let before = crate::global().counter("faults.fired.t.counted");
+        assert!(io_read_error("t.counted").is_some());
+        assert!(crate::global().counter("faults.fired.t.counted") > before);
+        disarm();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(arm_from_spec("nonsense").is_err());
+        assert!(arm_from_spec("a=xyz").is_err());
+        assert!(arm_from_spec("a=%150").is_err());
+        // leaving the plan in whatever state it was is fine; clean up
+        let _guard = TEST_LOCK.lock().unwrap();
+        disarm();
+    }
+
+    #[test]
+    fn rearming_resets_counters() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        arm_from_spec("t.reset=1").unwrap();
+        assert!(io_read_error("t.reset").is_some());
+        arm_from_spec("t.reset=1").unwrap();
+        assert!(io_read_error("t.reset").is_some(), "counter restarted");
+        disarm();
+    }
+}

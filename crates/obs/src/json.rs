@@ -127,6 +127,22 @@ impl JsonObject {
         self
     }
 
+    /// Appends an array of strings (each escaped).
+    pub fn str_array(mut self, k: &str, vs: &[String]) -> Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            self.buf.push_str(&escape(v));
+            self.buf.push('"');
+        }
+        self.buf.push(']');
+        self
+    }
+
     /// Appends an array of unsigned integers.
     pub fn u64_array(mut self, k: &str, vs: &[u64]) -> Self {
         self.key(k);
@@ -293,6 +309,79 @@ pub fn parse_object(line: &str) -> Result<BTreeMap<String, String>, String> {
     Ok(obj)
 }
 
+/// Decodes the **raw value text** of a JSON string (as [`parse_object`]
+/// returns it: quotes included) back into the string it encodes.
+/// Rejects values that are not strings.
+pub fn parse_string(raw: &str) -> Result<String, String> {
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("{raw:?} is not a JSON string"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{0008}'),
+            Some('f') => out.push('\u{000c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| format!("bad \\u escape in {raw:?}"))?;
+                // The writer only emits \u escapes for control chars, so
+                // surrogate pairs never occur; reject them rather than
+                // silently mangling.
+                let c = char::from_u32(code).ok_or_else(|| format!("bad \\u escape in {raw:?}"))?;
+                out.push(c);
+            }
+            _ => return Err(format!("bad escape in {raw:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes the raw value text of a flat JSON array of strings (e.g.
+/// `["a","b"]`, as [`parse_object`] returns it) into its elements.
+pub fn parse_string_array(raw: &str) -> Result<Vec<String>, String> {
+    let inner = raw
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("{raw:?} is not a JSON array"))?;
+    let mut out = Vec::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            return Err(format!("non-string element in {raw:?}"));
+        }
+        let start = i;
+        i += 1;
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += if bytes[i] == b'\\' { 2 } else { 1 };
+        }
+        if i >= bytes.len() {
+            return Err(format!("unterminated string in {raw:?}"));
+        }
+        i += 1; // past the closing quote
+        out.push(parse_string(&inner[start..i])?);
+        match bytes.get(i) {
+            None => break,
+            Some(b',') => i += 1,
+            _ => return Err(format!("expected ',' in {raw:?}")),
+        }
+    }
+    Ok(out)
+}
+
 /// Extracts the top-level key sequence (insertion order) from one JSON
 /// object line — the shape the golden key-order tests compare against.
 pub fn top_level_keys(line: &str) -> Vec<String> {
@@ -392,6 +481,28 @@ mod tests {
     #[test]
     fn parser_accepts_empty_object() {
         assert!(parse_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn string_roundtrips_through_raw_value_text() {
+        for s in ["plain", "a\"b\\c", "tab\there", "comma,comma", ""] {
+            let line = JsonObject::new().str("k", s).finish();
+            let obj = parse_object(&line).unwrap();
+            assert_eq!(parse_string(&obj["k"]).unwrap(), s);
+        }
+        assert!(parse_string("42").is_err());
+        assert!(parse_string("\"bad\\x\"").is_err());
+    }
+
+    #[test]
+    fn string_array_roundtrips_through_raw_value_text() {
+        let cells = vec!["a".to_string(), "b\"c".to_string(), String::new()];
+        let line = JsonObject::new().str_array("cells", &cells).finish();
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(parse_string_array(&obj["cells"]).unwrap(), cells);
+        assert_eq!(parse_string_array("[]").unwrap(), Vec::<String>::new());
+        assert!(parse_string_array("[1,2]").is_err());
+        assert!(parse_string_array("\"x\"").is_err());
     }
 
     #[test]

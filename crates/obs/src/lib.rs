@@ -10,7 +10,7 @@
 //!   gauges, and **fixed-bucket** histograms (bucket boundaries are part
 //!   of the metric's identity, never derived from the data, so two runs
 //!   — or two thread counts — always produce comparable shapes);
-//! * [`span`] — RAII span timers ([`span("gorder.build")`](span())
+//! * [`span`](mod@span) — RAII span timers ([`span("gorder.build")`](span())
 //!   starts one; dropping the guard records its duration), aggregated
 //!   per name into the registry;
 //! * [`trace`] — a schema-versioned JSONL event sink ([`TraceSink`]):
@@ -22,7 +22,12 @@
 //! [`json`] holds the hand-rolled escaping/formatting machinery shared
 //! with the CLI's `--stats` line, plus the strict parser the tests and
 //! `gorder-cli validate-trace` use to reject malformed output.
+//!
+//! [`faults`] is the deterministic fault-injection layer the
+//! crash-safety tests arm (via `GORDER_FAULTS` or a `--faults` flag);
+//! disarmed — the default — every injection point is one atomic load.
 
+pub mod faults;
 pub mod json;
 pub mod registry;
 pub mod span;
@@ -31,8 +36,8 @@ pub mod trace;
 pub use registry::{Histogram, Registry, Snapshot, SpanStats};
 pub use span::Span;
 pub use trace::{
-    validate_jsonl, CellEvent, KernelEvent, PhaseEvent, RunManifest, TraceEvent, TraceSink,
-    TraceSummary, SCHEMA_VERSION,
+    validate_jsonl, validate_jsonl_lenient, CellEvent, KernelEvent, PhaseEvent, RowEvent,
+    RunManifest, TraceEvent, TraceSink, TraceSummary, SCHEMA_VERSION,
 };
 
 /// The process-wide default registry. Library code records into this

@@ -1,5 +1,5 @@
 //! RAII span timers. A [`Span`] starts a wall-clock timer when created
-//! and records the elapsed seconds into its [`Registry`](crate::Registry)
+//! and records the elapsed seconds into its [`Registry`]
 //! when dropped, aggregated per name — so timing a phase is one line:
 //!
 //! ```
@@ -17,7 +17,7 @@ use std::time::Instant;
 use crate::registry::Registry;
 
 /// A live span timer; dropping it records the duration. Obtain one via
-/// [`Registry::span`] or the free function [`crate::span`].
+/// [`Registry::span`] or the free function [`crate::span()`].
 #[derive(Debug)]
 #[must_use = "a span records on drop; binding it to `_` drops it immediately"]
 pub struct Span<'r, 'n> {

@@ -24,7 +24,10 @@ use crate::registry::Snapshot;
 
 /// Version of the trace line schema. Bump when any record kind changes
 /// its key set or key order; readers refuse mismatched manifests.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added the `row` record kind (verbatim CSV rows, the unit of
+/// crash-safe resume) and `degraded_serial` to `kernel` records.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// FNV-1a over the bytes of a canonical config string — cheap, stable
 /// across platforms, and good enough to answer "were these two runs
@@ -119,7 +122,7 @@ pub struct CellEvent {
     pub checksum: u64,
 }
 
-/// One kernel execution with its full [`KernelStats`]-shaped breakdown —
+/// One kernel execution with its full `KernelStats`-shaped breakdown —
 /// the trace twin of the CLI's `--stats` line, keyed identically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelEvent {
@@ -151,6 +154,24 @@ pub struct KernelEvent {
     pub threads_used: u64,
     /// Summed per-thread busy seconds.
     pub thread_busy_secs: f64,
+    /// Whether a worker panic forced a serial retry of this run.
+    pub degraded_serial: bool,
+}
+
+/// One finished artifact row, verbatim: the exact CSV cells a sweep
+/// binary will write for one logical row of `table`, recorded the moment
+/// the row is computed. This is the unit of crash-safe resume — a
+/// resumed sweep re-emits recovered rows byte-for-byte, so the final CSV
+/// is identical to an uninterrupted run's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowEvent {
+    /// Artifact the row belongs to (e.g. `"fig5.csv"`).
+    pub table: String,
+    /// Grid coordinates of the row, e.g. `"epinion|BFS|Gorder"` —
+    /// whatever uniquely identifies the row within `table`.
+    pub key: String,
+    /// The row's CSV cells, exactly as they will be written.
+    pub cells: Vec<String>,
 }
 
 /// A named, timed phase (e.g. `"gorder.build"`).
@@ -171,6 +192,8 @@ pub enum TraceEvent {
     Kernel(KernelEvent),
     /// A timed phase.
     Phase(PhaseEvent),
+    /// A verbatim artifact row (the unit of crash-safe resume).
+    Row(RowEvent),
 }
 
 impl TraceEvent {
@@ -202,11 +225,18 @@ impl TraceEvent {
                 .f64("finish_secs", k.finish_secs)
                 .u64("threads_used", k.threads_used)
                 .f64("thread_busy_secs", k.thread_busy_secs)
+                .bool("degraded_serial", k.degraded_serial)
                 .finish(),
             TraceEvent::Phase(p) => JsonObject::new()
                 .str("kind", "phase")
                 .str("name", &p.name)
                 .f64("seconds", p.seconds)
+                .finish(),
+            TraceEvent::Row(r) => JsonObject::new()
+                .str("kind", "row")
+                .str("table", &r.table)
+                .str("key", &r.key)
+                .str_array("cells", &r.cells)
                 .finish(),
         }
     }
@@ -334,44 +364,85 @@ pub struct TraceSummary {
     pub lines: usize,
     /// Line count per record kind (`"manifest"`, `"cell"`, …).
     pub by_kind: BTreeMap<String, usize>,
+    /// Lenient mode only: the trace ended in one invalid, unterminated
+    /// final line — the signature of a crash mid-write. The torn line is
+    /// not counted in `lines` or `by_kind`.
+    pub truncated_final_line: bool,
 }
 
 /// Validates a whole trace: every line must pass the strict JSON parser,
 /// the first line must be a `manifest` with a matching
 /// [`SCHEMA_VERSION`], and every line must carry a `kind`. This is the
 /// single validation path shared by the golden tests, the CI smoke step,
-/// and `gorder-cli validate-trace`.
+/// and `gorder-cli validate-trace`. Errors name both the line number and
+/// the byte offset of the first invalid line.
 pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
+    validate(text, false)
+}
+
+/// [`validate_jsonl`], but tolerating exactly one invalid **final** line
+/// with no trailing newline — what a crash mid-write produces (every
+/// earlier line was flushed whole). A torn manifest still fails: with no
+/// complete first line the trace identifies nothing. The summary's
+/// `truncated_final_line` reports whether the tolerance was used.
+pub fn validate_jsonl_lenient(text: &str) -> Result<TraceSummary, String> {
+    validate(text, true)
+}
+
+fn validate(text: &str, lenient: bool) -> Result<TraceSummary, String> {
     let mut summary = TraceSummary::default();
-    for (idx, line) in text.lines().enumerate() {
+    let mut offset = 0usize;
+    for (idx, raw) in text.split_inclusive('\n').enumerate() {
         let n = idx + 1;
-        let obj = parse_object(line).map_err(|e| format!("line {n}: {e}"))?;
-        let kind = obj
-            .get("kind")
-            .ok_or_else(|| format!("line {n}: missing \"kind\""))?;
-        let kind = kind.trim_matches('"').to_string();
-        if idx == 0 {
-            if kind != "manifest" {
-                return Err(format!(
-                    "line 1: first line must be a manifest, got {kind:?}"
-                ));
+        let line = raw.strip_suffix('\n').unwrap_or(raw);
+        // A torn final line is forgivable only past the manifest, only
+        // at the very end of the text, and only without its newline
+        // (lines are flushed newline-last, so a complete line always
+        // has one).
+        let torn_tolerable = lenient && n >= 2 && offset + raw.len() == text.len() && raw == line;
+        let checked = validate_line(line, n, offset, idx == 0);
+        match checked {
+            Ok(kind) => {
+                *summary.by_kind.entry(kind).or_insert(0) += 1;
+                summary.lines = n;
             }
-            let ver = obj
-                .get("schema_version")
-                .ok_or_else(|| "line 1: manifest missing schema_version".to_string())?;
-            if ver != &SCHEMA_VERSION.to_string() {
-                return Err(format!(
-                    "line 1: schema_version {ver} != supported {SCHEMA_VERSION}"
-                ));
+            Err(_) if torn_tolerable => {
+                summary.truncated_final_line = true;
+                break;
             }
+            Err(e) => return Err(e),
         }
-        *summary.by_kind.entry(kind).or_insert(0) += 1;
-        summary.lines = n;
+        offset += raw.len();
     }
     if summary.lines == 0 {
         return Err("empty trace: expected at least a manifest line".to_string());
     }
     Ok(summary)
+}
+
+/// Checks one line; returns its `kind` or an error naming line `n` and
+/// its starting byte `offset`.
+fn validate_line(line: &str, n: usize, offset: usize, first: bool) -> Result<String, String> {
+    let at = |e: String| format!("line {n} (byte offset {offset}): {e}");
+    let obj = parse_object(line).map_err(&at)?;
+    let kind = obj
+        .get("kind")
+        .ok_or_else(|| at("missing \"kind\"".to_string()))?;
+    let kind = kind.trim_matches('"').to_string();
+    if first {
+        if kind != "manifest" {
+            return Err(at(format!("first line must be a manifest, got {kind:?}")));
+        }
+        let ver = obj
+            .get("schema_version")
+            .ok_or_else(|| at("manifest missing schema_version".to_string()))?;
+        if ver != &SCHEMA_VERSION.to_string() {
+            return Err(at(format!(
+                "schema_version {ver} != supported {SCHEMA_VERSION}"
+            )));
+        }
+    }
+    Ok(kind)
 }
 
 #[cfg(test)]
@@ -505,6 +576,7 @@ mod tests {
             finish_secs: 0.1,
             threads_used: 1,
             thread_busy_secs: 0.9,
+            degraded_serial: false,
         })
         .to_json_line();
         let keys = crate::json::top_level_keys(&line);
@@ -528,7 +600,68 @@ mod tests {
                 "finish_secs",
                 "threads_used",
                 "thread_busy_secs",
+                "degraded_serial",
             ]
         );
+    }
+
+    #[test]
+    fn row_event_roundtrips_cells_verbatim() {
+        let cells = vec!["epinion".to_string(), "BFS".to_string(), "0.000124".into()];
+        let line = TraceEvent::Row(RowEvent {
+            table: "fig5.csv".into(),
+            key: "epinion|BFS|Gorder".into(),
+            cells: cells.clone(),
+        })
+        .to_json_line();
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj["kind"], "\"row\"");
+        assert_eq!(
+            crate::json::parse_string_array(&obj["cells"]).unwrap(),
+            cells
+        );
+        assert_eq!(
+            crate::json::top_level_keys(&line),
+            vec!["kind", "table", "key", "cells"]
+        );
+    }
+
+    #[test]
+    fn errors_name_line_and_byte_offset() {
+        let good = demo_manifest().to_json_line();
+        let text = format!("{good}\n{{\"kind\":\"cell\"\n");
+        let err = validate_jsonl(&text).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(
+            err.contains(&format!("byte offset {}", good.len() + 1)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lenient_accepts_exactly_one_torn_final_line() {
+        let good = demo_manifest().to_json_line();
+        let ev = TraceEvent::Phase(PhaseEvent {
+            name: "x".into(),
+            seconds: 1.0,
+        })
+        .to_json_line();
+        // Torn final line without its newline: strict rejects, lenient
+        // accepts and reports the truncation.
+        let torn = format!("{good}\n{ev}\n{{\"kind\":\"ce");
+        assert!(validate_jsonl(&torn).is_err());
+        let summary = validate_jsonl_lenient(&torn).unwrap();
+        assert!(summary.truncated_final_line);
+        assert_eq!(summary.lines, 2, "the torn line is not counted");
+        // A clean trace reports no truncation.
+        let clean = format!("{good}\n{ev}\n");
+        assert!(!validate_jsonl_lenient(&clean).unwrap().truncated_final_line);
+        // A torn line that is NOT final stays an error (it was flushed
+        // with a newline, so it cannot be a crash artifact).
+        let mid = format!("{good}\n{{\"kind\":\"ce\n{ev}\n");
+        assert!(validate_jsonl_lenient(&mid).is_err());
+        // A torn manifest is never acceptable.
+        let manifest_prefix = &good[..good.len() / 2];
+        assert!(validate_jsonl_lenient(manifest_prefix).is_err());
     }
 }

@@ -105,12 +105,12 @@ fn key_extractor_handles_strings_and_arrays() {
 fn trace_jsonl_keys_match_golden() {
     use gorder_obs::json::parse_object;
     use gorder_obs::{
-        CellEvent, KernelEvent, PhaseEvent, Registry, RunManifest, TraceEvent, TraceSink,
+        CellEvent, KernelEvent, PhaseEvent, Registry, RowEvent, RunManifest, TraceEvent, TraceSink,
         SCHEMA_VERSION,
     };
 
     assert_eq!(
-        SCHEMA_VERSION, 1,
+        SCHEMA_VERSION, 2,
         "bumping the trace schema version requires regenerating \
          tests/golden/trace_keys.txt and notifying trace consumers"
     );
@@ -152,11 +152,18 @@ fn trace_jsonl_keys_match_golden() {
         finish_secs: 0.1,
         threads_used: 1,
         thread_busy_secs: 0.0,
+        degraded_serial: false,
     }))
     .unwrap();
     sink.event(&TraceEvent::Phase(PhaseEvent {
         name: "order".into(),
         seconds: 0.2,
+    }))
+    .unwrap();
+    sink.event(&TraceEvent::Row(RowEvent {
+        table: "fig5.csv".into(),
+        key: "d|BFS|Gorder".into(),
+        cells: vec!["d".into(), "BFS".into(), "Gorder".into()],
     }))
     .unwrap();
     sink.metrics(&reg.snapshot()).unwrap();

@@ -1,0 +1,171 @@
+//! Property tests for crash-safe sweep resume: truncate a synthetic
+//! trace at an **arbitrary byte offset** and require that recovery is
+//! exact — every fully-written line before the cut is recovered, nothing
+//! past the cut leaks in, replayed lines never double-count, and a
+//! config-hash mismatch is always fatal. These are the invariants the
+//! SIGKILL integration test (`crates/bench/tests/crash_resume.rs`)
+//! exercises once; here they hold for every cut point proptest can find.
+
+use gorder_bench::ResumeState;
+use gorder_obs::trace::config_hash;
+use gorder_obs::{CellEvent, RowEvent, RunManifest, TraceEvent};
+use proptest::prelude::*;
+
+const CFG: &str = "tool=prop,seed=1";
+
+/// One logical grid cell of the synthetic sweep: a `cell` line followed
+/// by its verbatim `row` line, as the harness binaries emit them.
+#[derive(Debug, Clone)]
+struct PairSpec {
+    completed: bool,
+    seconds: f64,
+    checksum: u64,
+}
+
+fn arb_pairs() -> impl Strategy<Value = Vec<PairSpec>> {
+    proptest::collection::vec(
+        (any::<bool>(), any::<u32>(), any::<u64>()).prop_map(|(completed, millis, checksum)| {
+            PairSpec {
+                completed,
+                seconds: f64::from(millis) / 1000.0,
+                checksum,
+            }
+        }),
+        1..12,
+    )
+}
+
+fn cell_line(i: usize, p: &PairSpec) -> String {
+    TraceEvent::Cell(CellEvent {
+        dataset: format!("d{i}"),
+        ordering: format!("o{i}"),
+        algo: format!("a{i}"),
+        status: if p.completed {
+            "completed"
+        } else {
+            "timed-out"
+        }
+        .to_string(),
+        seconds: p.seconds,
+        checksum: p.checksum,
+    })
+    .to_json_line()
+}
+
+fn row_line(i: usize, p: &PairSpec) -> String {
+    TraceEvent::Row(RowEvent {
+        table: "t.csv".to_string(),
+        key: format!("k{i}"),
+        cells: vec![format!("d{i}"), format!("{:.6}", p.seconds)],
+    })
+    .to_json_line()
+}
+
+/// Builds the synthetic trace text plus, per pair, the byte offsets at
+/// which the cell line's and the row line's content ends (exclusive of
+/// the trailing newline): a line is fully written iff the cut is at or
+/// past its content end.
+fn build_trace(pairs: &[PairSpec]) -> (String, Vec<(usize, usize)>) {
+    let mut text = RunManifest::new("prop", CFG).to_json_line();
+    text.push('\n');
+    let mut ends = Vec::new();
+    for (i, p) in pairs.iter().enumerate() {
+        text.push_str(&cell_line(i, p));
+        let cell_end = text.len();
+        text.push('\n');
+        text.push_str(&row_line(i, p));
+        let row_end = text.len();
+        text.push('\n');
+        ends.push((cell_end, row_end));
+    }
+    (text, ends)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncation_recovers_exactly_the_fully_written_prefix(
+        pairs in arb_pairs(),
+        cut_seed in any::<usize>(),
+    ) {
+        let expected = config_hash(CFG);
+        let (text, ends) = build_trace(&pairs);
+        // any cut from "manifest line survived" to "nothing lost"
+        let manifest_nl = text.find('\n').unwrap() + 1;
+        let cut = manifest_nl + cut_seed % (text.len() - manifest_nl + 1);
+        let s = ResumeState::parse(&text[..cut], expected)
+            .unwrap_or_else(|e| panic!("cut at {cut} must parse: {e}"));
+        for (i, (p, &(cell_end, row_end))) in pairs.iter().zip(&ends).enumerate() {
+            let rec = s.completed_cell(&format!("d{i}"), &format!("o{i}"), &format!("a{i}"));
+            if cut >= cell_end && p.completed {
+                let rec = rec.unwrap_or_else(|| panic!("pair {i} lost (cut {cut})"));
+                prop_assert_eq!(rec.seconds, p.seconds, "pair {} seconds drifted", i);
+                prop_assert_eq!(rec.checksum, p.checksum, "pair {} checksum drifted", i);
+            } else {
+                // never resurrect a cell past the cut, and never promote
+                // a timed-out cell to completed
+                prop_assert!(rec.is_none(), "pair {} wrongly recovered (cut {})", i, cut);
+            }
+            let row = s.row("t.csv", &format!("k{i}"));
+            if cut >= row_end {
+                prop_assert_eq!(
+                    row.unwrap_or_else(|| panic!("row {i} lost (cut {cut})")),
+                    &[format!("d{i}"), format!("{:.6}", p.seconds)][..],
+                    "row {} cells drifted", i
+                );
+            } else {
+                prop_assert!(row.is_none(), "row {} leaked past the cut {}", i, cut);
+            }
+        }
+        // a cut at a line boundary is not a torn line
+        if text[..cut].ends_with('\n') || cut == manifest_nl - 1 {
+            prop_assert!(!s.truncated_final_line);
+        }
+    }
+
+    #[test]
+    fn replayed_lines_never_double_count(pairs in arb_pairs()) {
+        // A resumed run re-emits every recovered line, so a trace from a
+        // crash-during-resume contains each line twice. Recovery must be
+        // idempotent: same counts, same values.
+        let expected = config_hash(CFG);
+        let (text, _) = build_trace(&pairs);
+        let manifest_nl = text.find('\n').unwrap() + 1;
+        let mut doubled = text.clone();
+        doubled.push_str(&text[manifest_nl..]);
+        let once = ResumeState::parse(&text, expected).unwrap();
+        let twice = ResumeState::parse(&doubled, expected).unwrap();
+        prop_assert_eq!(once.cell_count(), twice.cell_count());
+        prop_assert_eq!(once.row_count(), twice.row_count());
+        for (i, p) in pairs.iter().enumerate() {
+            let key = (format!("d{i}"), format!("o{i}"), format!("a{i}"));
+            let a = once.completed_cell(&key.0, &key.1, &key.2);
+            let b = twice.completed_cell(&key.0, &key.1, &key.2);
+            prop_assert_eq!(a.map(|c| (c.seconds, c.checksum)), b.map(|c| (c.seconds, c.checksum)));
+            prop_assert_eq!(once.row("t.csv", &format!("k{i}")), twice.row("t.csv", &format!("k{i}")));
+            let _ = p;
+        }
+    }
+
+    #[test]
+    fn mismatched_config_hash_is_always_fatal(pairs in arb_pairs(), salt in any::<u64>()) {
+        let (text, _) = build_trace(&pairs);
+        let wrong = config_hash(CFG).wrapping_add(salt | 1);
+        match ResumeState::parse(&text, wrong) {
+            Err(e) => prop_assert!(e.contains("config_hash mismatch"), "{}", e),
+            Ok(_) => prop_assert!(false, "a differently-configured trace must not resume"),
+        }
+    }
+
+    #[test]
+    fn cut_inside_the_manifest_is_always_fatal(pairs in arb_pairs(), cut_seed in any::<usize>()) {
+        // Losing the first line means losing the config hash: such a
+        // trace can never prove it belongs to this invocation.
+        let expected = config_hash(CFG);
+        let (text, _) = build_trace(&pairs);
+        let manifest_len = text.find('\n').unwrap();
+        let cut = cut_seed % manifest_len; // strictly inside line 1
+        prop_assert!(ResumeState::parse(&text[..cut], expected).is_err());
+    }
+}
