@@ -3,7 +3,8 @@
 //! `gorder-core::parallel` tests and the ablation binary).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gorder_core::{Gorder, ParallelGorder};
+use gorder_core::Gorder;
+use gorder_orders::ParallelGorder;
 use std::hint::black_box;
 
 fn bench_parallel(c: &mut Criterion) {

@@ -29,6 +29,10 @@ pub struct HarnessArgs {
     /// `GORDER_FAULTS`). Not part of the config hash either — injected
     /// faults degrade how a run executes, never what it computes.
     pub faults: Option<String>,
+    /// On-disk permutation cache directory (`--order-cache`). Not part
+    /// of the config hash: cached and recomputed permutations are
+    /// identical by construction, so a warm run is the same experiment.
+    pub order_cache: Option<String>,
     /// Dataset-name filter (`--datasets a,b,…`); `None` = the binary's
     /// default set. Part of the config hash — it changes the grid.
     pub datasets: Option<Vec<String>>,
@@ -54,6 +58,7 @@ impl Default for HarnessArgs {
             trace_out: None,
             resume: None,
             faults: None,
+            order_cache: None,
             datasets: None,
             orderings: None,
             algos: None,
@@ -121,6 +126,12 @@ impl HarnessArgs {
                 }
                 "--faults" => {
                     out.faults = Some(it.next().unwrap_or_else(|| die("--faults needs a spec")));
+                }
+                "--order-cache" => {
+                    out.order_cache = Some(
+                        it.next()
+                            .unwrap_or_else(|| die("--order-cache needs a directory")),
+                    );
                 }
                 "--datasets" => {
                     out.datasets = Some(parse_list(
@@ -255,6 +266,13 @@ mod tests {
         assert_eq!(a.faults.as_deref(), Some("bench.cell=1+"));
         assert_eq!(parse(&[]).resume, None);
         assert_eq!(parse(&[]).faults, None);
+    }
+
+    #[test]
+    fn order_cache_parses() {
+        let a = parse(&["--order-cache", "results/perm-cache"]);
+        assert_eq!(a.order_cache.as_deref(), Some("results/perm-cache"));
+        assert_eq!(parse(&[]).order_cache, None);
     }
 
     #[test]

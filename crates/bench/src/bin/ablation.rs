@@ -10,16 +10,18 @@
 
 use gorder_algos::{GraphAlgorithm, RunCtx};
 use gorder_bench::fmt::{write_csv, Table};
-use gorder_bench::robust::guarded_ordering;
+use gorder_bench::robust::{resolve_ordering, OrderHooks};
 use gorder_bench::timing::{median_secs, pretty_secs, time_once};
-use gorder_bench::{expected_config_hash, HarnessArgs, ResumeState, SweepTrace};
+use gorder_bench::{
+    check_ordering_filter, expected_config_hash, HarnessArgs, ResumeState, SweepTrace,
+};
 use gorder_cachesim::trace::{pagerank as traced_pr, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, Tracer};
 use gorder_core::budget::ExecOutcome;
 use gorder_core::score::{bandwidth_of, f_score_of};
 use gorder_graph::locality::mean_edge_span;
-use gorder_obs::{CellEvent, PhaseEvent, TraceEvent};
-use gorder_orders::OrderingAlgorithm;
+use gorder_obs::{CellEvent, OrderEvent, PhaseEvent, TraceEvent};
+use gorder_orders::{OrderCache, OrderingAlgorithm};
 use std::sync::Arc;
 
 fn main() {
@@ -41,6 +43,16 @@ fn main() {
     let pr = gorder_algos::pagerank::Pr;
     let mut csv_rows = Vec::new();
     let timeout = args.cell_timeout_duration();
+    if let Err(e) = check_ordering_filter(&args.orderings) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    let cache = args.order_cache.as_ref().map(|dir| {
+        OrderCache::new(std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("error: --order-cache {dir}: {e}");
+            std::process::exit(2)
+        })
+    });
     // Parse the prior trace before SweepTrace::open truncates the
     // `--trace-out` target (`--resume X --trace-out X` after a crash).
     let resume = args.resume.as_ref().map(|path| {
@@ -132,7 +144,31 @@ fn main() {
                 continue;
             }
             // Guarded: a misbehaving ordering loses its row, not the run.
-            let (order_secs, outcome) = time_once(|| guarded_ordering(&o, &g, timeout));
+            // With --order-cache a previously completed permutation is
+            // loaded rather than recomputed (the `order` line records
+            // `cache_hit`).
+            let mut order_ev: Option<OrderEvent> = None;
+            let (order_secs, outcome) = {
+                let mut on_order = |e: &OrderEvent| order_ev = Some(e.clone());
+                let mut hooks = OrderHooks {
+                    cache: cache.as_ref(),
+                    seed: args.seed,
+                    on_order: &mut on_order,
+                };
+                time_once(|| {
+                    resolve_ordering(
+                        &o,
+                        &g,
+                        Some(d.name),
+                        gorder_orders::ExecPlan::Serial,
+                        timeout,
+                        Some(&mut hooks),
+                    )
+                })
+            };
+            if let Some(e) = &order_ev {
+                trace.order(e);
+            }
             let skipped_cell = |status: &str| {
                 TraceEvent::Cell(CellEvent {
                     dataset: d.name.to_string(),

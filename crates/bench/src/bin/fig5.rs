@@ -17,13 +17,15 @@
 
 use gorder_bench::experiment::run_grid_sim;
 use gorder_bench::fmt::{write_csv, Table};
-use gorder_bench::robust::run_grid_robust_resumed;
 use gorder_bench::schema::FIG5_HEADER;
 use gorder_bench::timing::pretty_secs;
 use gorder_bench::{
-    expected_config_hash, run_grid, CellResult, CellStatus, GridConfig, HarnessArgs, ResumeState,
-    RobustCell, SweepTrace,
+    check_ordering_filter, expected_config_hash, run_grid, run_grid_robust_full, CellResult,
+    CellStatus, GridConfig, HarnessArgs, OrderHooks, ResumeState, RobustCell, SweepTrace,
 };
+use gorder_obs::OrderEvent;
+use gorder_orders::OrderCache;
+use std::cell::RefCell;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -53,6 +55,12 @@ fn main() {
                 })
             })
             .collect();
+    }
+    // Unknown ordering names fail before any graph is built, with a
+    // typo suggestion when one is close.
+    if let Err(e) = check_ordering_filter(&args.orderings) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     }
     cfg.orderings = args.orderings.clone();
     cfg.algos = args.algos.clone();
@@ -102,9 +110,20 @@ fn main() {
     // `row` line per finished CSV row (the run manifest up front), so a
     // sweep interrupted partway still leaves a reconstructable record
     // next to the CSV — the write-ahead log `--resume` replays.
-    let mut trace = SweepTrace::open("fig5", &args);
+    // RefCell: the robust path feeds the trace from two closures at once
+    // (the cell observer and the order-event hook).
+    let trace = RefCell::new(SweepTrace::open("fig5", &args));
+    // --order-cache DIR reuses permutations across runs: content-addressed
+    // by graph digest + ordering identity, so a warm second run computes
+    // zero orderings and reproduces the CSV byte-identically.
+    let cache = args.order_cache.as_ref().map(|dir| {
+        OrderCache::new(std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("error: --order-cache {dir}: {e}");
+            std::process::exit(2)
+        })
+    });
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
-    let cells = if args.cell_timeout.is_some() || resume.is_some() {
+    let cells = if args.cell_timeout.is_some() || resume.is_some() || args.order_cache.is_some() {
         // A cell is recovered only when both its `cell` line and its
         // verbatim `row` line survived — a crash between the two lines
         // re-runs the cell rather than guessing at the missing half.
@@ -122,6 +141,7 @@ fn main() {
             })
         };
         let mut on_cell = |c: &RobustCell| {
+            let mut trace = trace.borrow_mut();
             trace.cell(c);
             if c.status.is_usable() {
                 let r = &c.result;
@@ -137,11 +157,18 @@ fn main() {
                 csv_rows.push(row);
             }
         };
-        let report = run_grid_robust_resumed(
+        let mut on_order = |e: &OrderEvent| trace.borrow_mut().order(e);
+        let mut hooks = OrderHooks {
+            cache: cache.as_ref(),
+            seed: args.seed,
+            on_order: &mut on_order,
+        };
+        let report = run_grid_robust_full(
             &cfg,
             args.cell_timeout_duration(),
             !wall,
-            &recovered,
+            Some(&recovered),
+            Some(&mut hooks),
             &mut on_cell,
         );
         report.print_skip_report();
@@ -154,6 +181,7 @@ fn main() {
         };
         // unguarded grids either complete every cell or die; anything
         // we got back is a completed cell
+        let mut trace = trace.borrow_mut();
         for c in &plain {
             trace.cell(&RobustCell {
                 result: c.clone(),
@@ -176,7 +204,7 @@ fn main() {
     }
     // metrics snapshot last: the ordering spans and heap counters the
     // sweep accumulated become the trace's closing lines
-    trace.finish();
+    trace.into_inner().finish();
 
     let algos: Vec<String> = dedup(cells.iter().map(|c| c.algo.clone()));
     let datasets: Vec<String> = dedup(cells.iter().map(|c| c.dataset.clone()));

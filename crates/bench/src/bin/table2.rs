@@ -7,13 +7,15 @@
 
 use gorder_algos::{ExecPlan, GraphAlgorithm, RunCtx};
 use gorder_bench::fmt::{write_csv, Table};
-use gorder_bench::robust::guarded_ordering;
+use gorder_bench::robust::{resolve_ordering, OrderHooks};
 use gorder_bench::schema::TABLE2_HEADER;
 use gorder_bench::timing::{pretty_secs, time_once};
-use gorder_bench::{expected_config_hash, HarnessArgs, ResumeState, SweepTrace};
+use gorder_bench::{
+    check_ordering_filter, expected_config_hash, HarnessArgs, ResumeState, SweepTrace,
+};
 use gorder_core::budget::ExecOutcome;
-use gorder_obs::{CellEvent, TraceEvent};
-use gorder_orders::OrderingAlgorithm;
+use gorder_obs::{CellEvent, OrderEvent, TraceEvent};
+use gorder_orders::{OrderCache, OrderingAlgorithm};
 use std::sync::Arc;
 
 fn main() {
@@ -41,6 +43,16 @@ fn main() {
             })
             .collect(),
     };
+    if let Err(e) = check_ordering_filter(&args.orderings) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    let cache = args.order_cache.as_ref().map(|dir| {
+        OrderCache::new(std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("error: --order-cache {dir}: {e}");
+            std::process::exit(2)
+        })
+    });
     let orderings: Vec<Arc<dyn OrderingAlgorithm>> = gorder_orders::all(args.seed)
         .into_iter()
         .filter(|o| match &args.orderings {
@@ -120,7 +132,31 @@ fn main() {
             }
             // Guarded: a panicking or runaway ordering marks its cell
             // and the table continues, instead of the whole run dying.
-            let (secs, outcome) = time_once(|| guarded_ordering(o, g, timeout));
+            // With --order-cache a previously completed permutation is
+            // loaded instead of recomputed; the `order` trace line's
+            // `cache_hit` says which happened.
+            let mut order_ev: Option<OrderEvent> = None;
+            let (secs, outcome) = {
+                let mut on_order = |e: &OrderEvent| order_ev = Some(e.clone());
+                let mut hooks = OrderHooks {
+                    cache: cache.as_ref(),
+                    seed: args.seed,
+                    on_order: &mut on_order,
+                };
+                time_once(|| {
+                    resolve_ordering(
+                        o,
+                        g,
+                        Some(d.name),
+                        gorder_orders::ExecPlan::Serial,
+                        timeout,
+                        Some(&mut hooks),
+                    )
+                })
+            };
+            if let Some(e) = &order_ev {
+                trace.order(e);
+            }
             let (shown, note, perm, status) = match outcome {
                 ExecOutcome::Completed(perm) => {
                     assert_eq!(perm.len(), g.n(), "invalid permutation from {}", o.name());

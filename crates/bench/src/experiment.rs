@@ -9,8 +9,10 @@ use crate::timing::median_secs;
 use gorder_algos::{ExecPlan, GraphAlgorithm, KernelStats, RunCtx};
 use gorder_cachesim::trace::{replay_with_stats, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, StallModel, Tracer};
+use gorder_core::budget::Budget;
 use gorder_graph::datasets::Dataset;
-use gorder_orders::OrderingAlgorithm;
+use gorder_graph::Permutation;
+use gorder_orders::{run_ordering, OrderingAlgorithm};
 
 /// Configuration for [`run_grid`].
 pub struct GridConfig {
@@ -97,6 +99,16 @@ pub struct CellResult {
     pub stats: KernelStats,
 }
 
+/// Computes one ordering through the unified runner ([`run_ordering`]) —
+/// so even the unguarded grids export per-ordering stats exactly once —
+/// under an unlimited budget (the guarded grids pass real budgets).
+fn ordered(o: &dyn OrderingAlgorithm, g: &gorder_graph::Graph) -> Permutation {
+    run_ordering(o, g, gorder_orders::ExecPlan::Serial, &Budget::unlimited())
+        .value()
+        .expect("unlimited budget always completes")
+        .perm
+}
+
 fn selected<T, F: Fn(&T) -> &str>(all: Vec<T>, filter: &Option<Vec<String>>, name: F) -> Vec<T> {
     match filter {
         None => all,
@@ -124,7 +136,7 @@ pub fn run_grid(cfg: &GridConfig) -> Vec<CellResult> {
         eprintln!("[grid] {}: n = {}, m = {}", d.name, g.n(), g.m());
         let logical_source = g.max_degree_node().unwrap_or(0);
         for o in &orderings {
-            let perm = o.compute(&g);
+            let perm = ordered(o.as_ref(), &g);
             let rg = g.relabel(&perm);
             let ctx = RunCtx {
                 source: Some(perm.apply(logical_source)),
@@ -200,7 +212,7 @@ pub fn run_grid_sim(cfg: &GridConfig) -> Vec<CellResult> {
         eprintln!("[grid/sim] {}: n = {}, m = {}", d.name, g.n(), g.m());
         let logical_source = g.max_degree_node().unwrap_or(0);
         for o in &orderings {
-            let perm = o.compute(&g);
+            let perm = ordered(o.as_ref(), &g);
             let rg = g.relabel(&perm);
             let tctx = TraceCtx {
                 source: Some(perm.apply(logical_source)),

@@ -33,8 +33,29 @@ pub use experiment::{run_grid, CellResult, GridConfig};
 pub use ranking::{rank_counts, Ranking};
 pub use resume::{RecoveredCell, ResumeState};
 pub use robust::{
-    abandoned_count, reap_abandoned, run_grid_robust, run_grid_robust_observed,
-    run_grid_robust_resumed, run_grid_robust_with, run_grid_robust_with_observed, run_guarded,
-    CellStatus, RobustCell, SweepReport,
+    abandoned_count, guarded_ordering, guarded_ordering_run, reap_abandoned, resolve_ordering,
+    run_grid_robust, run_grid_robust_full, run_grid_robust_observed, run_grid_robust_resumed,
+    run_grid_robust_with, run_grid_robust_with_observed, run_guarded, CellStatus, OrderHooks,
+    RobustCell, SweepReport,
 };
 pub use tracefile::{expected_config_hash, SweepTrace};
+
+/// Validates an `--orderings` filter against the extended registry
+/// before any work runs, returning the offending name and a "did you
+/// mean" suggestion when one is close enough. `None`/empty filters are
+/// trivially valid.
+pub fn check_ordering_filter(names: &Option<Vec<String>>) -> Result<(), String> {
+    let Some(names) = names else { return Ok(()) };
+    for name in names {
+        if gorder_orders::by_name_extended(name, 0).is_none() {
+            let hint = gorder_orders::suggest_name(name)
+                .map(|s| format!(" (did you mean {s:?}?)"))
+                .unwrap_or_default();
+            return Err(format!(
+                "--orderings: unknown ordering {name:?}{hint}; \
+                 run `gorder-cli list-orderings` for the full set"
+            ));
+        }
+    }
+    Ok(())
+}

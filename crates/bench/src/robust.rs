@@ -17,7 +17,8 @@ use gorder_cachesim::trace::{replay_with_stats, TraceCtx};
 use gorder_cachesim::{CacheHierarchy, HierarchyConfig, StallModel, Tracer};
 use gorder_core::budget::{Budget, DegradeReason, ExecOutcome};
 use gorder_graph::Graph;
-use gorder_orders::OrderingAlgorithm;
+use gorder_obs::OrderEvent;
+use gorder_orders::{run_ordering, CacheKey, ExecPlan, OrderCache, OrderingAlgorithm, OrderingRun};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -247,16 +248,115 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Computes `o.compute_budgeted(&g, …)` under [`run_guarded`]. The shared
-/// helper behind the guarded grid and the `table2`/`ablation` binaries.
+/// Computes `o` through the unified runner ([`run_ordering`]) under
+/// [`run_guarded`]: per-ordering stats are exported to the registry
+/// exactly once, the watchdog budget is threaded through, and a panic or
+/// hang is contained. The shared helper behind the guarded grid and the
+/// `table2`/`ablation` binaries.
+pub fn guarded_ordering_run(
+    o: &Arc<dyn OrderingAlgorithm>,
+    g: &Arc<Graph>,
+    plan: ExecPlan,
+    timeout: Option<Duration>,
+) -> ExecOutcome<OrderingRun> {
+    let o = Arc::clone(o);
+    let g = Arc::clone(g);
+    run_guarded(timeout, move |budget| {
+        run_ordering(o.as_ref(), &g, plan, budget)
+    })
+}
+
+/// [`guarded_ordering_run`] under a serial plan, reduced to the
+/// permutation — for callers that do not need the stats.
 pub fn guarded_ordering(
     o: &Arc<dyn OrderingAlgorithm>,
     g: &Arc<Graph>,
     timeout: Option<Duration>,
 ) -> ExecOutcome<gorder_graph::Permutation> {
-    let o = Arc::clone(o);
-    let g = Arc::clone(g);
-    run_guarded(timeout, move |budget| o.compute_budgeted(&g, budget))
+    guarded_ordering_run(o, g, ExecPlan::Serial, timeout).map(|run| run.perm)
+}
+
+/// Side channels for ordering resolution in a guarded sweep: an optional
+/// permutation cache and an observer that receives one [`OrderEvent`]
+/// per resolution (cache hit or fresh computation), ready to stream to a
+/// trace sink.
+pub struct OrderHooks<'a> {
+    /// Permutation cache to consult and populate. Only **completed**
+    /// permutations are stored — degraded ones depend on the budget that
+    /// cut them short, not just on the cache key, and would poison warm
+    /// runs.
+    pub cache: Option<&'a OrderCache>,
+    /// The seed the sweep hands its orderings (part of the cache key).
+    pub seed: u64,
+    /// Fires once per resolution with the full order record.
+    pub on_order: &'a mut dyn FnMut(&OrderEvent),
+}
+
+/// Resolves one ordering for `g`: consults the cache (when hooked),
+/// computes under guard on a miss, stores completed permutations back,
+/// and reports an [`OrderEvent`] either way. Without hooks this is
+/// [`guarded_ordering_run`] reduced to its permutation — no digest is
+/// computed and no event is emitted.
+pub fn resolve_ordering(
+    o: &Arc<dyn OrderingAlgorithm>,
+    g: &Arc<Graph>,
+    dataset: Option<&str>,
+    plan: ExecPlan,
+    timeout: Option<Duration>,
+    hooks: Option<&mut OrderHooks<'_>>,
+) -> ExecOutcome<gorder_graph::Permutation> {
+    let Some(hooks) = hooks else {
+        return guarded_ordering_run(o, g, plan, timeout).map(|run| run.perm);
+    };
+    let key = CacheKey::for_ordering(g, o.as_ref(), hooks.seed);
+    let event =
+        |status: String, seconds: f64, stats: gorder_orders::OrderStats, hit: bool| OrderEvent {
+            dataset: dataset.map(str::to_string),
+            name: o.name().to_string(),
+            params: o.params(),
+            seed: hooks.seed,
+            graph_digest: key.graph_digest,
+            identity: key.identity(),
+            status,
+            seconds,
+            nodes_placed: stats.nodes_placed,
+            heap_increments: stats.heap_increments,
+            heap_decrements: stats.heap_decrements,
+            heap_pops: stats.heap_pops,
+            threads_used: u64::from(stats.threads_used),
+            cache_hit: hit,
+        };
+    if let Some(cache) = hooks.cache {
+        let started = std::time::Instant::now();
+        if let Some(perm) = cache.load(&key, g.n()) {
+            let stats = gorder_orders::OrderStats {
+                nodes_placed: u64::from(perm.len()),
+                threads_used: 1,
+                cache_hit: true,
+                ..Default::default()
+            };
+            (hooks.on_order)(&event(
+                "completed".to_string(),
+                started.elapsed().as_secs_f64(),
+                stats,
+                true,
+            ));
+            return ExecOutcome::Completed(perm);
+        }
+    }
+    let outcome = guarded_ordering_run(o, g, plan, timeout);
+    let status = outcome.status_label().to_string();
+    let stats = outcome.value_ref().map(|run| run.stats).unwrap_or_default();
+    if let (Some(cache), ExecOutcome::Completed(run)) = (hooks.cache, &outcome) {
+        if let Err(e) = cache.store(&key, &run.perm) {
+            eprintln!(
+                "[order-cache] warning: could not store {}: {e}",
+                key.identity()
+            );
+        }
+    }
+    (hooks.on_order)(&event(status, stats.compute_secs, stats, false));
+    outcome.map(|run| run.perm)
 }
 
 /// Guarded counterpart of [`run_grid`](crate::run_grid) /
@@ -279,6 +379,22 @@ pub fn run_grid_robust_observed(
     on_cell: &mut dyn FnMut(&RobustCell),
 ) -> SweepReport {
     run_grid_robust_with_observed(cfg, timeout, sim, pool_for(cfg), on_cell)
+}
+
+/// The fully-hooked guarded grid: trace recovery plus ordering hooks
+/// (permutation cache and order-event observer). Every other
+/// `run_grid_robust*` entry point forwards here — directly or through
+/// the private `grid_with_recovery` body — with the extras it lacks
+/// set to `None`.
+pub fn run_grid_robust_full(
+    cfg: &GridConfig,
+    timeout: Option<Duration>,
+    sim: bool,
+    recovered: Option<RecoveredLookup<'_>>,
+    hooks: Option<&mut OrderHooks<'_>>,
+    on_cell: &mut dyn FnMut(&RobustCell),
+) -> SweepReport {
+    grid_with_recovery(cfg, timeout, sim, pool_for(cfg), recovered, hooks, on_cell)
 }
 
 /// The ordering pool `cfg` implies: the standard or extended set,
@@ -314,7 +430,15 @@ pub fn run_grid_robust_resumed(
     recovered: RecoveredLookup<'_>,
     on_cell: &mut dyn FnMut(&RobustCell),
 ) -> SweepReport {
-    grid_with_recovery(cfg, timeout, sim, pool_for(cfg), Some(recovered), on_cell)
+    grid_with_recovery(
+        cfg,
+        timeout,
+        sim,
+        pool_for(cfg),
+        Some(recovered),
+        None,
+        on_cell,
+    )
 }
 
 /// Guarded sweep over an explicit ordering pool — the entry point the
@@ -346,7 +470,7 @@ pub fn run_grid_robust_with_observed(
     orderings: Vec<Arc<dyn OrderingAlgorithm>>,
     on_cell: &mut dyn FnMut(&RobustCell),
 ) -> SweepReport {
-    grid_with_recovery(cfg, timeout, sim, orderings, None, on_cell)
+    grid_with_recovery(cfg, timeout, sim, orderings, None, None, on_cell)
 }
 
 /// A resume lookup: maps `(dataset, ordering, algo)` to the recovered
@@ -361,6 +485,7 @@ fn grid_with_recovery(
     sim: bool,
     orderings: Vec<Arc<dyn OrderingAlgorithm>>,
     recovered: Option<RecoveredLookup<'_>>,
+    mut hooks: Option<&mut OrderHooks<'_>>,
     on_cell: &mut dyn FnMut(&RobustCell),
 ) -> SweepReport {
     let algos: Vec<Arc<dyn GraphAlgorithm>> = if cfg.extended {
@@ -422,7 +547,14 @@ fn grid_with_recovery(
                 checksum: 0,
                 stats: KernelStats::default(),
             };
-            let (perm, ordering_status) = match guarded_ordering(o, &g, timeout) {
+            let (perm, ordering_status) = match resolve_ordering(
+                o,
+                &g,
+                Some(d.name),
+                cfg.exec_plan(),
+                timeout,
+                hooks.as_deref_mut(),
+            ) {
                 ExecOutcome::Completed(p) => (p, CellStatus::Completed),
                 ExecOutcome::Degraded(p, reason) => (p, CellStatus::Degraded(reason)),
                 ExecOutcome::TimedOut => {

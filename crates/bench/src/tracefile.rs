@@ -10,7 +10,7 @@
 
 use crate::robust::RobustCell;
 use crate::HarnessArgs;
-use gorder_obs::{CellEvent, RowEvent, RunManifest, TraceEvent, TraceSink};
+use gorder_obs::{CellEvent, OrderEvent, RowEvent, RunManifest, TraceEvent, TraceSink};
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::Path;
@@ -78,6 +78,13 @@ impl SweepTrace {
         }));
     }
 
+    /// Records one ordering resolution — computed or cache-hit — as an
+    /// `order` line (flushed immediately). A warm-cache run is audited
+    /// from these: every line carries `cache_hit`.
+    pub fn order(&mut self, e: &OrderEvent) {
+        self.event(&TraceEvent::Order(e.clone()));
+    }
+
     /// Records an arbitrary trace event (flushed immediately).
     pub fn event(&mut self, e: &TraceEvent) {
         if let Some(sink) = &mut self.sink {
@@ -129,10 +136,11 @@ pub fn cell_event(c: &RobustCell) -> CellEvent {
 }
 
 /// The manifest for one harness invocation: every flag that shapes the
-/// grid, in a fixed order, folded into the config hash. `--resume` and
-/// `--faults` are deliberately excluded — a resumed or fault-hammered
-/// run is still the *same* experiment, and its trace must hash-match
-/// the original so `--resume` accepts it.
+/// grid, in a fixed order, folded into the config hash. `--resume`,
+/// `--faults`, and `--order-cache` are deliberately excluded — a
+/// resumed, fault-hammered, or cache-warmed run is still the *same*
+/// experiment, and its trace must hash-match the original so `--resume`
+/// accepts it.
 fn manifest_for(tool: &str, args: &HarnessArgs) -> RunManifest {
     fn list(v: &Option<Vec<String>>) -> String {
         v.as_ref().map_or("-".to_string(), |v| v.join("+"))
@@ -253,12 +261,13 @@ mod tests {
         let resumed = HarnessArgs {
             resume: Some("old.jsonl".into()),
             faults: Some("bench.cell=1".into()),
+            order_cache: Some("perm-cache".into()),
             ..base.clone()
         };
         assert_eq!(
             h0,
             expected_config_hash("fig5", &resumed),
-            "--resume/--faults never change the hash"
+            "--resume/--faults/--order-cache never change the hash"
         );
         assert_ne!(h0, expected_config_hash("table2", &base), "tool is hashed");
     }

@@ -26,7 +26,8 @@ use gorder_graph::io::GraphIoError;
 use gorder_graph::stats::{degree_gini, GraphStats};
 use gorder_graph::Permutation;
 use gorder_graph::{io, io_mm, Graph};
-use gorder_orders::OrderingAlgorithm;
+use gorder_obs::OrderEvent;
+use gorder_orders::{run_ordering, CacheKey, OrderCache, OrderStats, OrderingAlgorithm};
 use std::path::Path;
 use std::time::Duration;
 
@@ -312,15 +313,103 @@ pub fn compute_ordering_budgeted(
     seed: u64,
     timeout: Option<Duration>,
 ) -> Result<(Permutation, Option<DegradeReason>), CliError> {
+    resolve_ordering_cached(g, method, window, seed, timeout, None, None)
+        .map(|r| (r.perm, r.degraded))
+}
+
+/// One resolved ordering: the permutation, the degradation marker, and
+/// the trace-ready [`OrderEvent`] describing how it was obtained.
+pub struct ResolvedOrdering {
+    /// The permutation, computed or cache-loaded.
+    pub perm: Permutation,
+    /// `Some` when the (anytime) ordering ran out of budget partway.
+    pub degraded: Option<DegradeReason>,
+    /// The `order` trace record for this resolution.
+    pub event: OrderEvent,
+}
+
+/// [`compute_ordering_budgeted`] through the unified runner
+/// ([`run_ordering`]) with an optional content-addressed permutation
+/// cache: a hit skips the computation entirely, a completed miss is
+/// stored back (degraded permutations are never cached — they depend on
+/// the budget, not just the key). `dataset` labels the resulting
+/// [`OrderEvent`] (the CLI passes the input path).
+pub fn resolve_ordering_cached(
+    g: &Graph,
+    method: &str,
+    window: u32,
+    seed: u64,
+    timeout: Option<Duration>,
+    cache: Option<&OrderCache>,
+    dataset: Option<&str>,
+) -> Result<ResolvedOrdering, CliError> {
     let o = ordering_by_name(method, window, seed).ok_or_else(|| {
         CliError::Usage(format!(
             "unknown ordering {method:?}; known: {:?}",
             ordering_names()
         ))
     })?;
-    match o.compute_budgeted(g, &budget_from(timeout)) {
-        ExecOutcome::Completed(perm) => Ok((perm, None)),
-        ExecOutcome::Degraded(perm, reason) => Ok((perm, Some(reason))),
+    let key = CacheKey::for_ordering(g, o.as_ref(), seed);
+    let event = |status: &str, seconds: f64, stats: OrderStats, hit: bool| OrderEvent {
+        dataset: dataset.map(str::to_string),
+        name: o.name().to_string(),
+        params: o.params(),
+        seed,
+        graph_digest: key.graph_digest,
+        identity: key.identity(),
+        status: status.to_string(),
+        seconds,
+        nodes_placed: stats.nodes_placed,
+        heap_increments: stats.heap_increments,
+        heap_decrements: stats.heap_decrements,
+        heap_pops: stats.heap_pops,
+        threads_used: u64::from(stats.threads_used),
+        cache_hit: hit,
+    };
+    if let Some(cache) = cache {
+        let t = std::time::Instant::now();
+        if let Some(perm) = cache.load(&key, g.n()) {
+            let stats = OrderStats {
+                nodes_placed: u64::from(perm.len()),
+                threads_used: 1,
+                cache_hit: true,
+                ..Default::default()
+            };
+            let ev = event("completed", t.elapsed().as_secs_f64(), stats, true);
+            return Ok(ResolvedOrdering {
+                perm,
+                degraded: None,
+                event: ev,
+            });
+        }
+    }
+    match run_ordering(
+        o.as_ref(),
+        g,
+        gorder_orders::ExecPlan::Serial,
+        &budget_from(timeout),
+    ) {
+        ExecOutcome::Completed(run) => {
+            if let Some(cache) = cache {
+                if let Err(e) = cache.store(&key, &run.perm) {
+                    eprintln!("warning: order cache store failed: {e}");
+                }
+            }
+            let ev = event("completed", run.stats.compute_secs, run.stats, false);
+            Ok(ResolvedOrdering {
+                perm: run.perm,
+                degraded: None,
+                event: ev,
+            })
+        }
+        ExecOutcome::Degraded(run, reason) => {
+            let ev = event("degraded", run.stats.compute_secs, run.stats, false);
+            Ok(ResolvedOrdering {
+                perm: run.perm,
+                degraded: Some(reason),
+                event: ev,
+            })
+        }
         ExecOutcome::TimedOut => Err(CliError::TimedOut),
         ExecOutcome::Failed(msg) => Err(CliError::Failed(msg)),
     }

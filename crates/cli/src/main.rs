@@ -7,11 +7,13 @@
 //! never aliases a clean error.
 
 use gorder_cli::{
-    algorithm_names, compute_ordering_budgeted, load, ordering_names, run_algorithm_budgeted, save,
+    algorithm_names, load, ordering_names, resolve_ordering_cached, run_algorithm_budgeted, save,
     simulate_algorithm_budgeted, stats_report, validate_trace_file, CliError, CmdOutput,
+    ResolvedOrdering,
 };
 use gorder_core::budget::DegradeReason;
-use gorder_obs::{PhaseEvent, RunManifest, TraceEvent, TraceSink};
+use gorder_obs::{RunManifest, TraceEvent, TraceSink};
+use gorder_orders::OrderCache;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -19,7 +21,8 @@ use std::time::Duration;
 fn usage() -> &'static str {
     "usage:\n  \
      gorder-cli stats    <input>\n  \
-     gorder-cli order    <input> <output> [--method Gorder] [--window 5] [--seed 42] [--timeout SECS] [--trace-out PATH]\n  \
+     gorder-cli order    <input> <output> [--method Gorder] [--window 5] [--seed 42] [--timeout SECS] [--order-cache DIR] [--trace-out PATH]\n  \
+     gorder-cli list-orderings\n  \
      gorder-cli convert  <input> <output>\n  \
      gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--threads N] [--stats] [--trace-out PATH]\n  \
      gorder-cli simulate <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--stats] [--trace-out PATH]\n  \
@@ -27,6 +30,9 @@ fn usage() -> &'static str {
      formats by extension: .mtx (Matrix Market), .bin (compact CSR), else edge list\n\
      --timeout bounds the ordering phase: anytime orderings return their\n\
      best-so-far (exit 3, reason on stderr); others exit 4\n\
+     --order-cache reuses permutations across runs: content-addressed by\n\
+     graph digest + ordering + params + seed, so a warm run loads instead\n\
+     of recomputing (degraded results are never cached)\n\
      --threads runs the engine kernels' parallel sections on N workers\n\
      (results are byte-identical to serial; simulate always traces serially)\n\
      --stats appends one JSON line of per-kernel metrics (iterations,\n\
@@ -46,6 +52,7 @@ struct Flags {
     threads: u32,
     stats: bool,
     trace_out: Option<PathBuf>,
+    order_cache: Option<PathBuf>,
 }
 
 impl Flags {
@@ -121,6 +128,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         threads: 1,
         stats: false,
         trace_out: None,
+        order_cache: None,
     };
     let usage_err = |msg: &str| CliError::Usage(msg.to_string());
     let mut it = args.iter();
@@ -166,6 +174,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 flags.threads = threads;
             }
             "--stats" => flags.stats = true,
+            "--order-cache" => {
+                flags.order_cache =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        usage_err("--order-cache needs a directory")
+                    })?));
+            }
             "--trace-out" => {
                 flags.trace_out = Some(PathBuf::from(
                     it.next()
@@ -195,25 +209,52 @@ fn real_main() -> Result<Option<DegradeReason>, CliError> {
             let output = need(2)?.clone();
             let flags = parse_flags(&args[3..])?;
             let method = flags.method.as_deref().unwrap_or("Gorder");
+            let cache = match &flags.order_cache {
+                None => None,
+                Some(dir) => Some(OrderCache::new(dir).map_err(|e| {
+                    CliError::Failed(format!("order cache {}: {e}", dir.display()))
+                })?),
+            };
             let g = load(&PathBuf::from(&input))?;
             eprintln!("loaded {}: n = {}, m = {}", input, g.n(), g.m());
             let t = std::time::Instant::now();
-            let (perm, degraded) =
-                compute_ordering_budgeted(&g, method, flags.window, flags.seed, flags.timeout)?;
-            let order_secs = t.elapsed().as_secs_f64();
-            eprintln!("{method} computed in {:.2?}", t.elapsed());
+            let ResolvedOrdering {
+                perm,
+                degraded,
+                event,
+            } = resolve_ordering_cached(
+                &g,
+                method,
+                flags.window,
+                flags.seed,
+                flags.timeout,
+                cache.as_ref(),
+                Some(&input),
+            )?;
+            eprintln!(
+                "{method} {} in {:.2?}",
+                if event.cache_hit {
+                    "loaded from cache"
+                } else {
+                    "computed"
+                },
+                t.elapsed()
+            );
             save(&g.relabel(&perm), &PathBuf::from(&output))?;
             println!("wrote {output}");
             if let Some(path) = &flags.trace_out {
                 let mut manifest = flags.manifest("order", None, &input);
                 manifest.ordering = Some(method.to_string());
-                let events = [TraceEvent::Phase(PhaseEvent {
-                    name: "order".to_string(),
-                    seconds: order_secs,
-                })];
+                let events = [TraceEvent::Order(event)];
                 write_trace(path, &manifest, &events)?;
             }
             Ok(degraded)
+        }
+        "list-orderings" => {
+            for name in ordering_names() {
+                println!("{name}");
+            }
+            Ok(None)
         }
         "convert" => {
             let input = need(1)?.clone();

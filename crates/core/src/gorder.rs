@@ -85,25 +85,32 @@ impl Default for GorderBuilder {
 
 /// Counters describing one Gorder run (for tests, ablations and the
 /// scalability analysis of Table 2).
+///
+/// These are plain data: registry export happens exactly once per run,
+/// in the unified ordering runner (`gorder_orders::run_ordering`), which
+/// folds these counters into its `OrderStats` — never here, so a run
+/// can't double-count depending on which compute path the caller took.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GorderStats {
     /// Total key increments applied to the unit heap.
     pub increments: u64,
     /// Total key decrements applied to the unit heap.
     pub decrements: u64,
+    /// Total max-key pops from the unit heap (one per greedily placed
+    /// node after the seed).
+    pub pops: u64,
     /// Sibling propagations skipped due to the hub threshold.
     pub hub_skips: u64,
 }
 
 impl GorderStats {
-    /// Adds these unit-heap op counters to the process-wide
-    /// [`gorder_obs::global`] registry, where the trace sink picks them
-    /// up at end of run. Counters are cumulative across builds.
-    pub fn export(&self) {
-        let reg = gorder_obs::global();
-        reg.counter_add("gorder.heap.increments", self.increments);
-        reg.counter_add("gorder.heap.decrements", self.decrements);
-        reg.counter_add("gorder.heap.hub_skips", self.hub_skips);
+    /// Merges another run's (or chunk's) counters into this one — how
+    /// the partition-parallel driver aggregates per-worker stats.
+    pub fn merge(&mut self, other: &GorderStats) {
+        self.increments += other.increments;
+        self.decrements += other.decrements;
+        self.pops += other.pops;
+        self.hub_skips += other.hub_skips;
     }
 }
 
@@ -123,6 +130,11 @@ impl Gorder {
     /// The configured window size.
     pub fn window_size(&self) -> u32 {
         self.window
+    }
+
+    /// The configured hub threshold (`None` = exact propagation).
+    pub fn hub_threshold(&self) -> Option<u32> {
+        self.hub_threshold
     }
 
     /// Computes the Gorder permutation (`old id → new id`).
@@ -153,6 +165,7 @@ impl Gorder {
         apply_delta(g, seed, true, hub, &mut heap, &mut stats);
 
         while let Some(v) = heap.pop_max() {
+            stats.pops += 1;
             placement.push(v);
             apply_delta(g, v, true, hub, &mut heap, &mut stats);
             if placement.len() > w {
@@ -162,7 +175,6 @@ impl Gorder {
         }
         let perm = Permutation::from_placement(&placement)
             .expect("greedy placement covers every node exactly once");
-        stats.export();
         (perm, stats)
     }
 
@@ -173,17 +185,28 @@ impl Gorder {
     /// permutation; a degraded one interpolates between full Gorder and
     /// pure ChDFS — with a zero budget it *is* exactly ChDFS.
     pub fn compute_budgeted(&self, g: &Graph, budget: &Budget) -> ExecOutcome<Permutation> {
+        self.compute_budgeted_with_stats(g, budget).0
+    }
+
+    /// Like [`Gorder::compute_budgeted`] but also returns the heap update
+    /// counters accumulated before the budget ran out.
+    pub fn compute_budgeted_with_stats(
+        &self,
+        g: &Graph,
+        budget: &Budget,
+    ) -> (ExecOutcome<Permutation>, GorderStats) {
         if budget.is_unlimited() {
-            return ExecOutcome::Completed(self.compute(g));
+            let (perm, stats) = self.compute_with_stats(g);
+            return (ExecOutcome::Completed(perm), stats);
         }
         let n = g.n();
+        let mut stats = GorderStats::default();
         if n == 0 {
-            return ExecOutcome::Completed(Permutation::identity(0));
+            return (ExecOutcome::Completed(Permutation::identity(0)), stats);
         }
         let _span = gorder_obs::span("gorder.build");
         let w = self.window as usize;
         let hub = self.hub_threshold.unwrap_or(u32::MAX);
-        let mut stats = GorderStats::default();
         let mut placement: Vec<NodeId> = Vec::with_capacity(n as usize);
 
         // Checked before the seed is placed so that a zero budget degrades
@@ -199,6 +222,7 @@ impl Gorder {
             apply_delta(g, seed, true, hub, &mut heap, &mut stats);
 
             while let Some(v) = heap.pop_max() {
+                stats.pops += 1;
                 placement.push(v);
                 apply_delta(g, v, true, hub, &mut heap, &mut stats);
                 if placement.len() > w {
@@ -214,8 +238,7 @@ impl Gorder {
                 }
             }
         }
-        stats.export();
-        match stop {
+        let outcome = match stop {
             None => {
                 let perm = Permutation::from_placement(&placement)
                     .expect("greedy placement covers every node exactly once");
@@ -227,7 +250,8 @@ impl Gorder {
                     .expect("DFS fill covers every remaining node exactly once");
                 ExecOutcome::Degraded(perm, reason)
             }
-        }
+        };
+        (outcome, stats)
     }
 }
 

@@ -27,23 +27,22 @@
 //! * [`incremental`] — ordering maintenance for evolving graphs
 //!   (the paper's flagged future work), splicing new nodes into an
 //!   existing layout without recomputation.
-//! * [`parallel`] — partition-parallel Gorder (the discussion's other
-//!   future-work item).
 //! * [`theory`] — brute-force `OPT` for verifying the `1/(2w)`
 //!   approximation bound on small instances.
 //! * [`budget`] — cooperative deadlines, node caps, and cancellation for
 //!   the fault-tolerant execution layer ([`Budget`], [`ExecOutcome`]).
+//!
+//! Partition-parallel Gorder lives in `gorder-orders` (`ParallelGorder`),
+//! where it shares the engine's scoped pool and degree-balanced ranges.
 
 pub mod budget;
 pub mod gorder;
 pub mod incremental;
-pub mod parallel;
 pub mod score;
 pub mod theory;
 pub mod unitheap;
 
 pub use budget::{Budget, DegradeReason, ExecOutcome};
-pub use gorder::{Gorder, GorderBuilder};
+pub use gorder::{Gorder, GorderBuilder, GorderStats};
 pub use incremental::IncrementalGorder;
-pub use parallel::ParallelGorder;
 pub use unitheap::UnitHeap;

@@ -27,7 +27,12 @@ use crate::registry::Snapshot;
 ///
 /// v2: added the `row` record kind (verbatim CSV rows, the unit of
 /// crash-safe resume) and `degraded_serial` to `kernel` records.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: added the `order` record kind — one line per ordering
+/// construction, carrying the ordering's identity (name, params, seed,
+/// graph digest, config-hashable identity string), its `OrderStats`
+/// counters, and whether the permutation came from the on-disk cache.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// FNV-1a over the bytes of a canonical config string — cheap, stable
 /// across platforms, and good enough to answer "were these two runs
@@ -174,6 +179,45 @@ pub struct RowEvent {
     pub cells: Vec<String>,
 }
 
+/// One ordering construction: which ordering ran (or was loaded from the
+/// permutation cache), on what graph, with what outcome and counters.
+/// `identity` is the canonical cache-key string
+/// (`graph=<digest>,order=<name>,params=<params>,seed=<seed>`) so two
+/// traces can be joined on "same ordering of the same graph" with a
+/// single string compare (or its [`config_hash`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderEvent {
+    /// Dataset name, when the sweep knows one (`null` from the CLI).
+    pub dataset: Option<String>,
+    /// Ordering name, e.g. `"Gorder"`.
+    pub name: String,
+    /// Canonical parameter string, e.g. `"w=5"`; empty for
+    /// parameter-free orderings.
+    pub params: String,
+    /// Seed the ordering registry was constructed with.
+    pub seed: u64,
+    /// FNV-1a digest of the graph's CSR content.
+    pub graph_digest: u64,
+    /// The canonical cache-key string (see the struct docs).
+    pub identity: String,
+    /// Outcome label (`"ok"`, `"degraded"`, `"timeout"`, `"failed"`).
+    pub status: String,
+    /// Wall seconds to produce the permutation (near zero on cache hit).
+    pub seconds: f64,
+    /// Nodes placed by the ordering (= n on success).
+    pub nodes_placed: u64,
+    /// Unit-heap key increments (Gorder-family; 0 elsewhere).
+    pub heap_increments: u64,
+    /// Unit-heap key decrements (Gorder-family; 0 elsewhere).
+    pub heap_decrements: u64,
+    /// Unit-heap max-pops (Gorder-family; 0 elsewhere).
+    pub heap_pops: u64,
+    /// Threads the ordering ran on.
+    pub threads_used: u64,
+    /// Whether the permutation was loaded from the on-disk cache.
+    pub cache_hit: bool,
+}
+
 /// A named, timed phase (e.g. `"gorder.build"`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseEvent {
@@ -190,6 +234,8 @@ pub enum TraceEvent {
     Cell(CellEvent),
     /// A kernel run with stats breakdown.
     Kernel(KernelEvent),
+    /// An ordering construction (computed or cache-loaded).
+    Order(OrderEvent),
     /// A timed phase.
     Phase(PhaseEvent),
     /// A verbatim artifact row (the unit of crash-safe resume).
@@ -226,6 +272,23 @@ impl TraceEvent {
                 .u64("threads_used", k.threads_used)
                 .f64("thread_busy_secs", k.thread_busy_secs)
                 .bool("degraded_serial", k.degraded_serial)
+                .finish(),
+            TraceEvent::Order(o) => JsonObject::new()
+                .str("kind", "order")
+                .opt_str("dataset", o.dataset.as_deref())
+                .str("name", &o.name)
+                .str("params", &o.params)
+                .u64("seed", o.seed)
+                .u64("graph_digest", o.graph_digest)
+                .str("identity", &o.identity)
+                .str("status", &o.status)
+                .f64("seconds", o.seconds)
+                .u64("nodes_placed", o.nodes_placed)
+                .u64("heap_increments", o.heap_increments)
+                .u64("heap_decrements", o.heap_decrements)
+                .u64("heap_pops", o.heap_pops)
+                .u64("threads_used", o.threads_used)
+                .bool("cache_hit", o.cache_hit)
                 .finish(),
             TraceEvent::Phase(p) => JsonObject::new()
                 .str("kind", "phase")
@@ -603,6 +666,50 @@ mod tests {
                 "degraded_serial",
             ]
         );
+    }
+
+    #[test]
+    fn order_event_pins_key_order() {
+        let line = TraceEvent::Order(OrderEvent {
+            dataset: Some("epinion".into()),
+            name: "Gorder".into(),
+            params: "w=5".into(),
+            seed: 42,
+            graph_digest: 0xdead_beef,
+            identity: "graph=deadbeef,order=Gorder,params=w=5,seed=42".into(),
+            status: "ok".into(),
+            seconds: 0.5,
+            nodes_placed: 100,
+            heap_increments: 10,
+            heap_decrements: 8,
+            heap_pops: 99,
+            threads_used: 1,
+            cache_hit: false,
+        })
+        .to_json_line();
+        assert_eq!(
+            crate::json::top_level_keys(&line),
+            vec![
+                "kind",
+                "dataset",
+                "name",
+                "params",
+                "seed",
+                "graph_digest",
+                "identity",
+                "status",
+                "seconds",
+                "nodes_placed",
+                "heap_increments",
+                "heap_decrements",
+                "heap_pops",
+                "threads_used",
+                "cache_hit",
+            ]
+        );
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj["kind"], "\"order\"");
+        assert_eq!(obj["cache_hit"], "false");
     }
 
     #[test]

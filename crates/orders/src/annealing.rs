@@ -283,6 +283,20 @@ impl OrderingAlgorithm for Annealing {
         self.compute_budgeted_with_energy(g, budget)
             .map(|(perm, _)| perm)
     }
+
+    fn params(&self) -> String {
+        let steps = self
+            .steps
+            .map_or_else(|| "auto".to_string(), |s| s.to_string());
+        let k = self
+            .standard_energy
+            .map_or_else(|| "auto".to_string(), |e| format!("{e}"));
+        let cooling = match self.cooling {
+            Cooling::Linear => "linear",
+            Cooling::Geometric => "geometric",
+        };
+        format!("steps={steps},k={k},cooling={cooling}")
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,10 @@ fn order_recursive(g: &Graph, original: &[NodeId], leaf: u32, out: &mut Vec<Node
 }
 
 impl OrderingAlgorithm for Bisection {
+    fn params(&self) -> String {
+        format!("leaf={}", self.leaf_size)
+    }
+
     fn name(&self) -> &'static str {
         "Bisect"
     }

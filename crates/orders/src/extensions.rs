@@ -112,6 +112,10 @@ impl Default for Dbg {
 }
 
 impl OrderingAlgorithm for Dbg {
+    fn params(&self) -> String {
+        format!("bands={}", self.bands)
+    }
+
     fn name(&self) -> &'static str {
         "DBG"
     }

@@ -1,9 +1,11 @@
 //! [`OrderingAlgorithm`] adapter for the Gorder algorithm from
 //! `gorder-core`, so the harness can sweep it alongside the baselines.
 
+use crate::runner::OrderStats;
 use crate::OrderingAlgorithm;
 use gorder_core::budget::{Budget, ExecOutcome};
 use gorder_core::{Gorder, GorderBuilder};
+use gorder_engine::ExecPlan;
 use gorder_graph::{Graph, Permutation};
 
 /// Gorder as a member of the ordering zoo.
@@ -43,6 +45,29 @@ impl OrderingAlgorithm for GorderOrdering {
 
     fn compute_budgeted(&self, g: &Graph, budget: &Budget) -> ExecOutcome<Permutation> {
         self.inner.compute_budgeted(g, budget)
+    }
+
+    fn compute_plan(
+        &self,
+        g: &Graph,
+        _plan: ExecPlan,
+        budget: &Budget,
+        stats: &mut OrderStats,
+    ) -> ExecOutcome<Permutation> {
+        let (outcome, gs) = self.inner.compute_budgeted_with_stats(g, budget);
+        stats.heap_increments = gs.increments;
+        stats.heap_decrements = gs.decrements;
+        stats.heap_pops = gs.pops;
+        stats.hub_skips = gs.hub_skips;
+        outcome
+    }
+
+    fn params(&self) -> String {
+        let mut p = format!("w={}", self.inner.window_size());
+        if let Some(t) = self.inner.hub_threshold() {
+            p.push_str(&format!(",hub={t}"));
+        }
+        p
     }
 }
 

@@ -45,6 +45,10 @@ impl OrderingAlgorithm for Ldg {
         "LDG"
     }
 
+    fn params(&self) -> String {
+        format!("k={}", self.k)
+    }
+
     fn compute(&self, g: &Graph) -> Permutation {
         let n = g.n();
         if n == 0 {

@@ -24,25 +24,35 @@
 
 pub mod annealing;
 pub mod bisection;
+pub mod cache;
 pub mod chdfs;
 pub mod degsort;
 pub mod extensions;
 pub mod gorder_impl;
 pub mod ldg;
+pub mod parallel;
 pub mod rcm;
+pub mod runner;
 pub mod slashburn;
 pub mod trivial;
 pub mod undirected;
 
 pub use annealing::{Annealing, EnergyModel};
 pub use bisection::Bisection;
+pub use cache::{graph_digest, CacheKey, OrderCache};
 pub use chdfs::ChDfs;
 pub use degsort::InDegSort;
 pub use extensions::{Dbg, HubCluster, HubSort};
 pub use ldg::Ldg;
+pub use parallel::ParallelGorder;
 pub use rcm::Rcm;
+pub use runner::{run_by_name_plan, run_ordering, OrderStats, OrderingRun};
 pub use slashburn::SlashBurn;
 pub use trivial::{Original, RandomOrder};
+
+// Re-exported so downstream crates (e.g. `gorder-bench`) can build plans
+// without depending on the engine crate directly.
+pub use gorder_engine::ExecPlan;
 
 use gorder_core::budget::{Budget, ExecOutcome};
 use gorder_graph::{Graph, Permutation};
@@ -66,6 +76,31 @@ pub trait OrderingAlgorithm: Send + Sync {
             return ExecOutcome::TimedOut;
         }
         ExecOutcome::Completed(self.compute(g))
+    }
+    /// Plan- and stats-aware variant, the entry point the unified runner
+    /// ([`run_ordering`]) calls. Mirrors the kernel engine's contract:
+    /// **plans never change results** — the permutation under any
+    /// [`ExecPlan`] is identical to the serial one (partition-parallel
+    /// Gorder, which trades quality for speed, is therefore a separate
+    /// opt-in algorithm, [`ParallelGorder`], not a plan behaviour).
+    /// The default forwards to [`compute_budgeted`](Self::compute_budgeted)
+    /// and records nothing extra; orderings with internal counters
+    /// (the Gorder family) override this to fill `stats`.
+    fn compute_plan(
+        &self,
+        g: &Graph,
+        _plan: ExecPlan,
+        budget: &Budget,
+        _stats: &mut OrderStats,
+    ) -> ExecOutcome<Permutation> {
+        self.compute_budgeted(g, budget)
+    }
+    /// Canonical parameter string for cache keys and trace records, e.g.
+    /// `"w=5"`. Empty for parameter-free orderings. Must cover every
+    /// knob that changes the output permutation (seeds are keyed
+    /// separately).
+    fn params(&self) -> String {
+        String::new()
     }
 }
 
@@ -92,6 +127,54 @@ pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn OrderingAlgorithm>> {
     all(seed)
         .into_iter()
         .find(|o| o.name().eq_ignore_ascii_case(name))
+}
+
+/// [`by_name`] over the extended zoo ([`extensions::extended`]): the ten
+/// headline orderings plus HubSort, HubCluster, DBG, and Bisect.
+pub fn by_name_extended(name: &str, seed: u64) -> Option<Box<dyn OrderingAlgorithm>> {
+    extensions::extended(seed)
+        .into_iter()
+        .find(|o| o.name().eq_ignore_ascii_case(name))
+}
+
+/// The ten headline ordering names, in the paper's presentation order.
+pub fn all_names() -> Vec<&'static str> {
+    all(0).iter().map(|o| o.name()).collect()
+}
+
+/// Every ordering name the registry knows, including the extensions —
+/// the vocabulary `--orderings` filters and `list-orderings` print.
+pub fn extended_names() -> Vec<&'static str> {
+    extensions::extended(0).iter().map(|o| o.name()).collect()
+}
+
+/// Suggests the closest known (extended) ordering name within edit
+/// distance 3 of `name`, case-insensitively — for "did you mean ...?"
+/// errors on `--orderings` typos.
+pub fn suggest_name(name: &str) -> Option<&'static str> {
+    let lower = name.to_ascii_lowercase();
+    extended_names()
+        .into_iter()
+        .map(|known| (edit_distance(&lower, &known.to_ascii_lowercase()), known))
+        .filter(|&(d, _)| d <= 3)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, known)| known)
+}
+
+/// Levenshtein distance over bytes (names are ASCII).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// Checks that `perm` is a valid permutation for `g` (test helper).
@@ -186,6 +269,25 @@ mod tests {
             assert!(by_name(o.name(), 1).is_some(), "{} missing", o.name());
         }
         assert!(by_name("Metis", 1).is_none());
+    }
+
+    #[test]
+    fn name_lists_cover_the_registries() {
+        assert_eq!(all_names().len(), 10);
+        assert_eq!(extended_names().len(), 14);
+        assert!(extended_names().contains(&"HubSort"));
+        for name in extended_names() {
+            assert!(by_name_extended(name, 1).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn suggest_name_catches_typos() {
+        assert_eq!(suggest_name("Gordor"), Some("Gorder"));
+        assert_eq!(suggest_name("chdfs"), Some("ChDFS"));
+        assert_eq!(suggest_name("HubSrt"), Some("HubSort"));
+        assert_eq!(suggest_name("minlog"), Some("MinLogA"));
+        assert_eq!(suggest_name("zzzzzzzzzz"), None);
     }
 
     #[test]

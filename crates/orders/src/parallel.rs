@@ -1,0 +1,383 @@
+//! Partitioned parallel Gorder — the discussion's "a parallel version of
+//! Gorder could reduce this problem [the ordering's cost]".
+//!
+//! The greedy is inherently sequential (each placement depends on the
+//! window), so the classic parallelisation is **partition-and-conquer**:
+//!
+//! 1. split the node range into contiguous chunks with the engine's
+//!    degree-balanced partitioner ([`partition_rows`]) — the same ranges
+//!    the parallel kernels sweep, so chunks carry comparable work, not
+//!    just comparable node counts;
+//! 2. run the full windowed greedy *independently* on each chunk's
+//!    induced subgraph, on the engine's scoped pool ([`run_tasks`]);
+//! 3. concatenate the per-chunk placements in chunk order.
+//!
+//! Edges crossing chunks are invisible to the per-chunk greedies, so the
+//! result trades a little `F(π)` for near-linear scaling of ordering
+//! time; the `parallel_gorder` bench measures both sides of the trade.
+//! Because the output *depends on the partition count*, this is an
+//! explicit opt-in algorithm, not an [`ExecPlan`] behaviour — plans
+//! never change results (see [`crate::OrderingAlgorithm::compute_plan`]).
+
+use gorder_core::budget::{Budget, DegradeReason, ExecOutcome};
+use gorder_core::gorder::GorderStats;
+use gorder_core::Gorder;
+use gorder_engine::parallel::run_tasks;
+use gorder_engine::partition::partition_rows;
+use gorder_engine::ExecPlan;
+use gorder_graph::subgraph::induced_range;
+use gorder_graph::{Graph, NodeId, Permutation};
+
+use crate::runner::OrderStats;
+use crate::OrderingAlgorithm;
+
+/// Partition-parallel Gorder.
+#[derive(Debug, Clone)]
+pub struct ParallelGorder {
+    inner: Gorder,
+    partitions: u32,
+}
+
+impl ParallelGorder {
+    /// Parallel Gorder with the given sequential configuration and
+    /// partition count (≥ 1; 1 degenerates to plain sequential Gorder on
+    /// one induced copy).
+    pub fn new(inner: Gorder, partitions: u32) -> Self {
+        assert!(partitions >= 1, "need at least one partition");
+        ParallelGorder { inner, partitions }
+    }
+
+    /// Paper-default Gorder split over `partitions` chunks.
+    pub fn with_defaults(partitions: u32) -> Self {
+        ParallelGorder::new(Gorder::with_defaults(), partitions)
+    }
+
+    /// The configured partition count.
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// The degree-balanced chunk boundaries this configuration uses on
+    /// `g` — exposed so tests (and curious benchmarks) can reconstruct
+    /// the per-chunk reference serially.
+    pub fn ranges(&self, g: &Graph) -> Vec<(NodeId, NodeId)> {
+        partition_rows(g, self.partitions as usize)
+            .into_iter()
+            .map(|r| (r.start, r.end))
+            .collect()
+    }
+
+    /// Computes the permutation; chunks run on the engine's scoped pool.
+    pub fn compute(&self, g: &Graph) -> Permutation {
+        self.compute_with_stats(g).0
+    }
+
+    /// [`ParallelGorder::compute`] plus the merged per-chunk heap
+    /// counters.
+    pub fn compute_with_stats(&self, g: &Graph) -> (Permutation, GorderStats) {
+        let mut stats = GorderStats::default();
+        if g.n() == 0 {
+            return (Permutation::identity(0), stats);
+        }
+        let tasks: Vec<_> = self
+            .ranges(g)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let inner = &self.inner;
+                move || {
+                    let sub = induced_range(g, lo, hi).graph;
+                    let (local, chunk_stats) = inner.compute_with_stats(&sub);
+                    // local placement, mapped back to global ids
+                    let placed: Vec<NodeId> =
+                        local.placement().into_iter().map(|u| u + lo).collect();
+                    (placed, chunk_stats)
+                }
+            })
+            .collect();
+        let mut placement = Vec::with_capacity(g.n() as usize);
+        for ((part, chunk_stats), _busy) in run_tasks(tasks) {
+            placement.extend(part);
+            stats.merge(&chunk_stats);
+        }
+        let perm =
+            Permutation::from_placement(&placement).expect("chunks partition the node range");
+        (perm, stats)
+    }
+
+    /// Budgeted variant of [`ParallelGorder::compute`]: every worker runs
+    /// the budgeted greedy against the *shared* budget (the deadline and
+    /// cancellation flag are global; the node cap applies per worker). If
+    /// any chunk degrades, the concatenated result is reported degraded —
+    /// it is still a valid permutation, since each chunk falls back to
+    /// DFS order over its own unplaced remainder.
+    pub fn compute_budgeted(&self, g: &Graph, budget: &Budget) -> ExecOutcome<Permutation> {
+        self.compute_budgeted_with_stats(g, budget).0
+    }
+
+    /// [`ParallelGorder::compute_budgeted`] plus merged chunk counters.
+    pub fn compute_budgeted_with_stats(
+        &self,
+        g: &Graph,
+        budget: &Budget,
+    ) -> (ExecOutcome<Permutation>, GorderStats) {
+        let mut stats = GorderStats::default();
+        if budget.is_unlimited() {
+            let (perm, stats) = self.compute_with_stats(g);
+            return (ExecOutcome::Completed(perm), stats);
+        }
+        if g.n() == 0 {
+            return (ExecOutcome::Completed(Permutation::identity(0)), stats);
+        }
+        let tasks: Vec<_> = self
+            .ranges(g)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let inner = &self.inner;
+                move || {
+                    let sub = induced_range(g, lo, hi).graph;
+                    let (outcome, chunk_stats) = inner.compute_budgeted_with_stats(&sub, budget);
+                    let outcome = outcome.map(|local| {
+                        local
+                            .placement()
+                            .into_iter()
+                            .map(|u| u + lo)
+                            .collect::<Vec<NodeId>>()
+                    });
+                    (outcome, chunk_stats)
+                }
+            })
+            .collect();
+        let mut placement = Vec::with_capacity(g.n() as usize);
+        let mut degraded: Option<DegradeReason> = None;
+        for ((outcome, chunk_stats), _busy) in run_tasks(tasks) {
+            stats.merge(&chunk_stats);
+            match outcome {
+                ExecOutcome::Completed(part) => placement.extend(part),
+                ExecOutcome::Degraded(part, reason) => {
+                    placement.extend(part);
+                    degraded.get_or_insert(reason);
+                }
+                ExecOutcome::TimedOut => return (ExecOutcome::TimedOut, stats),
+                ExecOutcome::Failed(e) => return (ExecOutcome::Failed(e), stats),
+            }
+        }
+        let perm =
+            Permutation::from_placement(&placement).expect("chunks partition the node range");
+        let outcome = match degraded {
+            None => ExecOutcome::Completed(perm),
+            Some(reason) => ExecOutcome::Degraded(perm, reason),
+        };
+        (outcome, stats)
+    }
+}
+
+impl OrderingAlgorithm for ParallelGorder {
+    fn name(&self) -> &'static str {
+        "ParallelGorder"
+    }
+
+    fn compute(&self, g: &Graph) -> Permutation {
+        ParallelGorder::compute(self, g)
+    }
+
+    fn compute_budgeted(&self, g: &Graph, budget: &Budget) -> ExecOutcome<Permutation> {
+        ParallelGorder::compute_budgeted(self, g, budget)
+    }
+
+    fn compute_plan(
+        &self,
+        g: &Graph,
+        _plan: ExecPlan,
+        budget: &Budget,
+        stats: &mut OrderStats,
+    ) -> ExecOutcome<Permutation> {
+        let (outcome, gs) = self.compute_budgeted_with_stats(g, budget);
+        stats.heap_increments = gs.increments;
+        stats.heap_decrements = gs.decrements;
+        stats.heap_pops = gs.pops;
+        stats.hub_skips = gs.hub_skips;
+        stats.threads_used = self.partitions.min(g.n()).max(1);
+        outcome
+    }
+
+    fn params(&self) -> String {
+        let mut p = format!("w={},parts={}", self.inner.window_size(), self.partitions);
+        if let Some(t) = self.inner.hub_threshold() {
+            p.push_str(&format!(",hub={t}"));
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gorder_core::score::f_score_of;
+    use gorder_graph::gen::{copying_model, erdos_renyi, web_graph, WebGraphConfig};
+    use rand::SeedableRng;
+
+    fn structured() -> Graph {
+        copying_model(600, 6, 0.7, 12)
+    }
+
+    fn assert_valid(perm: &Permutation, n: u32) {
+        let mut seen = vec![false; n as usize];
+        for u in 0..n {
+            let t = perm.apply(u) as usize;
+            assert!(!seen[t]);
+            seen[t] = true;
+        }
+    }
+
+    /// Reference for the partition-and-conquer contract: serial Gorder
+    /// per degree-balanced range, concatenated in range order.
+    fn per_range_reference(pg: &ParallelGorder, g: &Graph) -> Permutation {
+        let mut placement = Vec::with_capacity(g.n() as usize);
+        for (lo, hi) in pg.ranges(g) {
+            let sub = induced_range(g, lo, hi).graph;
+            let local = Gorder::with_defaults().compute(&sub);
+            placement.extend(local.placement().into_iter().map(|u| u + lo));
+        }
+        Permutation::from_placement(&placement).unwrap()
+    }
+
+    #[test]
+    fn matches_per_range_serial_reference_on_web_er_grid() {
+        // The satellite regression: unifying on partition_rows must not
+        // change what each chunk computes — the parallel result equals
+        // the serial per-range reference, chunk by chunk.
+        let web = web_graph(WebGraphConfig {
+            n: 300,
+            mean_host_size: 12,
+            seed: 5,
+            ..Default::default()
+        });
+        let er = erdos_renyi(250, 800, 7);
+        let mut grid_edges = Vec::new();
+        let side = 16u32;
+        for r in 0..side {
+            for c in 0..side {
+                let u = r * side + c;
+                if c + 1 < side {
+                    grid_edges.push((u, u + 1));
+                    grid_edges.push((u + 1, u));
+                }
+                if r + 1 < side {
+                    grid_edges.push((u, u + side));
+                    grid_edges.push((u + side, u));
+                }
+            }
+        }
+        let grid = Graph::from_edges(side * side, &grid_edges);
+        for g in [&web, &er, &grid] {
+            for p in [1, 2, 4, 7] {
+                let pg = ParallelGorder::with_defaults(p);
+                assert_eq!(
+                    pg.compute(g).as_slice(),
+                    per_range_reference(&pg, g).as_slice(),
+                    "p={p} diverges from the per-range serial reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn valid_for_various_partition_counts() {
+        let g = structured();
+        for p in [1, 2, 3, 7, 16] {
+            let perm = ParallelGorder::with_defaults(p).compute(&g);
+            assert_valid(&perm, g.n());
+        }
+    }
+
+    #[test]
+    fn single_partition_matches_sequential_on_whole_graph() {
+        let g = structured();
+        let par = ParallelGorder::with_defaults(1).compute(&g);
+        let seq = Gorder::with_defaults().compute(&g);
+        assert_eq!(par.as_slice(), seq.as_slice());
+    }
+
+    #[test]
+    fn partitions_confine_nodes_to_their_range_span() {
+        let g = structured();
+        let pg = ParallelGorder::with_defaults(4);
+        let perm = pg.compute(&g);
+        for (lo, hi) in pg.ranges(&g) {
+            // range [lo, hi)'s placement occupies exactly positions
+            // [lo, hi): ranges are contiguous and concatenated in order
+            for u in lo..hi {
+                let new = perm.apply(u);
+                assert!(
+                    new >= lo && new < hi,
+                    "node {u} of range [{lo},{hi}) landed at {new}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quality_close_to_sequential_and_far_above_random() {
+        let g = structured();
+        let w = 5;
+        let seq = f_score_of(&g, &Gorder::with_defaults().compute(&g), w) as f64;
+        let par = f_score_of(&g, &ParallelGorder::with_defaults(4).compute(&g), w) as f64;
+        let rnd = f_score_of(
+            &g,
+            &Permutation::random(g.n(), &mut rand::rngs::StdRng::seed_from_u64(1)),
+            w,
+        ) as f64;
+        assert!(par > 0.5 * seq, "parallel F {par} vs sequential {seq}");
+        assert!(par > 2.0 * rnd, "parallel F {par} vs random {rnd}");
+    }
+
+    #[test]
+    fn more_partitions_than_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let perm = ParallelGorder::with_defaults(64).compute(&g);
+        assert_valid(&perm, 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let perm = ParallelGorder::with_defaults(4).compute(&Graph::empty(0));
+        assert_eq!(perm.len(), 0);
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain() {
+        let g = structured();
+        let pg = ParallelGorder::with_defaults(4);
+        let plain = pg.compute(&g);
+        let outcome = ParallelGorder::compute_budgeted(&pg, &g, &Budget::unlimited());
+        assert_eq!(outcome.value().unwrap().as_slice(), plain.as_slice());
+    }
+
+    #[test]
+    fn budgeted_cancellation_still_yields_valid_permutation() {
+        let g = structured();
+        let budget = Budget::unlimited().with_node_cap(u64::MAX);
+        budget.cancel();
+        match ParallelGorder::compute_budgeted(&ParallelGorder::with_defaults(4), &g, &budget) {
+            ExecOutcome::Degraded(perm, reason) => {
+                assert_eq!(reason, DegradeReason::Cancelled);
+                assert_valid(&perm, g.n());
+            }
+            other => panic!(
+                "cancelled budget must degrade, got {}",
+                other.status_label()
+            ),
+        }
+    }
+
+    #[test]
+    fn chunk_stats_are_merged() {
+        let g = structured();
+        let (_, stats) = ParallelGorder::with_defaults(4).compute_with_stats(&g);
+        assert!(stats.increments > 0);
+        assert!(stats.pops > 0);
+        // Each chunk pops every node in the chunk except its seed.
+        let parts = ParallelGorder::with_defaults(4).ranges(&g).len() as u64;
+        assert_eq!(stats.pops, u64::from(g.n()) - parts);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property and adversarial tests for the on-disk permutation cache.
+
+use std::fs;
+use std::path::PathBuf;
+
+use gorder_graph::{Graph, Permutation};
+use gorder_orders::gorder_impl::GorderOrdering;
+use gorder_orders::{CacheKey, OrderCache, OrderingAlgorithm};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gorder-cache-props-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn key(tag: u64) -> CacheKey {
+    CacheKey {
+        graph_digest: tag,
+        ordering: "Gorder".to_string(),
+        params: "w=5".to_string(),
+        seed: 42,
+    }
+}
+
+proptest! {
+    // A cache round-trip returns the exact permutation, bit for bit,
+    // for arbitrary sizes and contents.
+    #[test]
+    fn round_trip_returns_exact_permutation(n in 1u32..300, perm_seed in 0u64..u64::MAX) {
+        let dir = tmpdir("roundtrip");
+        let cache = OrderCache::new(&dir).unwrap();
+        let perm = Permutation::random(n, &mut StdRng::seed_from_u64(perm_seed));
+        let k = key(perm_seed);
+        cache.store(&k, &perm).unwrap();
+        let loaded = cache.load(&k, n).expect("stored entry must load");
+        prop_assert_eq!(loaded.as_slice(), perm.as_slice());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // Truncating a stored entry at any point makes it a miss, never a
+    // wrong permutation and never a panic.
+    #[test]
+    fn any_truncation_is_rejected(n in 1u32..60, cut_milli in 0u32..1000) {
+        let dir = tmpdir("truncate");
+        let cache = OrderCache::new(&dir).unwrap();
+        let perm = Permutation::random(n, &mut StdRng::seed_from_u64(9));
+        let k = key(7);
+        let path = cache.store(&k, &perm).unwrap();
+        let full = fs::read(&path).unwrap();
+        let cut = full.len() * cut_milli as usize / 1000;
+        prop_assume!(cut < full.len());
+        fs::write(&path, &full[..cut]).unwrap();
+        prop_assert!(cache.load(&k, n).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // Flipping any single byte of a stored entry makes it a miss.
+    #[test]
+    fn any_single_byte_corruption_is_rejected(n in 1u32..60, pos_milli in 0u32..1000) {
+        let dir = tmpdir("flip");
+        let cache = OrderCache::new(&dir).unwrap();
+        let perm = Permutation::random(n, &mut StdRng::seed_from_u64(3));
+        let k = key(11);
+        let path = cache.store(&k, &perm).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let pos = (bytes.len() - 1) * pos_milli as usize / 1000;
+        bytes[pos] ^= 0x5a;
+        fs::write(&path, &bytes).unwrap();
+        prop_assert!(cache.load(&k, n).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn mutated_graph_misses() {
+    let dir = tmpdir("graphmut");
+    let cache = OrderCache::new(&dir).unwrap();
+    let g = Graph::from_edges(50, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+    let o = GorderOrdering::with_defaults();
+    let k = CacheKey::for_ordering(&g, &o, 42);
+    cache.store(&k, &o.compute(&g)).unwrap();
+    assert!(cache.load(&k, g.n()).is_some());
+
+    // One extra edge → different digest → different key → miss.
+    let g2 = Graph::from_edges(50, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (5, 6)]);
+    let k2 = CacheKey::for_ordering(&g2, &o, 42);
+    assert_ne!(k.identity(), k2.identity());
+    assert!(cache.load(&k2, g2.n()).is_none());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_window_or_seed_misses() {
+    let dir = tmpdir("params");
+    let cache = OrderCache::new(&dir).unwrap();
+    let g = Graph::from_edges(40, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+    let w5 = GorderOrdering::with_defaults();
+    let k = CacheKey::for_ordering(&g, &w5, 42);
+    cache.store(&k, &w5.compute(&g)).unwrap();
+
+    let w7 = GorderOrdering::with_window(7);
+    let k_window = CacheKey::for_ordering(&g, &w7, 42);
+    assert!(
+        cache.load(&k_window, g.n()).is_none(),
+        "window change must miss"
+    );
+
+    let k_seed = CacheKey::for_ordering(&g, &w5, 43);
+    assert!(
+        cache.load(&k_seed, g.n()).is_none(),
+        "seed change must miss"
+    );
+
+    assert!(cache.load(&k, g.n()).is_some(), "original key still hits");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn swapped_entry_from_another_key_is_rejected() {
+    // Even if two keys collided to one file name (or someone copies
+    // files around), the embedded identity string catches it.
+    let dir = tmpdir("swap");
+    let cache = OrderCache::new(&dir).unwrap();
+    let perm = Permutation::random(30, &mut StdRng::seed_from_u64(1));
+    let a = key(100);
+    let mut b = key(100);
+    b.seed = 43;
+    let path_a = cache.store(&a, &perm).unwrap();
+    let path_b = dir.join(b.file_name());
+    fs::copy(&path_a, &path_b).unwrap();
+    assert!(
+        cache.load(&b, 30).is_none(),
+        "entry written for key A must not satisfy key B"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

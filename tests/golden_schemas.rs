@@ -105,12 +105,12 @@ fn key_extractor_handles_strings_and_arrays() {
 fn trace_jsonl_keys_match_golden() {
     use gorder_obs::json::parse_object;
     use gorder_obs::{
-        CellEvent, KernelEvent, PhaseEvent, Registry, RowEvent, RunManifest, TraceEvent, TraceSink,
-        SCHEMA_VERSION,
+        CellEvent, KernelEvent, OrderEvent, PhaseEvent, Registry, RowEvent, RunManifest,
+        TraceEvent, TraceSink, SCHEMA_VERSION,
     };
 
     assert_eq!(
-        SCHEMA_VERSION, 2,
+        SCHEMA_VERSION, 3,
         "bumping the trace schema version requires regenerating \
          tests/golden/trace_keys.txt and notifying trace consumers"
     );
@@ -158,6 +158,23 @@ fn trace_jsonl_keys_match_golden() {
     sink.event(&TraceEvent::Phase(PhaseEvent {
         name: "order".into(),
         seconds: 0.2,
+    }))
+    .unwrap();
+    sink.event(&TraceEvent::Order(OrderEvent {
+        dataset: Some("d".into()),
+        name: "Gorder".into(),
+        params: "w=5".into(),
+        seed: 42,
+        graph_digest: 0xabcd,
+        identity: "graph=000000000000abcd,order=Gorder,params=w=5,seed=42".into(),
+        status: "completed".into(),
+        seconds: 0.2,
+        nodes_placed: 6,
+        heap_increments: 10,
+        heap_decrements: 2,
+        heap_pops: 6,
+        threads_used: 1,
+        cache_hit: false,
     }))
     .unwrap();
     sink.event(&TraceEvent::Row(RowEvent {
