@@ -1,0 +1,207 @@
+//! `gorder-bench gate` — the benchmark regression gate (DESIGN.md §12).
+//!
+//! ```text
+//! gate [--mode sim|wall] [--baseline PATH] [--update] [--out PATH]
+//!      [--tolerance PCT] [--threshold PCT] [--pairs N] [--warmup N]
+//!      [--gorder-window N] [--scale F] [--seed N]
+//!      [--datasets a,b] [--orderings a,b] [--algos a,b]
+//! ```
+//!
+//! Runs the pinned grid in the chosen mode, writes the report to
+//! `results/BENCH_gate.json`, and compares it against the committed
+//! baseline (`BENCH_gate.json` at the repo root). Exit codes: 0 = no
+//! regression, 1 = regression (delta table on stdout), 2 = unusable
+//! invocation or baseline (missing/corrupt file, config-hash mismatch).
+//!
+//! `--update` rewrites the baseline from the current run instead of
+//! comparing. `--gorder-window N` overrides Gorder's window size — the
+//! CI self-test uses `--gorder-window 1` to prove an injected regression
+//! actually trips the gate.
+
+use gorder_bench::gate::{compare, parse_report, render_report, run_gate, GateConfig, GateMode};
+use gorder_bench::schema::{GATE_BASELINE, GATE_OUT};
+use gorder_bench::HarnessArgs;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn die(msg: &str) -> ! {
+    eprintln!("gate: {msg}");
+    std::process::exit(2)
+}
+
+/// The gate's own flags, scanned out of [`HarnessArgs::extra`]. Unknown
+/// flags are fatal — a typo must not silently weaken the gate.
+struct GateFlags {
+    mode: GateMode,
+    baseline: String,
+    out: String,
+    update: bool,
+    tolerance: f64,
+    threshold: f64,
+    pairs: Option<u32>,
+    warmup: Option<u32>,
+    gorder_window: Option<u32>,
+}
+
+fn parse_flags(extra: &[String]) -> GateFlags {
+    let mut f = GateFlags {
+        mode: GateMode::Sim,
+        baseline: GATE_BASELINE.to_string(),
+        out: GATE_OUT.to_string(),
+        update: false,
+        tolerance: 0.0,
+        threshold: 5.0,
+        pairs: None,
+        warmup: None,
+        gorder_window: None,
+    };
+    let mut it = extra.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--mode" => {
+                let v = value("--mode");
+                f.mode = GateMode::parse(&v)
+                    .unwrap_or_else(|| die(&format!("--mode must be sim or wall, got {v:?}")));
+            }
+            "--baseline" => f.baseline = value("--baseline"),
+            "--out" => f.out = value("--out"),
+            "--update" => f.update = true,
+            "--tolerance" => {
+                f.tolerance = value("--tolerance")
+                    .parse()
+                    .unwrap_or_else(|_| die("--tolerance needs a percentage"));
+            }
+            "--threshold" => {
+                f.threshold = value("--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threshold needs a percentage"));
+            }
+            "--pairs" => {
+                f.pairs = Some(
+                    value("--pairs")
+                        .parse()
+                        .unwrap_or_else(|_| die("--pairs needs a positive integer")),
+                );
+            }
+            "--warmup" => {
+                f.warmup = Some(
+                    value("--warmup")
+                        .parse()
+                        .unwrap_or_else(|_| die("--warmup needs an integer")),
+                );
+            }
+            "--gorder-window" => {
+                let w: u32 = value("--gorder-window")
+                    .parse()
+                    .unwrap_or_else(|_| die("--gorder-window needs a positive integer"));
+                if w == 0 {
+                    die("--gorder-window must be at least 1");
+                }
+                f.gorder_window = Some(w);
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    f
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = HarnessArgs::from_args(raw.iter().cloned());
+    let flags = parse_flags(&args.extra);
+
+    let mut cfg = GateConfig::pinned(flags.mode);
+    // The gate pins its own scale; the harness default (0.25) only
+    // applies when the user actually typed --scale.
+    if raw.iter().any(|a| a == "--scale") {
+        cfg.scale = args.scale;
+    }
+    cfg.seed = args.seed;
+    if let Some(d) = &args.datasets {
+        cfg.datasets = d.clone();
+    }
+    if let Some(o) = &args.orderings {
+        cfg.orderings = o.clone();
+    }
+    if let Some(a) = &args.algos {
+        cfg.algos = a.clone();
+    }
+    if let Some(p) = flags.pairs {
+        cfg.pairs = p;
+    }
+    if let Some(w) = flags.warmup {
+        cfg.warmup = w;
+    }
+    cfg.gorder_window = flags.gorder_window;
+
+    eprintln!(
+        "[gate] mode={} grid={}d×{}o×{}a scale={}",
+        cfg.mode.label(),
+        cfg.datasets.len(),
+        cfg.orderings.len(),
+        cfg.algos.len(),
+        cfg.scale,
+    );
+    let report = run_gate(&cfg).unwrap_or_else(|e| die(&e));
+    let text = render_report(&report);
+
+    if let Some(dir) = Path::new(&flags.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
+        }
+    }
+    std::fs::write(&flags.out, &text)
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", flags.out)));
+    eprintln!("[gate] wrote {} ({} cells)", flags.out, report.cells.len());
+
+    if flags.update {
+        std::fs::write(&flags.baseline, &text)
+            .unwrap_or_else(|e| die(&format!("writing {}: {e}", flags.baseline)));
+        println!("gate: baseline {} updated", flags.baseline);
+        return ExitCode::SUCCESS;
+    }
+
+    let base_text = std::fs::read_to_string(&flags.baseline).unwrap_or_else(|e| {
+        die(&format!(
+            "baseline {}: {e} — run `gate --mode {} --update` to create it",
+            flags.baseline,
+            cfg.mode.label()
+        ))
+    });
+    let base = parse_report(&base_text)
+        .unwrap_or_else(|e| die(&format!("baseline {}: {e}", flags.baseline)));
+    if base.manifest.config_hash != report.manifest.config_hash {
+        die(&format!(
+            "config_hash mismatch: baseline {} has {:#018x}, this run has {:#018x} — \
+             same grid flags required (or --update to rebase)",
+            flags.baseline, base.manifest.config_hash, report.manifest.config_hash
+        ));
+    }
+
+    let cmp = compare(&base, &report, flags.tolerance, flags.threshold);
+    if cmp.passed() {
+        println!(
+            "gate: OK — {} cells and {} order records match {} (mode {}, tolerance {}%)",
+            report.cells.len(),
+            report.orders.len(),
+            flags.baseline,
+            cfg.mode.label(),
+            flags.tolerance,
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "gate: REGRESSION — {} discrepancy(ies) vs {}:",
+            cmp.deltas.len(),
+            flags.baseline
+        );
+        print!("{}", cmp.render_table());
+        ExitCode::FAILURE
+    }
+}

@@ -12,6 +12,7 @@
 //! | `fig4` | PR runtime vs Gorder window size | Figure 8 |
 //! | `fig5` | relative runtimes, all orderings × algorithms × datasets | Figure 9 |
 //! | `fig6` | ordering rank histogram | (aggregation of Figure 9) |
+//! | `gate` | CI regression gate vs a committed baseline | (replication-only) |
 //!
 //! Every binary accepts `--scale <f>` (dataset size multiplier, default
 //! 0.25), `--quick` (tiny sizes + fewer repetitions, for smoke runs) and
@@ -21,15 +22,21 @@
 pub mod args;
 pub mod experiment;
 pub mod fmt;
+pub mod gate;
 pub mod ranking;
 pub mod resume;
 pub mod robust;
 pub mod schema;
+pub mod stats;
 pub mod timing;
 pub mod tracefile;
 
 pub use args::HarnessArgs;
 pub use experiment::{run_grid, CellResult, GridConfig};
+pub use gate::{
+    compare, parse_report, render_report, run_gate, GateComparison, GateConfig, GateDelta,
+    GateMode, GateReport,
+};
 pub use ranking::{rank_counts, Ranking};
 pub use resume::{RecoveredCell, ResumeState};
 pub use robust::{
@@ -38,6 +45,7 @@ pub use robust::{
     run_grid_robust_with, run_grid_robust_with_observed, run_guarded, CellStatus, OrderHooks,
     RobustCell, SweepReport,
 };
+pub use stats::{paired_stats, sign_test_p, PairedStats, Verdict};
 pub use tracefile::{expected_config_hash, SweepTrace};
 
 /// Validates an `--orderings` filter against the extended registry

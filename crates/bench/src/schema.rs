@@ -57,6 +57,22 @@ pub const TABLE2_HEADER_V1: &[&str] = &[
     "bfs_edges_relaxed",
 ];
 
+/// The committed regression-gate baseline `gorder-bench gate` compares
+/// against by default (repo root; regenerate with `--update`).
+pub const GATE_BASELINE: &str = "BENCH_gate.json";
+
+/// Where `gorder-bench gate` writes the current run's report.
+pub const GATE_OUT: &str = "results/BENCH_gate.json";
+
+/// Record kinds a `BENCH_gate.json` may contain, in file order: one
+/// manifest line, then `gate` cells, then `order` constructions.
+pub const GATE_RECORD_KINDS: &[&str] = &["manifest", "gate", "order"];
+
+/// Columns of the regression-gate delta table printed on failure.
+pub const GATE_DELTA_HEADER: &[&str] = &[
+    "dataset", "ordering", "algo", "metric", "baseline", "current",
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;

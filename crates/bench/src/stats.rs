@@ -1,0 +1,305 @@
+//! Paired-sample statistics for the wall-clock regression gate.
+//!
+//! Wall-clock benchmarking on shared hosts is noisy in ways a single
+//! median cannot absorb: frequency scaling, cache pollution from
+//! neighbours, page-cache state. The gate therefore measures **paired,
+//! interleaved** samples (A and B alternating, so drift hits both sides
+//! equally) and reduces them here into three mutually supporting views:
+//!
+//! * the median per-pair log-ratio (a robust effect size);
+//! * a two-sided **sign test** over the pairs (distribution-free: no
+//!   variance assumptions, immune to outlier pairs);
+//! * a deterministic **bootstrap confidence interval** on the median
+//!   log-ratio (seeded resampling, so the same samples always produce
+//!   the same interval).
+//!
+//! Everything is computed from the *sorted* multiset of per-pair
+//! log-ratios, which buys two properties the property tests pin down:
+//! the result is invariant under any permutation of the pairs, and
+//! exactly antisymmetric under swapping A and B (each bootstrap
+//! replicate is drawn together with its mirror, so the replicate set
+//! negates elementwise under a swap — the interval endpoints exchange
+//! and negate exactly, not just approximately).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Significance level for the sign test ([`PairedStats::verdict`]).
+pub const ALPHA: f64 = 0.05;
+
+/// Bootstrap replicates (even: replicates are drawn in mirror pairs).
+const BOOTSTRAP_REPLICATES: usize = 200;
+
+/// Two-sided bootstrap coverage (`[2.5%, 97.5%]` percentile interval).
+const BOOTSTRAP_TAIL: f64 = 0.025;
+
+/// Fixed seed for bootstrap resampling: part of the statistic's
+/// definition, like the histogram bucket bounds — never data-derived,
+/// so two evaluations of the same samples agree bit-for-bit.
+const BOOTSTRAP_SEED: u64 = 0x5eed0fb007;
+
+/// The reduction of one paired A/B comparison. Log-ratios are
+/// `ln(b_i / a_i)`: positive means B (current) was slower than A
+/// (baseline) on that pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairedStats {
+    /// Pairs that entered the statistics (both sides finite and > 0).
+    pub pairs: u64,
+    /// Pairs dropped for non-finite or non-positive samples.
+    pub skipped: u64,
+    /// Pairs where B was strictly slower (log-ratio > 0).
+    pub wins_b_slower: u64,
+    /// Pairs where B was strictly faster (log-ratio < 0).
+    pub wins_b_faster: u64,
+    /// Median per-pair log-ratio `ln(b/a)` (0.0 with no usable pairs).
+    pub median_log_ratio: f64,
+    /// Two-sided sign-test p-value (1.0 when no pair differed).
+    pub sign_p: f64,
+    /// Bootstrap CI lower bound on the median log-ratio.
+    pub ci_lo: f64,
+    /// Bootstrap CI upper bound on the median log-ratio.
+    pub ci_hi: f64,
+}
+
+/// Three-way outcome of a paired comparison at a relative threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// B is statistically slower than A by more than the threshold.
+    Regression,
+    /// B is statistically faster than A by more than the threshold.
+    Improvement,
+    /// Neither direction clears the threshold with significance.
+    NoChange,
+}
+
+impl PairedStats {
+    /// Classifies the comparison at `threshold_pct` (e.g. `5.0` = "more
+    /// than 5 % slower"). A [`Verdict::Regression`] requires all three
+    /// views to agree: the median effect exceeds the threshold, the sign
+    /// test rejects "coin flip" at [`ALPHA`], and the bootstrap interval
+    /// excludes zero. The rule is exactly symmetric: swapping A and B
+    /// turns every `Regression` into an `Improvement` and vice versa.
+    pub fn verdict(&self, threshold_pct: f64) -> Verdict {
+        // Thresholding on the log scale keeps the rule antisymmetric
+        // ("5 % slower" and "5 % faster" are reciprocal factors, which
+        // percentage deltas are not).
+        let thr = (1.0 + threshold_pct.max(0.0) / 100.0).ln();
+        if self.median_log_ratio > thr && self.sign_p < ALPHA && self.ci_lo > 0.0 {
+            Verdict::Regression
+        } else if self.median_log_ratio < -thr && self.sign_p < ALPHA && self.ci_hi < 0.0 {
+            Verdict::Improvement
+        } else {
+            Verdict::NoChange
+        }
+    }
+
+    /// The median ratio `b/a` as a percentage delta (`+5.0` = B is 5 %
+    /// slower). Display only — verdicts work on the log scale.
+    pub fn delta_pct(&self) -> f64 {
+        (self.median_log_ratio.exp() - 1.0) * 100.0
+    }
+}
+
+/// Reduces paired samples `(a_i, b_i)` — `a` and `b` must be the same
+/// length; pairing is positional. Pairs with a non-finite or
+/// non-positive side are skipped (and counted), so a timer glitch
+/// weakens the statistics instead of poisoning them.
+///
+/// # Panics
+/// Panics when `a` and `b` have different lengths — that is a harness
+/// bug, not a data property.
+pub fn paired_stats(a: &[f64], b: &[f64]) -> PairedStats {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    let mut diffs: Vec<f64> = Vec::with_capacity(a.len());
+    let mut skipped = 0u64;
+    for (&x, &y) in a.iter().zip(b) {
+        if x.is_finite() && y.is_finite() && x > 0.0 && y > 0.0 {
+            // ln(y) - ln(x), not ln(y/x): IEEE subtraction negates
+            // exactly under operand swap, so the swapped comparison sees
+            // the elementwise negation of these diffs bit-for-bit.
+            diffs.push(y.ln() - x.ln());
+        } else {
+            skipped += 1;
+        }
+    }
+    // Canonical order: every statistic below sees the sorted multiset,
+    // never the arrival order — permutation invariance by construction.
+    diffs.sort_by(f64::total_cmp);
+    let wins_b_slower = diffs.iter().filter(|&&d| d > 0.0).count() as u64;
+    let wins_b_faster = diffs.iter().filter(|&&d| d < 0.0).count() as u64;
+    let (ci_lo, ci_hi) = bootstrap_ci(&diffs);
+    PairedStats {
+        pairs: diffs.len() as u64,
+        skipped,
+        wins_b_slower,
+        wins_b_faster,
+        median_log_ratio: median_sorted(&diffs),
+        sign_p: sign_test_p(wins_b_slower, wins_b_faster),
+        ci_lo,
+        ci_hi,
+    }
+}
+
+/// Median of an already-sorted slice; 0.0 when empty. The even-length
+/// midpoint is `(x + y) / 2`, which negates exactly under negated
+/// inputs — part of the A/B-swap antisymmetry contract.
+pub fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Two-sided exact sign test: under H0 (no systematic difference) the
+/// `wins` among the `wins + losses` informative pairs are
+/// Binomial(n, ½). Returns `2 · P(X ≥ max(wins, losses))`, capped at 1;
+/// ties carry no information and are excluded, and zero informative
+/// pairs return 1.0 (no evidence of any difference).
+pub fn sign_test_p(wins: u64, losses: u64) -> f64 {
+    let n = wins + losses;
+    if n == 0 {
+        return 1.0;
+    }
+    let k = wins.max(losses);
+    // Tail sum in log2 space: log2 C(n,i) - n accumulated stably even
+    // for n in the hundreds (where C(n, n/2) overflows f64).
+    let mut tail = 0.0f64;
+    for i in k..=n {
+        tail += (log2_choose(n, i) - n as f64).exp2();
+    }
+    (2.0 * tail).min(1.0)
+}
+
+/// `log2 C(n, k)` via a running product — exact enough for p-values and
+/// free of factorial overflow.
+fn log2_choose(n: u64, k: u64) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 1..=k {
+        acc += ((n - k + i) as f64).log2() - (i as f64).log2();
+    }
+    acc
+}
+
+/// Percentile bootstrap CI on the median of `sorted` (ascending).
+/// Replicates are drawn in mirror pairs — for every drawn index multiset
+/// `{i}` the mirrored multiset `{n-1-i}` is also evaluated — so negating
+/// and reversing the input (what an A/B swap does to sorted log-ratios)
+/// maps the replicate set to its elementwise negation, and the interval
+/// endpoints swap and negate *exactly*. Resampling is seeded by
+/// [`BOOTSTRAP_SEED`] alone: deterministic, data-independent.
+fn bootstrap_ci(sorted: &[f64]) -> (f64, f64) {
+    let n = sorted.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mut rng = StdRng::seed_from_u64(BOOTSTRAP_SEED);
+    let mut medians = Vec::with_capacity(BOOTSTRAP_REPLICATES);
+    let mut draw = Vec::with_capacity(n);
+    let mut mirror = Vec::with_capacity(n);
+    for _ in 0..BOOTSTRAP_REPLICATES / 2 {
+        draw.clear();
+        mirror.clear();
+        for _ in 0..n {
+            let i = rng.gen_range(0..n);
+            draw.push(sorted[i]);
+            mirror.push(sorted[n - 1 - i]);
+        }
+        draw.sort_by(f64::total_cmp);
+        mirror.sort_by(f64::total_cmp);
+        medians.push(median_sorted(&draw));
+        medians.push(median_sorted(&mirror));
+    }
+    medians.sort_by(f64::total_cmp);
+    let b = medians.len();
+    let cut = ((b as f64) * BOOTSTRAP_TAIL) as usize;
+    (medians[cut], medians[b - 1 - cut])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_no_change() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = paired_stats(&a, &a);
+        assert_eq!(s.pairs, 5);
+        assert_eq!(s.skipped, 0);
+        assert_eq!(s.wins_b_slower, 0);
+        assert_eq!(s.wins_b_faster, 0);
+        assert_eq!(s.median_log_ratio, 0.0);
+        assert_eq!(s.sign_p, 1.0);
+        assert_eq!((s.ci_lo, s.ci_hi), (0.0, 0.0));
+        assert_eq!(s.verdict(0.0), Verdict::NoChange);
+    }
+
+    #[test]
+    fn consistent_slowdown_is_a_regression() {
+        let a: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x * 1.25).collect();
+        let s = paired_stats(&a, &b);
+        assert_eq!(s.wins_b_slower, 12);
+        assert!(s.sign_p < ALPHA, "p = {}", s.sign_p);
+        assert!(s.ci_lo > 0.0);
+        assert_eq!(s.verdict(5.0), Verdict::Regression);
+        assert!((s.delta_pct() - 25.0).abs() < 1e-9);
+        // ...but not at a threshold above the effect size
+        assert_eq!(s.verdict(30.0), Verdict::NoChange);
+    }
+
+    #[test]
+    fn swap_symmetry_is_exact() {
+        let a = [1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0];
+        let b = [1.4, 2.5, 3.9, 6.6, 9.9, 17.0, 28.0, 45.0];
+        let ab = paired_stats(&a, &b);
+        let ba = paired_stats(&b, &a);
+        assert_eq!(ab.median_log_ratio, -ba.median_log_ratio);
+        assert_eq!(ab.sign_p, ba.sign_p);
+        assert_eq!(ab.ci_lo, -ba.ci_hi);
+        assert_eq!(ab.ci_hi, -ba.ci_lo);
+        assert_eq!(ab.verdict(5.0), Verdict::Regression);
+        assert_eq!(ba.verdict(5.0), Verdict::Improvement);
+    }
+
+    #[test]
+    fn non_finite_and_non_positive_pairs_are_skipped() {
+        let a = [1.0, f64::NAN, 2.0, 0.0, 3.0];
+        let b = [1.1, 2.0, f64::INFINITY, 1.0, -3.0];
+        let s = paired_stats(&a, &b);
+        assert_eq!(s.pairs, 1);
+        assert_eq!(s.skipped, 4);
+    }
+
+    #[test]
+    fn sign_test_reference_values() {
+        // 5 wins / 0 losses: p = 2 · (1/2)^5 = 0.0625
+        assert!((sign_test_p(5, 0) - 0.0625).abs() < 1e-12);
+        // 6/0: p = 2/64 = 0.03125 — the smallest n that can reject
+        assert!((sign_test_p(6, 0) - 0.03125).abs() < 1e-12);
+        // symmetric and capped
+        assert_eq!(sign_test_p(3, 3), 1.0);
+        assert_eq!(sign_test_p(2, 7), sign_test_p(7, 2));
+        // large n does not overflow
+        let p = sign_test_p(400, 100);
+        assert!(p > 0.0 && p < 1e-10, "p = {p}");
+    }
+
+    #[test]
+    fn mismatched_lengths_panic() {
+        let r = std::panic::catch_unwind(|| paired_stats(&[1.0], &[1.0, 2.0]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.2, 2.1, 3.5, 4.4, 5.9, 6.6];
+        assert_eq!(paired_stats(&a, &b), paired_stats(&a, &b));
+    }
+}

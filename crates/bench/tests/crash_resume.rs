@@ -5,9 +5,13 @@
 //! Runs the real `fig5` binary three times in scratch directories:
 //!
 //! 1. a clean run (the reference CSV);
-//! 2. a run with the deterministic `bench.cell` slow-down fault armed
-//!    (each cell sleeps, holding the sweep mid-grid) that is SIGKILLed
-//!    as soon as two `row` lines reach the trace;
+//! 2. a run with the deterministic `bench.cell` slow-down fault armed on
+//!    **exactly the fourth cell** (a ~10-minute sleep, far beyond any
+//!    plausible test duration) that is SIGKILLed once the first three
+//!    `row` lines reach the trace — at that point the child is
+//!    necessarily alive inside cell four's sleep, so there is no window
+//!    in which "observed enough rows" and "child still running" can
+//!    disagree, however stalled the host;
 //! 3. a `--resume` run over the killed run's trace.
 //!
 //! fig5 defaults to simulated (modelled) time, so cell seconds are
@@ -69,12 +73,16 @@ fn sigkill_mid_sweep_then_resume_reproduces_the_csv_byte_for_byte() {
     assert!(status.success(), "clean run failed: {status}");
     let reference = std::fs::read(clean.join("results/fig5.csv")).expect("clean CSV");
 
-    // 2. fault-slowed run, SIGKILLed once two rows are on disk
+    // 2. run with cell four blocked, SIGKILLed once three rows are on
+    // disk. Only cell four sleeps (`site=4`, not `1+`): cells 1–3 finish
+    // at full speed, then the sweep parks in a sleep orders of magnitude
+    // longer than the poll deadline. When the third row appears the
+    // child cannot have produced a fourth — no timing assumption needed.
     let crashed = scratch("crashed");
     let mut child = fig5()
         .args(GRID)
         .args(["--trace-out", "trace.jsonl"])
-        .args(["--faults", "bench.cell=1+,slow_ms=400"])
+        .args(["--faults", "bench.cell=4,slow_ms=600000"])
         .current_dir(&crashed)
         .stdout(Stdio::null())
         .stderr(Stdio::null())
@@ -82,10 +90,10 @@ fn sigkill_mid_sweep_then_resume_reproduces_the_csv_byte_for_byte() {
         .expect("spawn slowed fig5");
     let trace = crashed.join("trace.jsonl");
     let deadline = Instant::now() + Duration::from_secs(60);
-    while row_lines(&trace) < 2 {
+    while row_lines(&trace) < 3 {
         assert!(
             child.try_wait().expect("try_wait").is_none(),
-            "sweep finished before it could be killed — slow-cell fault not armed?"
+            "sweep exited before its blocked cell — slow-cell fault not armed?"
         );
         assert!(Instant::now() < deadline, "no rows appeared in 60 s");
         std::thread::sleep(Duration::from_millis(25));
@@ -93,10 +101,11 @@ fn sigkill_mid_sweep_then_resume_reproduces_the_csv_byte_for_byte() {
     child.kill().expect("SIGKILL");
     let _ = child.wait();
     let rows_at_kill = row_lines(&trace);
-    assert!(
-        rows_at_kill < TOTAL_CELLS,
-        "the run must actually have died mid-grid (saw {rows_at_kill} rows)"
+    assert_eq!(
+        rows_at_kill, 3,
+        "cell four sleeps for minutes: exactly the first three rows can exist"
     );
+    assert!(rows_at_kill < TOTAL_CELLS, "died mid-grid by construction");
     assert!(
         !crashed.join("results/fig5.csv").exists(),
         "a killed sweep must not leave a partial CSV (atomic rename)"

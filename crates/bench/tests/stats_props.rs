@@ -1,0 +1,102 @@
+//! Property tests for the regression gate's paired statistics
+//! (`gorder_bench::stats`). Three contracts matter for a gate that CI
+//! trusts: the verdict must not depend on the order samples happened to
+//! arrive in, it must be *exactly* antisymmetric under swapping baseline
+//! and candidate (no "A beats B and B beats A" flukes from floating
+//! point), and identical samples must never be called a regression.
+
+use gorder_bench::stats::{paired_stats, Verdict};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Millisecond-ish integers → strictly positive seconds; keeps the
+/// generated samples inside the range `paired_stats` accepts.
+fn split(raw: &[(u64, u64)]) -> (Vec<f64>, Vec<f64>) {
+    let a = raw.iter().map(|p| p.0 as f64 / 1e3).collect();
+    let b = raw.iter().map(|p| p.1 as f64 / 1e3).collect();
+    (a, b)
+}
+
+proptest! {
+    // Reordering the pairs changes nothing — statistics and verdict are
+    // functions of the pair multiset only.
+    #[test]
+    fn verdict_is_invariant_under_pair_permutation(
+        raw in vec((1u64..1_000_000, 1u64..1_000_000), 1..40),
+        shuffle_seed in 0u64..u64::MAX,
+        threshold_milli in 0u64..30_000,
+    ) {
+        let (a, b) = split(&raw);
+        let s0 = paired_stats(&a, &b);
+        let mut shuffled = raw.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        let (pa, pb) = split(&shuffled);
+        let s1 = paired_stats(&pa, &pb);
+        prop_assert_eq!(s0.clone(), s1.clone());
+        let t = threshold_milli as f64 / 1e3;
+        prop_assert_eq!(s0.verdict(t), s1.verdict(t));
+    }
+
+    // Swapping A and B negates the effect exactly and mirrors the
+    // verdict: a regression seen one way is the same-sized improvement
+    // seen the other way, bit for bit.
+    #[test]
+    fn swap_is_exactly_antisymmetric(
+        raw in vec((1u64..1_000_000, 1u64..1_000_000), 1..40),
+        threshold_milli in 0u64..30_000,
+    ) {
+        let (a, b) = split(&raw);
+        let ab = paired_stats(&a, &b);
+        let ba = paired_stats(&b, &a);
+        prop_assert_eq!(ab.median_log_ratio, -ba.median_log_ratio);
+        prop_assert_eq!(ab.sign_p, ba.sign_p);
+        prop_assert_eq!(ab.ci_lo, -ba.ci_hi);
+        prop_assert_eq!(ab.ci_hi, -ba.ci_lo);
+        prop_assert_eq!(ab.pairs, ba.pairs);
+        prop_assert_eq!(ab.wins_b_slower, ba.wins_b_faster);
+        prop_assert_eq!(ab.wins_b_faster, ba.wins_b_slower);
+        let t = threshold_milli as f64 / 1e3;
+        let mirrored = match ba.verdict(t) {
+            Verdict::Regression => Verdict::Improvement,
+            Verdict::Improvement => Verdict::Regression,
+            Verdict::NoChange => Verdict::NoChange,
+        };
+        prop_assert_eq!(ab.verdict(t), mirrored);
+    }
+
+    // A byte-identical A/B comparison is never a regression — not even
+    // at a zero threshold.
+    #[test]
+    fn identical_samples_are_never_a_regression(
+        raw in vec(1u64..1_000_000, 1..40),
+        threshold_milli in 0u64..30_000,
+    ) {
+        let a: Vec<f64> = raw.iter().map(|&v| v as f64 / 1e3).collect();
+        let s = paired_stats(&a, &a);
+        prop_assert_eq!(s.median_log_ratio, 0.0);
+        prop_assert_eq!(s.sign_p, 1.0);
+        prop_assert_eq!((s.ci_lo, s.ci_hi), (0.0, 0.0));
+        prop_assert_eq!(s.verdict(0.0), Verdict::NoChange);
+        prop_assert_eq!(s.verdict(threshold_milli as f64 / 1e3), Verdict::NoChange);
+    }
+
+    // Re-evaluating the same samples reproduces the same statistics
+    // (seeded bootstrap), p is a probability, and the interval is an
+    // interval.
+    #[test]
+    fn statistics_are_deterministic_and_well_formed(
+        raw in vec((1u64..1_000_000, 1u64..1_000_000), 1..40),
+    ) {
+        let (a, b) = split(&raw);
+        let s1 = paired_stats(&a, &b);
+        let s2 = paired_stats(&a, &b);
+        prop_assert_eq!(s1.clone(), s2);
+        prop_assert!(s1.sign_p > 0.0 && s1.sign_p <= 1.0);
+        prop_assert!(s1.ci_lo <= s1.ci_hi);
+        prop_assert_eq!(s1.pairs as usize, raw.len());
+        prop_assert_eq!(s1.skipped, 0);
+    }
+}

@@ -33,4 +33,4 @@ pub mod tracer;
 pub use hierarchy::{CacheHierarchy, CacheStats, HierarchyConfig};
 pub use level::{CacheLevel, LevelConfig, LevelStats};
 pub use stall::{StallBreakdown, StallModel};
-pub use tracer::Tracer;
+pub use tracer::{CounterSnapshot, Tracer};

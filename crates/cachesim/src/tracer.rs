@@ -207,6 +207,52 @@ impl Tracer {
     pub fn breakdown(&self, model: &StallModel) -> StallBreakdown {
         model.breakdown(&self.stats(), self.ops)
     }
+
+    /// A flat, fully deterministic snapshot of every counter this run
+    /// accumulated — the raw material for regression baselines. Every
+    /// field is an exact integer count (the reuse sum is an integral
+    /// `f64`), so two replays of the same workload produce bit-identical
+    /// snapshots on any platform.
+    pub fn counters(&self) -> CounterSnapshot {
+        let levels = self.hierarchy.level_stats();
+        let (reuse_total, reuse_sum, reuse_counts) = match self.reuse_histogram() {
+            Some(h) => (h.total(), h.sum(), h.counts().to_vec()),
+            None => (0, 0.0, Vec::new()),
+        };
+        CounterSnapshot {
+            refs: levels.first().map_or(0, |l| l.references),
+            level_misses: levels.iter().map(|l| l.misses).collect(),
+            memory_accesses: self.hierarchy.stats().memory_accesses,
+            ops: self.ops,
+            reuse_total,
+            reuse_sum,
+            reuse_counts,
+        }
+    }
+}
+
+/// Per-run counter totals from a [`Tracer`], frozen at snapshot time.
+/// Unlike [`CacheStats`] (which carries derived rates), this holds only
+/// the raw counts, so equality is exact and byte-reproducible — the
+/// property the bench regression gate's sim-proxy baselines rely on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterSnapshot {
+    /// Data references issued (= L1 references).
+    pub refs: u64,
+    /// Misses at each cache level, L1 first. The last entry equals
+    /// `memory_accesses` (an inclusive hierarchy: LLC misses go to DRAM).
+    pub level_misses: Vec<u64>,
+    /// Accesses that fell through every level.
+    pub memory_accesses: u64,
+    /// Non-memory operations counted via [`Tracer::op`].
+    pub ops: u64,
+    /// Warm-line reuse observations (0 when tracking was off).
+    pub reuse_total: u64,
+    /// Sum of observed reuse distances (integral; 0.0 when off).
+    pub reuse_sum: f64,
+    /// Reuse-distance histogram counts over [`REUSE_DISTANCE_BOUNDS`]
+    /// plus the overflow bucket (empty when tracking was off).
+    pub reuse_counts: Vec<u64>,
 }
 
 #[cfg(test)]

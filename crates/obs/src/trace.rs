@@ -32,7 +32,12 @@ use crate::registry::Snapshot;
 /// construction, carrying the ordering's identity (name, params, seed,
 /// graph digest, config-hashable identity string), its `OrderStats`
 /// counters, and whether the permutation came from the on-disk cache.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: added the `gate` record kind — one line per regression-gate cell
+/// (`gorder-bench gate`), carrying either the deterministic sim-proxy
+/// counters (cache misses per level, ops, reuse summary) or the paired
+/// wall-clock statistics (speedup median, sign-test p, bootstrap CI).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// FNV-1a over the bytes of a canonical config string — cheap, stable
 /// across platforms, and good enough to answer "were these two runs
@@ -218,6 +223,62 @@ pub struct OrderEvent {
     pub cache_hit: bool,
 }
 
+/// One regression-gate cell (dataset × ordering × algorithm), as
+/// `gorder-bench gate` records them into `BENCH_gate.json`.
+///
+/// The record carries both measurement modes' fields; the `mode` string
+/// says which half is live. Sim-proxy cells fill the counter block
+/// (`refs` through `reuse_counts`) with exact, platform-independent
+/// integers and zero the wall block; wall-clock cells do the reverse.
+/// Unused numeric fields are `0`/`0.0`, never `null`, so byte-identity
+/// of two sim runs is a pure function of the counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateEvent {
+    /// Measurement mode: `"sim"` or `"wall"`.
+    pub mode: String,
+    /// Dataset the cell ran on.
+    pub dataset: String,
+    /// Ordering under test.
+    pub ordering: String,
+    /// Algorithm/kernel name.
+    pub algo: String,
+    /// Result checksum (work-elision guard; identical across orderings
+    /// for relabeling-invariant kernels).
+    pub checksum: u64,
+    /// Engine iterations executed.
+    pub iterations: u64,
+    /// Edges scanned/relaxed across the run.
+    pub edges_relaxed: u64,
+    /// Simulated data references (= L1 references); 0 in wall mode.
+    pub refs: u64,
+    /// Simulated misses at each cache level, L1 first; empty in wall mode.
+    pub level_misses: Vec<u64>,
+    /// Simulated accesses that fell through every level; 0 in wall mode.
+    pub mem_accesses: u64,
+    /// Simulated non-memory operations; 0 in wall mode.
+    pub ops: u64,
+    /// Warm-line reuse observations; 0 in wall mode.
+    pub reuse_total: u64,
+    /// Sum of observed reuse distances (integral f64); 0.0 in wall mode.
+    pub reuse_sum: f64,
+    /// Reuse-distance histogram counts (fixed power-of-two buckets plus
+    /// overflow); empty in wall mode.
+    pub reuse_counts: Vec<u64>,
+    /// Wall mode: interleaved A/B sample pairs kept after warmup; 0 in
+    /// sim mode.
+    pub pairs: u64,
+    /// Wall mode: median speedup of this ordering over Original
+    /// (t_Original / t_ordering); 0.0 in sim mode.
+    pub speedup: f64,
+    /// Wall mode: two-sided sign-test p-value over the pairs; 0.0 in sim
+    /// mode.
+    pub sign_p: f64,
+    /// Wall mode: bootstrap CI lower bound on the speedup; 0.0 in sim.
+    pub ci_lo: f64,
+    /// Wall mode: bootstrap CI upper bound on the speedup; 0.0 in sim.
+    pub ci_hi: f64,
+}
+
 /// A named, timed phase (e.g. `"gorder.build"`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseEvent {
@@ -234,6 +295,8 @@ pub enum TraceEvent {
     Cell(CellEvent),
     /// A kernel run with stats breakdown.
     Kernel(KernelEvent),
+    /// A regression-gate cell (sim-proxy counters or wall statistics).
+    Gate(GateEvent),
     /// An ordering construction (computed or cache-loaded).
     Order(OrderEvent),
     /// A timed phase.
@@ -272,6 +335,28 @@ impl TraceEvent {
                 .u64("threads_used", k.threads_used)
                 .f64("thread_busy_secs", k.thread_busy_secs)
                 .bool("degraded_serial", k.degraded_serial)
+                .finish(),
+            TraceEvent::Gate(g) => JsonObject::new()
+                .str("kind", "gate")
+                .str("mode", &g.mode)
+                .str("dataset", &g.dataset)
+                .str("ordering", &g.ordering)
+                .str("algo", &g.algo)
+                .u64("checksum", g.checksum)
+                .u64("iterations", g.iterations)
+                .u64("edges_relaxed", g.edges_relaxed)
+                .u64("refs", g.refs)
+                .u64_array("level_misses", &g.level_misses)
+                .u64("mem_accesses", g.mem_accesses)
+                .u64("ops", g.ops)
+                .u64("reuse_total", g.reuse_total)
+                .f64("reuse_sum", g.reuse_sum)
+                .u64_array("reuse_counts", &g.reuse_counts)
+                .u64("pairs", g.pairs)
+                .f64("speedup", g.speedup)
+                .f64("sign_p", g.sign_p)
+                .f64("ci_lo", g.ci_lo)
+                .f64("ci_hi", g.ci_hi)
                 .finish(),
             TraceEvent::Order(o) => JsonObject::new()
                 .str("kind", "order")
@@ -710,6 +795,64 @@ mod tests {
         let obj = parse_object(&line).unwrap();
         assert_eq!(obj["kind"], "\"order\"");
         assert_eq!(obj["cache_hit"], "false");
+    }
+
+    #[test]
+    fn gate_event_pins_key_order() {
+        let line = TraceEvent::Gate(GateEvent {
+            mode: "sim".into(),
+            dataset: "epinion".into(),
+            ordering: "Gorder".into(),
+            algo: "BFS".into(),
+            checksum: 7,
+            iterations: 3,
+            edges_relaxed: 100,
+            refs: 2048,
+            level_misses: vec![128, 64, 32],
+            mem_accesses: 32,
+            ops: 4096,
+            reuse_total: 1500,
+            reuse_sum: 42_000.0,
+            reuse_counts: vec![10, 20, 30],
+            pairs: 0,
+            speedup: 0.0,
+            sign_p: 0.0,
+            ci_lo: 0.0,
+            ci_hi: 0.0,
+        })
+        .to_json_line();
+        assert_eq!(
+            crate::json::top_level_keys(&line),
+            vec![
+                "kind",
+                "mode",
+                "dataset",
+                "ordering",
+                "algo",
+                "checksum",
+                "iterations",
+                "edges_relaxed",
+                "refs",
+                "level_misses",
+                "mem_accesses",
+                "ops",
+                "reuse_total",
+                "reuse_sum",
+                "reuse_counts",
+                "pairs",
+                "speedup",
+                "sign_p",
+                "ci_lo",
+                "ci_hi",
+            ]
+        );
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj["kind"], "\"gate\"");
+        assert_eq!(obj["level_misses"], "[128,64,32]");
+        // The unused wall half serialises as zeros, never null — sim
+        // byte-identity must be a pure function of the counters.
+        assert_eq!(obj["speedup"], "0");
+        assert_eq!(obj["pairs"], "0");
     }
 
     #[test]

@@ -32,6 +32,13 @@ impl GorderOrdering {
     pub fn from_gorder(inner: Gorder) -> Self {
         GorderOrdering { inner }
     }
+
+    /// The window size `w` this instance optimises for. Surfaced so
+    /// harnesses that override the window (the regression gate's
+    /// injected-regression hook) can report the value they ran with.
+    pub fn window(&self) -> u32 {
+        self.inner.window_size()
+    }
 }
 
 impl OrderingAlgorithm for GorderOrdering {

@@ -102,15 +102,53 @@ fn key_extractor_handles_strings_and_arrays() {
 }
 
 #[test]
+fn gate_report_schema_matches_golden() {
+    use gorder_bench::gate::{render_report, run_gate, GateConfig, GateMode};
+
+    // A tiny grid — the schema is identical to the CI-pinned one.
+    let mut cfg = GateConfig::pinned(GateMode::Sim);
+    cfg.scale = 0.02;
+    cfg.datasets = vec!["epinion".into()];
+    cfg.orderings = vec!["Original".into(), "Gorder".into()];
+    cfg.algos = vec!["NQ".into()];
+    let text = render_report(&run_gate(&cfg).expect("tiny gate run"));
+
+    // Pin both the file structure (one manifest, then gate cells, then
+    // order records) and the per-kind top-level key order.
+    let mut kinds: Vec<String> = Vec::new();
+    let mut keys: std::collections::BTreeMap<String, String> = Default::default();
+    for line in text.lines() {
+        let obj = gorder_obs::json::parse_object(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        let kind = obj["kind"].trim_matches('"').to_string();
+        if kinds.last() != Some(&kind) {
+            kinds.push(kind.clone());
+        }
+        keys.entry(kind)
+            .or_insert_with(|| top_level_keys(line).join(","));
+    }
+    let mut got = format!("kinds: {}\n", kinds.join(","));
+    for (kind, k) in &keys {
+        got.push_str(&format!("{kind}: {k}\n"));
+    }
+    assert_eq!(
+        got,
+        golden("gate_schema.txt"),
+        "BENCH_gate.json schema drifted; update tests/golden/gate_schema.txt, \
+         bump gorder_obs::SCHEMA_VERSION, and regenerate committed baselines \
+         with `gorder-bench gate --update`"
+    );
+}
+
+#[test]
 fn trace_jsonl_keys_match_golden() {
     use gorder_obs::json::parse_object;
     use gorder_obs::{
-        CellEvent, KernelEvent, OrderEvent, PhaseEvent, Registry, RowEvent, RunManifest,
+        CellEvent, GateEvent, KernelEvent, OrderEvent, PhaseEvent, Registry, RowEvent, RunManifest,
         TraceEvent, TraceSink, SCHEMA_VERSION,
     };
 
     assert_eq!(
-        SCHEMA_VERSION, 3,
+        SCHEMA_VERSION, 4,
         "bumping the trace schema version requires regenerating \
          tests/golden/trace_keys.txt and notifying trace consumers"
     );
@@ -158,6 +196,28 @@ fn trace_jsonl_keys_match_golden() {
     sink.event(&TraceEvent::Phase(PhaseEvent {
         name: "order".into(),
         seconds: 0.2,
+    }))
+    .unwrap();
+    sink.event(&TraceEvent::Gate(GateEvent {
+        mode: "sim".into(),
+        dataset: "d".into(),
+        ordering: "Gorder".into(),
+        algo: "BFS".into(),
+        checksum: 7,
+        iterations: 3,
+        edges_relaxed: 9,
+        refs: 100,
+        level_misses: vec![10, 5, 2],
+        mem_accesses: 2,
+        ops: 40,
+        reuse_total: 90,
+        reuse_sum: 1234.0,
+        reuse_counts: vec![80, 10],
+        pairs: 0,
+        speedup: 0.0,
+        sign_p: 0.0,
+        ci_lo: 0.0,
+        ci_hi: 0.0,
     }))
     .unwrap();
     sink.event(&TraceEvent::Order(OrderEvent {
