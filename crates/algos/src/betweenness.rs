@@ -24,11 +24,15 @@ pub struct BetweennessResult {
 
 impl BetweennessResult {
     /// Node with the highest estimated centrality (smallest id on ties).
+    ///
+    /// Uses [`f64::total_cmp`] so a NaN score (conceivable if a caller
+    /// post-processes the vector) selects deterministically instead of
+    /// panicking.
     pub fn top_node(&self) -> Option<NodeId> {
         self.score
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
             .map(|(i, _)| i as NodeId)
     }
 }
@@ -200,5 +204,22 @@ mod tests {
     fn empty_graph() {
         let r = betweenness(&Graph::empty(0), 4, 1);
         assert!(r.score.is_empty());
+    }
+
+    #[test]
+    fn top_node_is_total_on_nan_scores() {
+        // The comparator must stay total when a score is NaN: no panic,
+        // and a deterministic winner (positive NaN sorts above finite
+        // values under total_cmp; ties break to the smallest id).
+        let r = BetweennessResult {
+            score: vec![0.5, f64::NAN, 2.0, f64::NAN],
+            sources: vec![0],
+        };
+        assert_eq!(r.top_node(), Some(1));
+        let r = BetweennessResult {
+            score: vec![-f64::NAN, 3.0, 3.0],
+            sources: vec![0],
+        };
+        assert_eq!(r.top_node(), Some(1), "smallest id among the 3.0 tie");
     }
 }

@@ -1,0 +1,84 @@
+//! The anti-regression bound for the coalesced-delta optimisation: every
+//! Gorder `order` record in the committed sim-gate baseline must carry at
+//! least 25% less unit-heap traffic (increments + decrements) than the
+//! pre-optimisation values pinned in `tests/golden/gate_heap_bounds.txt`.
+//!
+//! The required `gate-sim` CI job runs this test *and* proves the
+//! regenerated report is byte-identical to the committed baseline, so a
+//! change that quietly reverts to per-unit heap updates cannot land: it
+//! would either fail the byte-compare (stale baseline) or fail here
+//! (regenerated baseline above the bound).
+
+use gorder_bench::gate::parse_report;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Fraction of the pre-optimisation traffic the baseline may still use.
+const MAX_FRACTION: f64 = 0.75;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/bench sits two levels under the repo root")
+}
+
+fn read(rel: &str) -> String {
+    let path = repo_root().join(rel);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed file {}: {e}", path.display()))
+}
+
+/// `(dataset, ordering) → pre-optimisation increments + decrements`.
+fn bounds() -> BTreeMap<(String, String), u64> {
+    read("tests/golden/gate_heap_bounds.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut f = l.split_whitespace();
+            let dataset = f.next().expect("dataset field").to_string();
+            let ordering = f.next().expect("ordering field").to_string();
+            let traffic: u64 = f
+                .next()
+                .expect("traffic field")
+                .parse()
+                .expect("traffic is an unsigned integer");
+            assert!(f.next().is_none(), "unexpected extra field in {l:?}");
+            ((dataset, ordering), traffic)
+        })
+        .collect()
+}
+
+#[test]
+fn committed_gorder_heap_traffic_stays_under_the_pre_coalescing_bound() {
+    let report = parse_report(&read("BENCH_gate.json")).expect("committed baseline parses");
+    let bounds = bounds();
+    let mut matched = 0usize;
+    for o in report.orders.iter().filter(|o| o.name == "Gorder") {
+        let dataset = o.dataset.clone().unwrap_or_default();
+        let pre = bounds
+            .get(&(dataset.clone(), o.name.clone()))
+            .unwrap_or_else(|| {
+                panic!(
+                    "Gorder cell {dataset:?} missing from gate_heap_bounds.txt — \
+                     add its pre-optimisation traffic so the bound covers it"
+                )
+            });
+        let cur = o.heap_increments + o.heap_decrements;
+        let cap = (*pre as f64 * MAX_FRACTION) as u64;
+        assert!(
+            cur <= cap,
+            "{dataset}/Gorder heap traffic regressed: {cur} inc+dec exceeds \
+             {cap} (= {MAX_FRACTION} × pre-coalescing {pre}); the build loop \
+             must keep issuing one net update per touched candidate"
+        );
+        assert!(cur > 0, "{dataset}/Gorder reports zero heap traffic");
+        matched += 1;
+    }
+    assert_eq!(
+        matched,
+        bounds.len(),
+        "baseline does not cover every bounded cell — grid and fixture drifted"
+    );
+}

@@ -19,8 +19,29 @@
 //! high-degree hubs dominates the running time on power-law graphs, so the
 //! implementation may skip propagation through hubs above a degree
 //! threshold (see [`GorderBuilder::hub_threshold`]).
+//!
+//! ## Coalesced window deltas
+//!
+//! A candidate is typically touched several times per placement step —
+//! once per shared relationship with the entering node, and again with
+//! opposite sign for the exiting one. Issuing each `±1` as its own heap
+//! operation turns every touch into an unlink + push on the bucket lists
+//! (three random-access arrays plus the bucket heads). Instead, the build
+//! loop accumulates the step's enter **and** exit deltas into a reusable
+//! dense scratch buffer (`DeltaScratch`) keyed by candidate, pre-filters
+//! already-placed candidates with a placed bitset before any heap work,
+//! and then applies **one net [`UnitHeap::update`] per touched candidate**.
+//!
+//! The coalesced path is permutation-preserving: within a bucket the unit
+//! heap pops in LIFO order of the last key change, so replaying each
+//! candidate's *final* state in the order of its *last* touch in the unit
+//! stream reproduces the per-unit bucket layout exactly — including
+//! net-zero touches, which still move a candidate to its bucket head (see
+//! `reference` in this module's tests for the per-unit oracle the
+//! equivalence is checked against, and `tests/golden_perms.rs` for the
+//! pre-optimisation digests).
 
-use crate::budget::{Budget, ExecOutcome, CHECK_STRIDE};
+use crate::budget::{Budget, DegradeReason, ExecOutcome, CHECK_STRIDE};
 use crate::unitheap::UnitHeap;
 use gorder_graph::{Graph, NodeId, Permutation};
 
@@ -92,15 +113,20 @@ impl Default for GorderBuilder {
 /// can't double-count depending on which compute path the caller took.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GorderStats {
-    /// Total key increments applied to the unit heap.
+    /// Coalesced heap updates applied with a **positive** net key change
+    /// (one per touched candidate per placement step, not one per `+1`).
     pub increments: u64,
-    /// Total key decrements applied to the unit heap.
+    /// Coalesced heap updates applied with a **negative** net key change.
     pub decrements: u64,
     /// Total max-key pops from the unit heap (one per greedily placed
     /// node after the seed).
     pub pops: u64,
     /// Sibling propagations skipped due to the hub threshold.
     pub hub_skips: u64,
+    /// Coalesced heap updates whose net key change was **zero** — pure
+    /// bucket-position refreshes, applied only to keep the per-unit
+    /// LIFO tie-breaking intact.
+    pub refreshes: u64,
 }
 
 impl GorderStats {
@@ -111,6 +137,122 @@ impl GorderStats {
         self.decrements += other.decrements;
         self.pops += other.pops;
         self.hub_skips += other.hub_skips;
+        self.refreshes += other.refreshes;
+    }
+
+    /// Total heap bucket moves this run performed (every coalesced
+    /// update is exactly one unlink + push, whatever its net sign).
+    pub fn heap_updates(&self) -> u64 {
+        self.increments + self.decrements + self.refreshes
+    }
+}
+
+/// Reusable per-run scratch for coalescing one placement step's window
+/// deltas: a dense net-delta buffer keyed by candidate plus the touch
+/// stream needed to replay candidates in last-touch order. All buffers
+/// are allocated once per run and cleared incrementally (`delta` and
+/// `seen` only at the entries actually touched), so steady-state steps
+/// do no allocation.
+struct DeltaScratch {
+    /// Net pending key change per candidate; non-zero only between
+    /// `accumulate` and `flush` for touched candidates.
+    delta: Vec<i32>,
+    /// Every touch of this step, in the exact per-unit stream order.
+    events: Vec<NodeId>,
+    /// Deduped touch stream in *reverse* last-touch order (scratch for
+    /// `flush`).
+    order: Vec<NodeId>,
+    /// Epoch stamps backing the dedup (no clearing between steps).
+    seen: Vec<u64>,
+    /// Current dedup epoch; bumped once per flush.
+    epoch: u64,
+    /// Placed bitset: candidates already laid out are filtered here,
+    /// before any delta accounting or heap lookup.
+    placed: Vec<bool>,
+}
+
+impl DeltaScratch {
+    fn new(n: u32) -> Self {
+        let n = n as usize;
+        DeltaScratch {
+            delta: vec![0; n],
+            events: Vec::new(),
+            order: Vec::new(),
+            seen: vec![0; n],
+            epoch: 0,
+            placed: vec![false; n],
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, u: NodeId, sign: i32) {
+        if self.placed[u as usize] {
+            return;
+        }
+        self.delta[u as usize] += sign;
+        self.events.push(u);
+    }
+
+    /// Accumulates the ±1 score updates triggered by `v` entering
+    /// (`sign = 1`) or leaving (`sign = -1`) the window, in the exact
+    /// order the per-unit implementation issued them.
+    fn accumulate(
+        &mut self,
+        g: &Graph,
+        v: NodeId,
+        sign: i32,
+        hub_threshold: u32,
+        stats: &mut GorderStats,
+    ) {
+        // Neighbour score via out-edges of v: S_n(u, v) counts edge v → u.
+        for &u in g.out_neighbors(v) {
+            self.touch(u, sign);
+        }
+        for &x in g.in_neighbors(v) {
+            // Neighbour score via in-edges of v: S_n counts edge x → v.
+            self.touch(x, sign);
+            // Sibling score: x is a common in-neighbour of v and of every
+            // other out-neighbour u of x.
+            if g.out_degree(x) > hub_threshold {
+                stats.hub_skips += 1;
+                continue;
+            }
+            for &u in g.out_neighbors(x) {
+                if u != v {
+                    self.touch(u, sign);
+                }
+            }
+        }
+    }
+
+    /// Applies one net heap update per touched candidate, in the order
+    /// of each candidate's **last** touch in the accumulated stream.
+    ///
+    /// That order is the tie-breaking contract: the unit heap pops LIFO
+    /// within a bucket, and under per-unit updates a candidate ends up
+    /// at the head of its final bucket at the moment of its last touch.
+    /// Replaying final states in last-touch order (net-zero refreshes
+    /// included) therefore reproduces the per-unit bucket layout — and
+    /// the permutation — byte for byte.
+    fn flush(&mut self, heap: &mut UnitHeap, stats: &mut GorderStats) {
+        self.epoch += 1;
+        self.order.clear();
+        for &u in self.events.iter().rev() {
+            if self.seen[u as usize] != self.epoch {
+                self.seen[u as usize] = self.epoch;
+                self.order.push(u);
+            }
+        }
+        for &u in self.order.iter().rev() {
+            let d = std::mem::take(&mut self.delta[u as usize]);
+            heap.update(u, i64::from(d));
+            match d.cmp(&0) {
+                std::cmp::Ordering::Greater => stats.increments += 1,
+                std::cmp::Ordering::Less => stats.decrements += 1,
+                std::cmp::Ordering::Equal => stats.refreshes += 1,
+            }
+        }
+        self.events.clear();
     }
 }
 
@@ -146,36 +288,72 @@ impl Gorder {
     pub fn compute_with_stats(&self, g: &Graph) -> (Permutation, GorderStats) {
         let _span = gorder_obs::span("gorder.build");
         let n = g.n();
-        let mut stats = GorderStats::default();
         if n == 0 {
-            return (Permutation::identity(0), stats);
+            return (Permutation::identity(0), GorderStats::default());
         }
-        let w = self.window as usize;
-        let hub = self.hub_threshold.unwrap_or(u32::MAX);
-        let mut heap = UnitHeap::new(n);
-        let mut placement: Vec<NodeId> = Vec::with_capacity(n as usize);
-
-        // Seed with the highest in-degree node: it has the most siblings to
-        // pull in behind it. Ties break toward the smallest id.
-        let seed = (0..n)
-            .max_by_key(|&u| (g.in_degree(u), std::cmp::Reverse(u)))
-            .expect("non-empty graph");
-        heap.remove(seed);
-        placement.push(seed);
-        apply_delta(g, seed, true, hub, &mut heap, &mut stats);
-
-        while let Some(v) = heap.pop_max() {
-            stats.pops += 1;
-            placement.push(v);
-            apply_delta(g, v, true, hub, &mut heap, &mut stats);
-            if placement.len() > w {
-                let expiring = placement[placement.len() - 1 - w];
-                apply_delta(g, expiring, false, hub, &mut heap, &mut stats);
-            }
-        }
+        let (placement, stats, stop) = self.greedy(g, None);
+        debug_assert!(stop.is_none(), "unbudgeted greedy cannot stop early");
         let perm = Permutation::from_placement(&placement)
             .expect("greedy placement covers every node exactly once");
         (perm, stats)
+    }
+
+    /// The windowed greedy build loop shared by the plain and budgeted
+    /// entry points. Returns the (possibly partial, if the budget ran
+    /// out) placement, the run counters, and the degrade reason if any.
+    fn greedy(
+        &self,
+        g: &Graph,
+        budget: Option<&Budget>,
+    ) -> (Vec<NodeId>, GorderStats, Option<DegradeReason>) {
+        let n = g.n();
+        let w = self.window as usize;
+        let hub = self.hub_threshold.unwrap_or(u32::MAX);
+        let mut stats = GorderStats::default();
+        let mut placement: Vec<NodeId> = Vec::with_capacity(n as usize);
+
+        // Checked before the seed is placed so that a zero budget degrades
+        // all the way down the ladder to pure ChDFS.
+        let mut stop = budget.and_then(|b| b.exhausted(0));
+        if stop.is_none() {
+            let mut heap = UnitHeap::new(n);
+            let mut scratch = DeltaScratch::new(n);
+            // Seed with the highest in-degree node: it has the most
+            // siblings to pull in behind it. Ties break toward the
+            // smallest id.
+            let seed = (0..n)
+                .max_by_key(|&u| (g.in_degree(u), std::cmp::Reverse(u)))
+                .expect("non-empty graph");
+            heap.remove(seed);
+            scratch.placed[seed as usize] = true;
+            placement.push(seed);
+            scratch.accumulate(g, seed, 1, hub, &mut stats);
+            scratch.flush(&mut heap, &mut stats);
+
+            while let Some(v) = heap.pop_max() {
+                stats.pops += 1;
+                scratch.placed[v as usize] = true;
+                placement.push(v);
+                scratch.accumulate(g, v, 1, hub, &mut stats);
+                if placement.len() > w {
+                    let expiring = placement[placement.len() - 1 - w];
+                    scratch.accumulate(g, expiring, -1, hub, &mut stats);
+                }
+                // One net heap update per candidate the enter + exit
+                // deltas touched, instead of a stream of ±1 operations.
+                scratch.flush(&mut heap, &mut stats);
+                if let Some(b) = budget {
+                    let done = placement.len() as u64;
+                    if done.is_multiple_of(CHECK_STRIDE) {
+                        stop = b.exhausted(done);
+                        if stop.is_some() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        (placement, stats, stop)
     }
 
     /// Anytime variant of [`Gorder::compute`]: runs the greedy under a
@@ -200,44 +378,14 @@ impl Gorder {
             return (ExecOutcome::Completed(perm), stats);
         }
         let n = g.n();
-        let mut stats = GorderStats::default();
         if n == 0 {
-            return (ExecOutcome::Completed(Permutation::identity(0)), stats);
+            return (
+                ExecOutcome::Completed(Permutation::identity(0)),
+                GorderStats::default(),
+            );
         }
         let _span = gorder_obs::span("gorder.build");
-        let w = self.window as usize;
-        let hub = self.hub_threshold.unwrap_or(u32::MAX);
-        let mut placement: Vec<NodeId> = Vec::with_capacity(n as usize);
-
-        // Checked before the seed is placed so that a zero budget degrades
-        // all the way down the ladder to pure ChDFS.
-        let mut stop = budget.exhausted(0);
-        if stop.is_none() {
-            let mut heap = UnitHeap::new(n);
-            let seed = (0..n)
-                .max_by_key(|&u| (g.in_degree(u), std::cmp::Reverse(u)))
-                .expect("non-empty graph");
-            heap.remove(seed);
-            placement.push(seed);
-            apply_delta(g, seed, true, hub, &mut heap, &mut stats);
-
-            while let Some(v) = heap.pop_max() {
-                stats.pops += 1;
-                placement.push(v);
-                apply_delta(g, v, true, hub, &mut heap, &mut stats);
-                if placement.len() > w {
-                    let expiring = placement[placement.len() - 1 - w];
-                    apply_delta(g, expiring, false, hub, &mut heap, &mut stats);
-                }
-                let done = placement.len() as u64;
-                if done.is_multiple_of(CHECK_STRIDE) {
-                    stop = budget.exhausted(done);
-                    if stop.is_some() {
-                        break;
-                    }
-                }
-            }
-        }
+        let (mut placement, stats, stop) = self.greedy(g, Some(budget));
         let outcome = match stop {
             None => {
                 let perm = Permutation::from_placement(&placement)
@@ -298,46 +446,6 @@ fn chdfs_fill(g: &Graph, placement: &mut Vec<NodeId>) {
     }
 }
 
-/// Applies the ±1 score updates triggered by `v` entering (`add = true`)
-/// or leaving (`add = false`) the window.
-fn apply_delta(
-    g: &Graph,
-    v: NodeId,
-    add: bool,
-    hub_threshold: u32,
-    heap: &mut UnitHeap,
-    stats: &mut GorderStats,
-) {
-    let mut bump = |heap: &mut UnitHeap, u: NodeId| {
-        if add {
-            heap.increment(u);
-            stats.increments += 1;
-        } else {
-            heap.decrement(u);
-            stats.decrements += 1;
-        }
-    };
-    // Neighbour score via out-edges of v: S_n(u, v) counts edge v → u.
-    for &u in g.out_neighbors(v) {
-        bump(heap, u);
-    }
-    for &x in g.in_neighbors(v) {
-        // Neighbour score via in-edges of v: S_n counts edge x → v.
-        bump(heap, x);
-        // Sibling score: x is a common in-neighbour of v and of every
-        // other out-neighbour u of x.
-        if g.out_degree(x) > hub_threshold {
-            stats.hub_skips += 1;
-            continue;
-        }
-        for &u in g.out_neighbors(x) {
-            if u != v {
-                bump(heap, u);
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +453,112 @@ mod tests {
     use gorder_graph::gen::{copying_model, preferential_attachment, PrefAttachConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// The pre-coalescing build loop, kept verbatim as the tie-breaking
+    /// oracle: every score change is issued as its own ±1 heap operation,
+    /// in stream order. The coalesced hot path must reproduce this
+    /// placement byte for byte; `unit_ops` counts the heap operations it
+    /// avoided.
+    mod reference {
+        use super::*;
+
+        fn apply_delta(
+            g: &Graph,
+            v: NodeId,
+            add: bool,
+            hub_threshold: u32,
+            heap: &mut UnitHeap,
+            unit_ops: &mut u64,
+        ) {
+            let mut bump = |heap: &mut UnitHeap, u: NodeId| {
+                if add {
+                    heap.increment(u);
+                } else {
+                    heap.decrement(u);
+                }
+                *unit_ops += 1;
+            };
+            for &u in g.out_neighbors(v) {
+                bump(heap, u);
+            }
+            for &x in g.in_neighbors(v) {
+                bump(heap, x);
+                if g.out_degree(x) > hub_threshold {
+                    continue;
+                }
+                for &u in g.out_neighbors(x) {
+                    if u != v {
+                        bump(heap, u);
+                    }
+                }
+            }
+        }
+
+        /// Per-unit-update Gorder: the exact pre-optimisation algorithm.
+        pub fn compute(gorder: &Gorder, g: &Graph) -> (Vec<NodeId>, u64) {
+            let n = g.n();
+            let mut unit_ops = 0u64;
+            let mut placement: Vec<NodeId> = Vec::with_capacity(n as usize);
+            if n == 0 {
+                return (placement, unit_ops);
+            }
+            let w = gorder.window_size() as usize;
+            let hub = gorder.hub_threshold().unwrap_or(u32::MAX);
+            let mut heap = UnitHeap::new(n);
+            let seed = (0..n)
+                .max_by_key(|&u| (g.in_degree(u), std::cmp::Reverse(u)))
+                .expect("non-empty graph");
+            heap.remove(seed);
+            placement.push(seed);
+            apply_delta(g, seed, true, hub, &mut heap, &mut unit_ops);
+            while let Some(v) = heap.pop_max() {
+                placement.push(v);
+                apply_delta(g, v, true, hub, &mut heap, &mut unit_ops);
+                if placement.len() > w {
+                    let expiring = placement[placement.len() - 1 - w];
+                    apply_delta(g, expiring, false, hub, &mut heap, &mut unit_ops);
+                }
+            }
+            (placement, unit_ops)
+        }
+    }
+
+    #[test]
+    fn coalesced_build_matches_per_unit_reference_exactly() {
+        // The tentpole's proof: across graph families, window sizes, and
+        // hub thresholds, the coalesced hot path reproduces the per-unit
+        // placement byte for byte while performing strictly fewer heap
+        // operations.
+        let graphs = [
+            ("social", social(400)),
+            ("copying", copying_model(350, 6, 0.7, 21)),
+            (
+                "sparse",
+                Graph::from_edges(8, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]),
+            ),
+        ];
+        for (tag, g) in &graphs {
+            for w in [1u32, 2, 5, 64] {
+                for hub in [None, Some(2), Some(8)] {
+                    let gorder = GorderBuilder::new().window(w).hub_threshold(hub).build();
+                    let (ref_placement, unit_ops) = reference::compute(&gorder, g);
+                    let (perm, stats) = gorder.compute_with_stats(g);
+                    assert_eq!(
+                        perm.placement(),
+                        ref_placement,
+                        "{tag} w={w} hub={hub:?}: coalesced placement diverged \
+                         from the per-unit reference"
+                    );
+                    assert!(
+                        stats.heap_updates() < unit_ops,
+                        "{tag} w={w} hub={hub:?}: coalescing must cut heap ops \
+                         ({} vs {unit_ops} unit updates)",
+                        stats.heap_updates()
+                    );
+                }
+            }
+        }
+    }
 
     fn social(n: u32) -> Graph {
         preferential_attachment(PrefAttachConfig {
@@ -517,13 +731,15 @@ mod tests {
     }
 
     #[test]
-    fn increments_bounded_by_decrements() {
-        // Every decrement reverses an earlier increment on a still-present
-        // node, so decrements ≤ increments.
+    fn coalesced_counters_are_populated_and_consistent() {
+        // Counters classify coalesced updates by net sign; every placed
+        // node after the seed is one pop, and a window of w keeps the
+        // negative-net updates a strict subset of the per-step touches.
         let g = social(300);
         let (_, stats) = Gorder::with_defaults().compute_with_stats(&g);
-        assert!(stats.decrements <= stats.increments);
         assert!(stats.increments > 0);
+        assert_eq!(stats.pops, u64::from(g.n()) - 1);
+        assert!(stats.heap_updates() >= stats.increments + stats.decrements);
     }
 
     #[test]

@@ -102,11 +102,11 @@ impl IncrementalGorder {
                 (key, u)
             })
             .collect();
-        anchored.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("keys finite or inf")
-                .then(a.1.cmp(&b.1))
-        });
+        // total_cmp keeps the sort total even on a NaN key (a poisoned
+        // base permutation must degrade to "sorts last-ish", not panic);
+        // for the finite/∞ keys produced above it orders identically to
+        // partial_cmp.
+        anchored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         self.keys.resize(grown.n() as usize, 0.0);
         for (rank, &(_, u)) in anchored.iter().enumerate() {
             self.keys[u as usize] = tail_base + rank as f64;
@@ -147,10 +147,12 @@ impl IncrementalGorder {
     /// nodes.
     pub fn permutation(&self) -> Permutation {
         let mut order: Vec<NodeId> = (0..self.len()).collect();
+        // total_cmp: a NaN key (only reachable through a poisoned base
+        // permutation) still yields a valid, deterministic permutation
+        // instead of a panic mid-sort.
         order.sort_by(|&a, &b| {
             self.keys[a as usize]
-                .partial_cmp(&self.keys[b as usize])
-                .expect("keys are finite")
+                .total_cmp(&self.keys[b as usize])
                 .then(a.cmp(&b))
         });
         Permutation::from_placement(&order).expect("every node has exactly one key")
@@ -340,6 +342,40 @@ mod tests {
         a.extend(&grown);
         assert_eq!(b.extend_budgeted(&grown, &Budget::unlimited()), None);
         assert_eq!(a.permutation().as_slice(), b.permutation().as_slice());
+    }
+
+    #[test]
+    fn nan_key_degrades_deterministically_instead_of_panicking() {
+        // No public path produces a NaN key (keys come from u32 casts and
+        // tail_base + rank), so poison one directly: the sorts must stay
+        // total — valid permutation out, NaN block last, and a subsequent
+        // extend over the poisoned state must not panic either.
+        let old = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let base = Gorder::with_defaults().compute(&old);
+        let mut inc = IncrementalGorder::new(&base);
+        inc.keys[1] = f64::NAN;
+        let perm = inc.permutation();
+        assert_eq!(perm.len(), 4);
+        let mut seen = [false; 4];
+        for u in 0..4u32 {
+            seen[perm.apply(u) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "still a bijection");
+        // total_cmp puts positive NaN above +inf, hence last
+        assert_eq!(perm.apply(1), 3, "NaN-keyed node sorts last");
+        assert_eq!(perm, inc.permutation(), "deterministic across calls");
+
+        // extend: node 4 hangs off the NaN-keyed node 1, so its anchor
+        // key is NaN and the anchored sort must absorb it.
+        let grown = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 1), (1, 4)]);
+        inc.extend(&grown);
+        let perm = inc.permutation();
+        assert_eq!(perm.len(), 5);
+        let mut seen = [false; 5];
+        for u in 0..5u32 {
+            seen[perm.apply(u) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "still a bijection after extend");
     }
 
     #[test]

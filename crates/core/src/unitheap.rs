@@ -136,6 +136,33 @@ impl UnitHeap {
         self.push_front(self.key[u as usize] as usize, u);
     }
 
+    /// Applies a **net** key change in one bucket move: unlink, adjust the
+    /// key by `delta`, push at the front of the destination bucket. No-op
+    /// if `u` was already popped/removed.
+    ///
+    /// This is the coalesced equivalent of a run of unit
+    /// [`increment`](UnitHeap::increment)/[`decrement`](UnitHeap::decrement)
+    /// calls ending with a touch of `u`: the key lands on the same value,
+    /// and `u` sits at the head of its final bucket exactly as if its last
+    /// unit update had just pushed it there. A `delta` of 0 is a pure
+    /// *refresh* — the key stays put but `u` still moves to the bucket
+    /// head, which is what a `+1` immediately reversed by a `-1` does in
+    /// unit terms. Callers preserving unit-update tie-breaking must
+    /// therefore apply net-zero updates too, in last-touch order.
+    ///
+    /// # Panics
+    /// Debug-panics if the key would go negative.
+    pub fn update(&mut self, u: NodeId, delta: i64) {
+        if !self.in_heap[u as usize] {
+            return;
+        }
+        self.unlink(u);
+        let k = i64::from(self.key[u as usize]) + delta;
+        debug_assert!(k >= 0, "net update below zero for {u}: {delta}");
+        self.key[u as usize] = k.max(0) as u32;
+        self.push_front(self.key[u as usize] as usize, u);
+    }
+
     /// Removes and returns an element with the maximum key, or `None` when
     /// empty.
     pub fn pop_max(&mut self) -> Option<NodeId> {
@@ -299,6 +326,53 @@ mod tests {
         h.increment(1); // 1 pushed after 0 at key 1 → pops first
         assert_eq!(h.pop_max(), Some(1));
         assert_eq!(h.pop_max(), Some(0));
+    }
+
+    #[test]
+    fn update_matches_a_unit_run_ending_in_a_touch() {
+        // +3 via update == three increments, including the LIFO position
+        // its final touch grants.
+        let mut a = UnitHeap::new(4);
+        let mut b = UnitHeap::new(4);
+        a.increment(1); // 1 enters bucket 1 first
+        b.increment(1);
+        a.increment(2);
+        a.decrement(2);
+        a.increment(2); // unit run on 2 nets +1, last touch after 1's
+        b.update(2, 1);
+        for h in [&mut a, &mut b] {
+            assert_eq!(h.pop_max(), Some(2), "2 was pushed into bucket 1 last");
+            assert_eq!(h.pop_max(), Some(1));
+        }
+    }
+
+    #[test]
+    fn zero_update_refreshes_bucket_position() {
+        // A +1 immediately reversed by a -1 still moves the element to
+        // the head of its (unchanged) bucket; update(_, 0) must match.
+        let mut a = UnitHeap::new(3);
+        let mut b = UnitHeap::new(3);
+        // bucket 0 order (head first) starts as [2, 1, 0]
+        a.increment(0);
+        a.decrement(0); // unit refresh: 0 → head of bucket 0
+        b.update(0, 0);
+        for h in [&mut a, &mut b] {
+            assert_eq!(h.pop_max(), Some(0));
+            assert_eq!(h.pop_max(), Some(2));
+            assert_eq!(h.pop_max(), Some(1));
+        }
+    }
+
+    #[test]
+    fn update_is_noop_after_pop_and_handles_negative_nets() {
+        let mut h = UnitHeap::new(3);
+        h.update(1, 3);
+        h.update(1, -2);
+        assert_eq!(h.key(1), 1);
+        assert_eq!(h.pop_max(), Some(1));
+        h.update(1, 5); // gone: no-op
+        assert!(!h.contains(1));
+        assert_eq!(h.len(), 2);
     }
 
     #[test]

@@ -32,11 +32,15 @@ pub struct PageRankResult {
 
 impl PageRankResult {
     /// Index of the highest-ranked node (smallest id on ties).
+    ///
+    /// Uses [`f64::total_cmp`] so a NaN rank (possible only if a caller
+    /// injects one — power iteration itself never produces NaN from
+    /// finite inputs) selects deterministically instead of panicking.
     pub fn top_node(&self) -> Option<u32> {
         self.rank
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
             .map(|(i, _)| i as u32)
     }
 }
@@ -280,6 +284,24 @@ mod tests {
     fn empty_graph() {
         let r = pagerank(&Graph::empty(0), 10, 0.85);
         assert!(r.rank.is_empty());
+    }
+
+    #[test]
+    fn top_node_is_total_on_nan_ranks() {
+        // A NaN rank must not panic the comparator. Under total_cmp a
+        // positive NaN sorts above every finite value, and equal NaNs
+        // fall through to the smallest-id tie-break.
+        let r = PageRankResult {
+            rank: vec![0.3, f64::NAN, 0.7, f64::NAN],
+            iterations: 1,
+        };
+        assert_eq!(r.top_node(), Some(1));
+        // Negative NaN sorts below everything; finite values still win.
+        let r = PageRankResult {
+            rank: vec![-f64::NAN, 0.1, 0.1],
+            iterations: 1,
+        };
+        assert_eq!(r.top_node(), Some(1), "smallest id among the 0.1 tie");
     }
 
     #[test]

@@ -66,6 +66,7 @@ impl OrderingAlgorithm for GorderOrdering {
         stats.heap_decrements = gs.decrements;
         stats.heap_pops = gs.pops;
         stats.hub_skips = gs.hub_skips;
+        stats.heap_refreshes = gs.refreshes;
         outcome
     }
 

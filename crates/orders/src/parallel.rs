@@ -196,6 +196,7 @@ impl OrderingAlgorithm for ParallelGorder {
         stats.heap_decrements = gs.decrements;
         stats.heap_pops = gs.pops;
         stats.hub_skips = gs.hub_skips;
+        stats.heap_refreshes = gs.refreshes;
         stats.threads_used = self.partitions.min(g.n()).max(1);
         outcome
     }

@@ -30,12 +30,18 @@ use crate::OrderingAlgorithm;
 pub struct OrderStats {
     /// Nodes the ordering placed (= `g.n()` for a completed run).
     pub nodes_placed: u64,
-    /// Unit-heap key increments (Gorder family).
+    /// Coalesced unit-heap updates with a positive net key change
+    /// (Gorder family; one per touched candidate per placement step).
     pub heap_increments: u64,
-    /// Unit-heap key decrements (Gorder family).
+    /// Coalesced unit-heap updates with a negative net key change
+    /// (Gorder family).
     pub heap_decrements: u64,
     /// Unit-heap max-pops (Gorder family).
     pub heap_pops: u64,
+    /// Coalesced unit-heap updates with a net key change of zero —
+    /// bucket-position refreshes that keep per-unit tie-breaking intact
+    /// (Gorder family).
+    pub heap_refreshes: u64,
     /// Sibling propagations skipped by the hub threshold (Gorder family).
     pub hub_skips: u64,
     /// Seconds spent computing the permutation.
@@ -68,6 +74,10 @@ impl OrderStats {
             self.heap_decrements,
         );
         reg.counter_add(&format!("order.{ordering}.heap.pops"), self.heap_pops);
+        reg.counter_add(
+            &format!("order.{ordering}.heap.refreshes"),
+            self.heap_refreshes,
+        );
         reg.counter_add(&format!("order.{ordering}.hub_skips"), self.hub_skips);
         reg.span_record(&format!("order.{ordering}.compute"), self.compute_secs);
         reg.gauge_set(
