@@ -31,6 +31,8 @@ use gorder_orders::{run_ordering, CacheKey, OrderCache, OrderStats, OrderingAlgo
 use std::path::Path;
 use std::time::Duration;
 
+pub mod remote;
+
 /// Structured CLI failure. Each variant maps to a distinct process exit
 /// code so scripts can tell bad usage from bad input from exhausted
 /// budgets (see [`CliError::exit_code`]).
@@ -343,6 +345,31 @@ pub fn resolve_ordering_cached(
     cache: Option<&OrderCache>,
     dataset: Option<&str>,
 ) -> Result<ResolvedOrdering, CliError> {
+    resolve_ordering_with_budget(
+        g,
+        method,
+        window,
+        seed,
+        &budget_from(timeout),
+        cache,
+        dataset,
+    )
+}
+
+/// [`resolve_ordering_cached`] against a caller-owned [`Budget`] instead
+/// of a bare timeout, so long-lived callers (the serve daemon) can hold a
+/// clone and cancel the resolution mid-flight — e.g. when a drain grace
+/// period expires.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_ordering_with_budget(
+    g: &Graph,
+    method: &str,
+    window: u32,
+    seed: u64,
+    budget: &Budget,
+    cache: Option<&OrderCache>,
+    dataset: Option<&str>,
+) -> Result<ResolvedOrdering, CliError> {
     let o = ordering_by_name(method, window, seed).ok_or_else(|| {
         CliError::Usage(format!(
             "unknown ordering {method:?}; known: {:?}",
@@ -383,12 +410,7 @@ pub fn resolve_ordering_cached(
             });
         }
     }
-    match run_ordering(
-        o.as_ref(),
-        g,
-        gorder_orders::ExecPlan::Serial,
-        &budget_from(timeout),
-    ) {
+    match run_ordering(o.as_ref(), g, gorder_orders::ExecPlan::Serial, budget) {
         ExecOutcome::Completed(run) => {
             if let Some(cache) = cache {
                 if let Err(e) = cache.store(&key, &run.perm) {

@@ -7,8 +7,8 @@
 //! never aliases a clean error.
 
 use gorder_cli::{
-    algorithm_names, load, ordering_names, resolve_ordering_cached, run_algorithm_budgeted, save,
-    simulate_algorithm_budgeted, stats_report, validate_trace_file, CliError, CmdOutput,
+    algorithm_names, load, ordering_names, remote, resolve_ordering_cached, run_algorithm_budgeted,
+    save, simulate_algorithm_budgeted, stats_report, validate_trace_file, CliError, CmdOutput,
     ResolvedOrdering,
 };
 use gorder_core::budget::DegradeReason;
@@ -26,7 +26,8 @@ fn usage() -> &'static str {
      gorder-cli convert  <input> <output>\n  \
      gorder-cli run      <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--threads N] [--stats] [--trace-out PATH]\n  \
      gorder-cli simulate <algo> <input> [--method NAME] [--window 5] [--seed 42] [--timeout SECS] [--stats] [--trace-out PATH]\n  \
-     gorder-cli validate-trace <trace.jsonl> [--lenient]\n\n\
+     gorder-cli validate-trace <trace.jsonl> [--lenient]\n  \
+     gorder-cli remote <addr> <op> [--dataset NAME] [--method NAME] [--algo NAME] [--window 5] [--seed 0] [--timeout-ms N] [--threads N] [--retries 5] [--retry-base-ms 50] [--retry-budget-ms 2000] [--retry-seed 0]\n\n\
      formats by extension: .mtx (Matrix Market), .bin (compact CSR), else edge list\n\
      --timeout bounds the ordering phase: anytime orderings return their\n\
      best-so-far (exit 3, reason on stderr); others exit 4\n\
@@ -41,7 +42,13 @@ fn usage() -> &'static str {
      --trace-out writes a schema-versioned JSONL run trace (manifest line,\n\
      then one event per phase/kernel plus registry metrics); validate it\n\
      with `gorder-cli validate-trace` (--lenient tolerates one torn\n\
-     final line — the signature a crash mid-write leaves)"
+     final line — the signature a crash mid-write leaves)\n\
+     remote sends one request to a gorder-serve daemon (ops: health,\n\
+     stats, shutdown, order, run, simulate) with seeded-jitter\n\
+     exponential backoff; busy responses are always retried, error\n\
+     responses never, lost connections only for idempotent ops.\n\
+     exit 3 when the served tier was degraded/original, 4 when every\n\
+     attempt was shed and the retry budget ran out"
 }
 
 struct Flags {
@@ -192,6 +199,61 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     Ok(flags)
 }
 
+/// Flags for `gorder-cli remote`: the request fields plus the retry
+/// schedule. Ordering reuses `--method` so local and remote invocations
+/// read the same.
+fn parse_remote_flags(
+    op: &str,
+    args: &[String],
+) -> Result<(remote::RemoteRequest, remote::RetryPolicy), CliError> {
+    let mut req = remote::RemoteRequest::control(op);
+    let mut policy = remote::RetryPolicy::default();
+    let usage_err = |msg: &str| CliError::Usage(msg.to_string());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let flag = a.as_str();
+        let value = it
+            .next()
+            .ok_or_else(|| usage_err(&format!("flag {flag} needs a value")))?;
+        let int = || -> Result<u64, CliError> {
+            value
+                .parse::<u64>()
+                .map_err(|_| usage_err(&format!("flag {flag} needs a non-negative integer")))
+        };
+        match flag {
+            "--dataset" => req.dataset = Some(value.clone()),
+            "--method" => req.ordering = Some(value.clone()),
+            "--algo" => req.algo = Some(value.clone()),
+            "--window" => {
+                req.window =
+                    u32::try_from(int()?).map_err(|_| usage_err("--window out of range"))?
+            }
+            "--seed" => req.seed = int()?,
+            "--timeout-ms" => req.timeout_ms = Some(int()?),
+            "--threads" => {
+                req.threads =
+                    u32::try_from(int()?.max(1)).map_err(|_| usage_err("--threads out of range"))?
+            }
+            "--retries" => {
+                policy.attempts =
+                    u32::try_from(int()?.max(1)).map_err(|_| usage_err("--retries out of range"))?
+            }
+            "--retry-base-ms" => policy.base_ms = int()?,
+            "--retry-budget-ms" => policy.budget_ms = int()?,
+            "--retry-seed" => policy.seed = int()?,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let is_work = matches!(op, "order" | "run" | "simulate");
+    if is_work && req.dataset.is_none() {
+        return Err(usage_err(&format!("op {op:?} needs --dataset")));
+    }
+    if !is_work && !matches!(op, "health" | "stats" | "shutdown") {
+        return Err(usage_err(&format!("unknown remote op {op:?}")));
+    }
+    Ok((req, policy))
+}
+
 fn real_main() -> Result<Option<DegradeReason>, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("");
@@ -317,6 +379,39 @@ fn real_main() -> Result<Option<DegradeReason>, CliError> {
             };
             let summary = validate_trace_file(&path, lenient)?;
             println!("{summary}");
+            Ok(None)
+        }
+        "remote" => {
+            let addr = need(1)?.clone();
+            let op = need(2)?.clone();
+            let (req, policy) = parse_remote_flags(&op, &args[3..])?;
+            let reply = gorder_cli::remote::call(&addr, &req, &policy).map_err(|e| match e {
+                remote::RemoteError::Transport(msg) => CliError::GraphIo(
+                    gorder_graph::io::GraphIoError::Io(std::io::Error::other(msg)),
+                ),
+                remote::RemoteError::BusyExhausted { attempts } => {
+                    eprintln!("server busy: gave up after {attempts} shed attempts");
+                    CliError::TimedOut
+                }
+                remote::RemoteError::Server(msg) => CliError::Failed(msg),
+            })?;
+            println!("{}", reply.report);
+            if reply.attempts > 1 {
+                eprintln!("succeeded on attempt {}", reply.attempts);
+            }
+            if let Some(tier) = &reply.tier {
+                eprintln!(
+                    "served tier: {tier}{}",
+                    if reply.degraded_serial {
+                        " (serial retry after a worker panic)"
+                    } else {
+                        ""
+                    }
+                );
+                if tier == "degraded" || tier == "original" {
+                    return Ok(Some(DegradeReason::DeadlineExceeded));
+                }
+            }
             Ok(None)
         }
         "--help" | "-h" | "help" => {

@@ -98,6 +98,31 @@ impl Budget {
         self
     }
 
+    /// Tightens the deadline to `deadline` if it is earlier than the
+    /// current one (or if none is set). A later `deadline` changes
+    /// nothing — budgets only ever get stricter, so a server draining
+    /// with a global cutoff can cap per-request budgets without ever
+    /// extending one.
+    pub fn with_earlier_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(match self.deadline {
+            Some(d) if d <= deadline => d,
+            _ => deadline,
+        });
+        self
+    }
+
+    /// The wall-clock deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set,
+    /// zero when it already passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// Requests cancellation; every clone of this budget observes it.
     pub fn cancel(&self) {
         self.cancel.store(true, Ordering::Relaxed);
@@ -230,6 +255,35 @@ mod tests {
     fn future_deadline_does_not_fire() {
         let b = Budget::unlimited().with_timeout(Duration::from_secs(3600));
         assert_eq!(b.exhausted(0), None);
+    }
+
+    #[test]
+    fn earlier_deadline_only_tightens() {
+        let near = Instant::now() + Duration::from_secs(1);
+        let far = near + Duration::from_secs(3600);
+
+        // No deadline yet: adopts the new one.
+        let b = Budget::unlimited().with_earlier_deadline(near);
+        assert_eq!(b.deadline(), Some(near));
+
+        // A later candidate changes nothing.
+        let b = b.with_earlier_deadline(far);
+        assert_eq!(b.deadline(), Some(near));
+
+        // An earlier candidate wins.
+        let sooner = Instant::now();
+        let b = b.with_earlier_deadline(sooner);
+        assert_eq!(b.deadline(), Some(sooner));
+    }
+
+    #[test]
+    fn remaining_tracks_deadline() {
+        assert_eq!(Budget::unlimited().remaining(), None);
+        let b = Budget::unlimited().with_timeout(Duration::from_secs(3600));
+        let left = b.remaining().expect("deadline set");
+        assert!(left > Duration::from_secs(3500));
+        let past = Budget::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(past.remaining(), Some(Duration::ZERO));
     }
 
     #[test]

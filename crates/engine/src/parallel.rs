@@ -38,7 +38,11 @@ pub enum TaskOutcome<R> {
 #[derive(Debug, Clone)]
 pub struct WorkerPanic(pub String);
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Best-effort extraction of the human-readable message from a
+/// `catch_unwind` payload (panics carry `&str` or `String`; anything
+/// else gets a placeholder). Shared with callers that build their own
+/// panic-isolation ladders (e.g. the serve crate's per-request guard).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

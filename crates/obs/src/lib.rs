@@ -37,7 +37,8 @@ pub use registry::{Histogram, Registry, Snapshot, SpanStats};
 pub use span::Span;
 pub use trace::{
     validate_jsonl, validate_jsonl_lenient, CellEvent, GateEvent, KernelEvent, OrderEvent,
-    PhaseEvent, RowEvent, RunManifest, TraceEvent, TraceSink, TraceSummary, SCHEMA_VERSION,
+    PhaseEvent, RowEvent, RunManifest, ServeEvent, TraceEvent, TraceSink, TraceSummary,
+    SCHEMA_VERSION,
 };
 
 /// The process-wide default registry. Library code records into this

@@ -37,7 +37,14 @@ use crate::registry::Snapshot;
 /// (`gorder-bench gate`), carrying either the deterministic sim-proxy
 /// counters (cache misses per level, ops, reuse summary) or the paired
 /// wall-clock statistics (speedup median, sign-test p, bootstrap CI).
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: added the `serve` record kind — one line per request the
+/// `gorder-serve` daemon answered, carrying the operation, its target
+/// (dataset/ordering/algo), the admission outcome (`ok`/`busy`/`error`),
+/// which degradation tier actually served it (`cache`/`full`/`degraded`/
+/// `original`), whether a worker panic forced a serial retry, and the
+/// queueing/service timings.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// FNV-1a over the bytes of a canonical config string — cheap, stable
 /// across platforms, and good enough to answer "were these two runs
@@ -279,6 +286,43 @@ pub struct GateEvent {
     pub ci_hi: f64,
 }
 
+/// One request served (or shed, or rejected) by the `gorder-serve`
+/// daemon. Exactly one record is emitted per structured response the
+/// server sends, so the trace is a complete ledger of the daemon's
+/// admission decisions: counting `serve` records equals counting
+/// responses, and a drained server's trace accounts for every accepted
+/// request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeEvent {
+    /// Requested operation (`"order"`, `"run"`, `"simulate"`,
+    /// `"health"`, `"stats"`, `"shutdown"`).
+    pub op: String,
+    /// Dataset the request targeted, when it named one.
+    pub dataset: Option<String>,
+    /// Ordering the request asked for, when it named one.
+    pub ordering: Option<String>,
+    /// Algorithm/kernel the request asked for, when it named one.
+    pub algo: Option<String>,
+    /// Admission outcome: `"ok"`, `"busy"` (shed), or `"error"`.
+    pub status: String,
+    /// Degradation tier that served the request: `"cache"` (OrderCache /
+    /// single-flight hit), `"full"` (ordering computed completely),
+    /// `"degraded"` (budget expired mid-build, anytime completion),
+    /// `"original"` (ladder floor: identity ordering). `None` for
+    /// responses with no ordering work (`health`, `busy`, errors).
+    pub tier: Option<String>,
+    /// Whether a worker panic forced this request onto the serial-retry
+    /// rung of the panic ladder.
+    pub degraded_serial: bool,
+    /// Seconds the request waited in the admission queue.
+    pub queue_secs: f64,
+    /// Seconds of service time (compute, excluding queueing).
+    pub seconds: f64,
+    /// Result checksum (kernel checksum for `run`/`simulate`,
+    /// permutation digest for `order`; 0 when not applicable).
+    pub checksum: u64,
+}
+
 /// A named, timed phase (e.g. `"gorder.build"`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseEvent {
@@ -303,6 +347,8 @@ pub enum TraceEvent {
     Phase(PhaseEvent),
     /// A verbatim artifact row (the unit of crash-safe resume).
     Row(RowEvent),
+    /// One request answered by the `gorder-serve` daemon.
+    Serve(ServeEvent),
 }
 
 impl TraceEvent {
@@ -385,6 +431,19 @@ impl TraceEvent {
                 .str("table", &r.table)
                 .str("key", &r.key)
                 .str_array("cells", &r.cells)
+                .finish(),
+            TraceEvent::Serve(s) => JsonObject::new()
+                .str("kind", "serve")
+                .str("op", &s.op)
+                .opt_str("dataset", s.dataset.as_deref())
+                .opt_str("ordering", s.ordering.as_deref())
+                .opt_str("algo", s.algo.as_deref())
+                .str("status", &s.status)
+                .opt_str("tier", s.tier.as_deref())
+                .bool("degraded_serial", s.degraded_serial)
+                .f64("queue_secs", s.queue_secs)
+                .f64("seconds", s.seconds)
+                .u64("checksum", s.checksum)
                 .finish(),
         }
     }
@@ -853,6 +912,60 @@ mod tests {
         // byte-identity must be a pure function of the counters.
         assert_eq!(obj["speedup"], "0");
         assert_eq!(obj["pairs"], "0");
+    }
+
+    #[test]
+    fn serve_event_pins_key_order() {
+        let line = TraceEvent::Serve(ServeEvent {
+            op: "run".into(),
+            dataset: Some("epinion".into()),
+            ordering: Some("Gorder".into()),
+            algo: Some("BFS".into()),
+            status: "ok".into(),
+            tier: Some("cache".into()),
+            degraded_serial: false,
+            queue_secs: 0.001,
+            seconds: 0.25,
+            checksum: 7,
+        })
+        .to_json_line();
+        assert_eq!(
+            crate::json::top_level_keys(&line),
+            vec![
+                "kind",
+                "op",
+                "dataset",
+                "ordering",
+                "algo",
+                "status",
+                "tier",
+                "degraded_serial",
+                "queue_secs",
+                "seconds",
+                "checksum",
+            ]
+        );
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj["kind"], "\"serve\"");
+        assert_eq!(obj["tier"], "\"cache\"");
+        // A shed response carries no tier: it must serialise as null,
+        // still parseable by the strict grammar.
+        let busy = TraceEvent::Serve(ServeEvent {
+            op: "run".into(),
+            dataset: Some("epinion".into()),
+            ordering: None,
+            algo: None,
+            status: "busy".into(),
+            tier: None,
+            degraded_serial: false,
+            queue_secs: 0.0,
+            seconds: 0.0,
+            checksum: 0,
+        })
+        .to_json_line();
+        let obj = parse_object(&busy).unwrap();
+        assert_eq!(obj["tier"], "null");
+        assert_eq!(obj["status"], "\"busy\"");
     }
 
     #[test]

@@ -169,9 +169,20 @@ impl OrderCache {
     }
 
     /// Stores `perm` under `key`, atomically (temp + fsync + rename).
+    ///
+    /// Safe under concurrent writers of the same key: each writer gets a
+    /// unique temp name (pid + a process-wide counter), so two racing
+    /// stores never interleave bytes in one temp file — the loser's
+    /// rename simply replaces the winner's identical entry.
     pub fn store(&self, key: &CacheKey, perm: &Permutation) -> io::Result<PathBuf> {
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let path = self.path_for(key);
-        let tmp = self.dir.join(format!(".{}.tmp", key.file_name()));
+        let tmp = self.dir.join(format!(
+            ".{}.{}.{}.tmp",
+            key.file_name(),
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
         let bytes = encode(key, perm);
         {
             let mut f = File::create(&tmp)?;

@@ -33,6 +33,7 @@ pub mod ldg;
 pub mod parallel;
 pub mod rcm;
 pub mod runner;
+pub mod single_flight;
 pub mod slashburn;
 pub mod trivial;
 pub mod undirected;
@@ -47,6 +48,7 @@ pub use ldg::Ldg;
 pub use parallel::ParallelGorder;
 pub use rcm::Rcm;
 pub use runner::{run_by_name_plan, run_ordering, OrderStats, OrderingRun};
+pub use single_flight::{FlightResult, SingleFlight};
 pub use slashburn::SlashBurn;
 pub use trivial::{Original, RandomOrder};
 

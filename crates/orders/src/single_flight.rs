@@ -1,0 +1,272 @@
+//! Single-flight deduplication for expensive ordering computations.
+//!
+//! When several callers ask for the same permutation at once — the serve
+//! daemon with one identical request per connection is the motivating
+//! case — computing it once and sharing the result beats racing N
+//! redundant Gorder runs for the same [`CacheKey`](crate::CacheKey)
+//! identity. [`SingleFlight::run`] elects the first caller per key as
+//! the **leader** (it runs the closure); every concurrent caller for the
+//! same key becomes a **follower** and blocks until the leader finishes,
+//! then receives a clone of the leader's result tagged as shared.
+//!
+//! The flight table holds no entry once a flight lands, so a *later*
+//! caller (after the leader finished) starts a fresh flight — persistent
+//! memoisation stays the job of the on-disk
+//! [`OrderCache`](crate::OrderCache); this layer only collapses
+//! *concurrent* duplicates.
+//!
+//! Panic safety: if the leader's closure panics, the flight is marked
+//! poisoned and every follower wakes up with
+//! [`FlightResult::LeaderPanicked`] instead of hanging forever; the
+//! panic itself propagates to the leader's caller unchanged.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a [`SingleFlight::run`] call produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightResult<T> {
+    /// This caller was the leader: it ran the closure itself.
+    Led(T),
+    /// This caller joined an in-progress flight and shares the leader's
+    /// result.
+    Shared(T),
+    /// The leader panicked; the follower gets no value. (The leader's
+    /// own caller sees the panic, not this.)
+    LeaderPanicked,
+}
+
+impl<T> FlightResult<T> {
+    /// The carried value, if the flight produced one.
+    pub fn value(self) -> Option<T> {
+        match self {
+            FlightResult::Led(v) | FlightResult::Shared(v) => Some(v),
+            FlightResult::LeaderPanicked => None,
+        }
+    }
+
+    /// True when this caller reused another caller's in-flight work.
+    pub fn was_shared(&self) -> bool {
+        matches!(self, FlightResult::Shared(_))
+    }
+}
+
+/// One in-progress flight: followers wait on the condvar until `done`.
+struct Flight<T> {
+    state: Mutex<FlightState<T>>,
+    cv: Condvar,
+}
+
+enum FlightState<T> {
+    Running,
+    Done(T),
+    Poisoned,
+}
+
+/// Removes the flight from the table and marks it poisoned if the
+/// leader's closure unwound without landing a result — this is what
+/// keeps followers from waiting forever on a panicked leader.
+struct LeaderGuard<'a, T: Clone> {
+    sf: &'a SingleFlight<T>,
+    key: String,
+    flight: Arc<Flight<T>>,
+    landed: bool,
+}
+
+impl<T: Clone> Drop for LeaderGuard<'_, T> {
+    fn drop(&mut self) {
+        self.sf
+            .flights
+            .lock()
+            .expect("flight table lock")
+            .remove(&self.key);
+        if !self.landed {
+            let mut st = self.flight.state.lock().expect("flight lock");
+            *st = FlightState::Poisoned;
+            self.flight.cv.notify_all();
+        }
+    }
+}
+
+/// Collapses concurrent calls that share a key into one execution.
+/// Cheap to share behind an `Arc`; the table is one mutex-guarded map
+/// keyed by the canonical identity string.
+pub struct SingleFlight<T: Clone> {
+    flights: Mutex<HashMap<String, Arc<Flight<T>>>>,
+}
+
+impl<T: Clone> Default for SingleFlight<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> SingleFlight<T> {
+    pub fn new() -> Self {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Runs `f` under single-flight semantics for `key`. Exactly one
+    /// concurrent caller per key executes `f`; the rest block and share
+    /// its result. Distinct keys never contend beyond the table lock.
+    pub fn run(&self, key: &str, f: impl FnOnce() -> T) -> FlightResult<T> {
+        // Decide leader vs follower under the table lock, then release it
+        // before any waiting or computing (LeaderGuard::drop re-locks it).
+        let (flight, is_leader) = {
+            let mut table = self.flights.lock().expect("flight table lock");
+            if let Some(existing) = table.get(key) {
+                (Arc::clone(existing), false)
+            } else {
+                let flight = Arc::new(Flight {
+                    state: Mutex::new(FlightState::Running),
+                    cv: Condvar::new(),
+                });
+                table.insert(key.to_string(), Arc::clone(&flight));
+                (flight, true)
+            }
+        };
+
+        if !is_leader {
+            // Follower: wait for the leader to land or poison the flight.
+            let mut st = flight.state.lock().expect("flight lock");
+            loop {
+                match &*st {
+                    FlightState::Running => st = flight.cv.wait(st).expect("flight wait"),
+                    FlightState::Done(v) => return FlightResult::Shared(v.clone()),
+                    FlightState::Poisoned => return FlightResult::LeaderPanicked,
+                }
+            }
+        }
+
+        let mut guard = LeaderGuard {
+            sf: self,
+            key: key.to_string(),
+            flight,
+            landed: false,
+        };
+        let value = f(); // may unwind; guard poisons the flight
+        {
+            let mut st = guard.flight.state.lock().expect("flight lock");
+            *st = FlightState::Done(value.clone());
+            guard.flight.cv.notify_all();
+        }
+        guard.landed = true;
+        FlightResult::Led(value)
+    }
+
+    /// Number of flights currently in progress (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().expect("flight table lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn solo_caller_leads() {
+        let sf = SingleFlight::new();
+        let r = sf.run("k", || 42);
+        assert_eq!(r, FlightResult::Led(42));
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let sf = SingleFlight::new();
+        assert_eq!(sf.run("k", || 1), FlightResult::Led(1));
+        // The first flight landed; a later call starts fresh (no stale
+        // memoisation — that is the on-disk cache's job).
+        assert_eq!(sf.run("k", || 2), FlightResult::Led(2));
+    }
+
+    #[test]
+    fn concurrent_same_key_runs_once() {
+        const CALLERS: usize = 8;
+        let sf = Arc::new(SingleFlight::new());
+        let runs = Arc::new(AtomicU32::new(0));
+        let barrier = Arc::new(Barrier::new(CALLERS));
+        let results: Vec<FlightResult<u32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CALLERS)
+                .map(|_| {
+                    let (sf, runs, barrier) = (sf.clone(), runs.clone(), barrier.clone());
+                    s.spawn(move || {
+                        barrier.wait();
+                        sf.run("k", || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough that the
+                            // other callers join as followers.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            7u32
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let leaders = results
+            .iter()
+            .filter(|r| matches!(r, FlightResult::Led(_)))
+            .count();
+        assert!(leaders >= 1, "someone must lead");
+        assert_eq!(
+            leaders,
+            runs.load(Ordering::SeqCst) as usize,
+            "closure ran once per leader"
+        );
+        for r in results {
+            assert_eq!(r.value(), Some(7), "every caller got the value");
+        }
+        assert_eq!(sf.in_flight(), 0, "table drained");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share() {
+        let sf = SingleFlight::new();
+        assert_eq!(sf.run("a", || 1).value(), Some(1));
+        assert_eq!(sf.run("b", || 2).value(), Some(2));
+    }
+
+    #[test]
+    fn leader_panic_wakes_followers() {
+        let sf = Arc::new(SingleFlight::new());
+        let barrier = Arc::new(Barrier::new(2));
+        std::thread::scope(|s| {
+            let leader = {
+                let (sf, barrier) = (sf.clone(), barrier.clone());
+                s.spawn(move || {
+                    let sf = std::panic::AssertUnwindSafe(&sf);
+                    std::panic::catch_unwind(|| {
+                        sf.run("k", || {
+                            barrier.wait();
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            panic!("leader died");
+                        })
+                    })
+                })
+            };
+            let follower = {
+                let (sf, barrier) = (sf.clone(), barrier.clone());
+                s.spawn(move || {
+                    barrier.wait();
+                    sf.run("k", || 9u32)
+                })
+            };
+            assert!(leader.join().unwrap().is_err(), "leader saw its panic");
+            let f = follower.join().unwrap();
+            // The follower either joined the doomed flight (and was woken
+            // by poisoning) or arrived after it was torn down and led its
+            // own flight — both are live outcomes; a hang is the bug.
+            assert!(matches!(
+                f,
+                FlightResult::LeaderPanicked | FlightResult::Led(9)
+            ));
+        });
+        assert_eq!(sf.in_flight(), 0);
+    }
+}

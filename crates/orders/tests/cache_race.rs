@@ -1,0 +1,154 @@
+//! Concurrent-writer tests for the on-disk permutation cache.
+//!
+//! The cache's atomicity story ("temp + fsync + rename, never a torn
+//! entry") only holds if two racing `store` calls for the *same* key
+//! never share a temp file. These tests hammer exactly that window:
+//! many threads storing the same key (same bytes, as in a single-flight
+//! miss-storm) and readers polling throughout — every store must
+//! succeed, every successful load must be the exact permutation, and
+//! no `.tmp` litter may survive.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+use gorder_graph::Permutation;
+use gorder_orders::{CacheKey, OrderCache};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gorder-cache-race-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn key(tag: u64) -> CacheKey {
+    CacheKey {
+        graph_digest: tag,
+        ordering: "Gorder".to_string(),
+        params: "w=5".to_string(),
+        seed: 42,
+    }
+}
+
+#[test]
+fn racing_writers_on_one_key_all_succeed() {
+    const WRITERS: usize = 8;
+    const ROUNDS: usize = 20;
+    let dir = tmpdir("same-key");
+    let cache = OrderCache::new(&dir).unwrap();
+    let n = 64u32;
+    let perm = Permutation::random(n, &mut StdRng::seed_from_u64(3));
+    let k = key(11);
+
+    for _ in 0..ROUNDS {
+        let barrier = Arc::new(Barrier::new(WRITERS));
+        std::thread::scope(|s| {
+            for _ in 0..WRITERS {
+                let (cache, perm, k, barrier) = (&cache, &perm, &k, barrier.clone());
+                s.spawn(move || {
+                    barrier.wait();
+                    cache.store(k, perm).expect("racing store must succeed");
+                });
+            }
+        });
+        let loaded = cache.load(&k, n).expect("entry present after the race");
+        assert_eq!(loaded.as_slice(), perm.as_slice(), "no torn entry");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn readers_racing_writers_never_see_torn_entries() {
+    const WRITERS: usize = 4;
+    const READS: usize = 200;
+    let dir = tmpdir("read-write");
+    let cache = OrderCache::new(&dir).unwrap();
+    let n = 128u32;
+    let perm = Permutation::random(n, &mut StdRng::seed_from_u64(5));
+    let k = key(23);
+
+    std::thread::scope(|s| {
+        for _ in 0..WRITERS {
+            let (cache, perm, k) = (&cache, &perm, &k);
+            s.spawn(move || {
+                for _ in 0..READS / 4 {
+                    cache.store(k, perm).expect("store");
+                }
+            });
+        }
+        let (cache, perm, k) = (&cache, &perm, &k);
+        s.spawn(move || {
+            let mut hits = 0;
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while hits < READS && std::time::Instant::now() < deadline {
+                // A miss (not-yet-written) is fine; a wrong permutation
+                // or a decode panic is the failure this guards against.
+                if let Some(loaded) = cache.load(k, n) {
+                    assert_eq!(loaded.as_slice(), perm.as_slice());
+                    hits += 1;
+                }
+            }
+            assert!(hits > 0, "no read observed the entry within 10s");
+        });
+    });
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn racing_writers_leave_no_tmp_litter() {
+    const WRITERS: usize = 8;
+    let dir = tmpdir("litter");
+    let cache = OrderCache::new(&dir).unwrap();
+    let n = 32u32;
+    let perm = Permutation::random(n, &mut StdRng::seed_from_u64(8));
+    let barrier = Arc::new(Barrier::new(WRITERS));
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let (cache, perm, barrier) = (&cache, &perm, barrier.clone());
+            s.spawn(move || {
+                barrier.wait();
+                // Half the writers share one key, half spread out —
+                // both patterns must clean up their temp files.
+                cache.store(&key(u64::from(w as u32) % 2), perm).unwrap();
+            });
+        }
+    });
+
+    let leftovers: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|name| name.ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "tmp litter: {leftovers:?}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn distinct_keys_race_cleanly() {
+    const WRITERS: usize = 8;
+    let dir = tmpdir("distinct");
+    let cache = OrderCache::new(&dir).unwrap();
+    let n = 48u32;
+    let perms: Vec<Permutation> = (0..WRITERS as u64)
+        .map(|i| Permutation::random(n, &mut StdRng::seed_from_u64(i)))
+        .collect();
+    let barrier = Arc::new(Barrier::new(WRITERS));
+
+    std::thread::scope(|s| {
+        for (i, perm) in perms.iter().enumerate() {
+            let (cache, barrier) = (&cache, barrier.clone());
+            s.spawn(move || {
+                barrier.wait();
+                cache.store(&key(100 + i as u64), perm).unwrap();
+            });
+        }
+    });
+    for (i, perm) in perms.iter().enumerate() {
+        let loaded = cache.load(&key(100 + i as u64), n).expect("each key lands");
+        assert_eq!(loaded.as_slice(), perm.as_slice());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

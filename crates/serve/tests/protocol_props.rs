@@ -1,0 +1,140 @@
+//! Adversarial input properties: arbitrary bytes on the wire must never
+//! panic or hang the parser or the server — every frame gets exactly one
+//! structured response, reads are size-capped, and a connection survives
+//! its own garbage.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::AtomicBool;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use gorder_serve::{parse_request, parse_response, FrameError, FrameReader, MAX_FRAME_BYTES};
+use gorder_serve::{Server, ServerConfig};
+use proptest::prelude::*;
+
+/// One shared server for the whole binary: proptest runs hundreds of
+/// cases, and the property is precisely that none of them kill it.
+fn server_addr() -> &'static str {
+    static ADDR: OnceLock<String> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let server = Server::bind(ServerConfig {
+            datasets: vec!["wiki".to_string()],
+            scale: 0.02,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        std::thread::spawn(move || server.run(flag));
+        addr
+    })
+}
+
+/// Sends each payload as one line on a single connection and returns the
+/// response lines. The 10 s timeout turns a hung server into a failure
+/// instead of a stuck test run.
+fn converse(payloads: &[Vec<u8>]) -> Vec<String> {
+    let stream = TcpStream::connect(server_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut w = &stream;
+    let mut r = BufReader::new(&stream);
+    let mut replies = Vec::new();
+    for p in payloads {
+        w.write_all(p).unwrap();
+        w.write_all(b"\n").unwrap();
+        w.flush().unwrap();
+        let mut line = String::new();
+        r.read_line(&mut line).expect("server must answer");
+        assert!(!line.is_empty(), "server closed instead of answering");
+        replies.push(line.trim_end().to_string());
+    }
+    replies
+}
+
+/// Any byte except `\n`/`\r` (which would split the frame).
+fn frame_bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        any::<u8>().prop_map(|b| if b == b'\n' || b == b'\r' { b'#' } else { b }),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The request parser is total: arbitrary input returns Ok or Err,
+    // never panics.
+    #[test]
+    fn parse_request_is_total(bytes in frame_bytes(512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_request(&text);
+    }
+
+    // Mutating one byte of a valid request still parses or errors
+    // cleanly — truncation included.
+    #[test]
+    fn mutated_valid_requests_never_panic(
+        cut in 0usize..60,
+        flip in 0usize..60,
+        byte in any::<u8>(),
+    ) {
+        let valid = b"{\"op\":\"run\",\"dataset\":\"wiki\",\"algo\":\"PR\",\"seed\":7}";
+        let mut bytes = valid[..cut.min(valid.len())].to_vec();
+        if flip < bytes.len() {
+            bytes[flip] = byte;
+        }
+        let _ = parse_request(&String::from_utf8_lossy(&bytes));
+    }
+
+    // A live server answers every garbage frame with one structured
+    // error (or ok, if the fuzzer stumbles onto a valid request) and
+    // still answers a well-formed health check on the same connection.
+    #[test]
+    fn live_server_answers_garbage_then_health(frames in proptest::collection::vec(frame_bytes(256), 1..4)) {
+        let mut payloads = frames;
+        payloads.push(b"{\"op\":\"health\"}".to_vec());
+        let replies = converse(&payloads);
+        for r in &replies {
+            let parsed = parse_response(r).expect("every reply is a structured response");
+            prop_assert!(
+                matches!(parsed.status.as_str(), "ok" | "busy" | "error"),
+                "unexpected status in {r:?}"
+            );
+        }
+        let last = parse_response(replies.last().unwrap()).unwrap();
+        prop_assert_eq!(last.status.as_str(), "ok", "connection survived the garbage");
+    }
+
+    // Oversized frames are answered with a structured error, the read is
+    // capped (the server never buffers the whole flood), and the next
+    // frame on the same connection parses normally.
+    #[test]
+    fn oversized_frames_are_capped_and_recoverable(extra in 1usize..8192, fill in any::<u8>()) {
+        let byte = if fill == b'\n' || fill == b'\r' { b'x' } else { fill };
+        let huge = vec![byte; MAX_FRAME_BYTES + extra];
+        let replies = converse(&[huge, b"{\"op\":\"health\"}".to_vec()]);
+        prop_assert!(
+            replies[0].contains("exceeds"),
+            "oversized frame named: {:?}",
+            replies[0]
+        );
+        let health = parse_response(&replies[1]).unwrap();
+        prop_assert_eq!(health.status.as_str(), "ok");
+    }
+}
+
+#[test]
+fn frame_reader_caps_memory_even_without_newlines() {
+    // A frame that never ends: the reader must refuse at the cap, not
+    // grow without bound, and must keep serving once a newline arrives.
+    let mut data = vec![b'a'; MAX_FRAME_BYTES * 3];
+    data.push(b'\n');
+    data.extend_from_slice(b"{\"op\":\"health\"}\n");
+    let mut reader = FrameReader::new(BufReader::new(&data[..]));
+    assert!(matches!(reader.next_frame(), Err(FrameError::TooLong)));
+    assert_eq!(reader.next_frame().unwrap(), "{\"op\":\"health\"}");
+    assert!(matches!(reader.next_frame(), Err(FrameError::Eof)));
+}

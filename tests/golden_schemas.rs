@@ -144,11 +144,11 @@ fn trace_jsonl_keys_match_golden() {
     use gorder_obs::json::parse_object;
     use gorder_obs::{
         CellEvent, GateEvent, KernelEvent, OrderEvent, PhaseEvent, Registry, RowEvent, RunManifest,
-        TraceEvent, TraceSink, SCHEMA_VERSION,
+        ServeEvent, TraceEvent, TraceSink, SCHEMA_VERSION,
     };
 
     assert_eq!(
-        SCHEMA_VERSION, 4,
+        SCHEMA_VERSION, 5,
         "bumping the trace schema version requires regenerating \
          tests/golden/trace_keys.txt and notifying trace consumers"
     );
@@ -241,6 +241,19 @@ fn trace_jsonl_keys_match_golden() {
         table: "fig5.csv".into(),
         key: "d|BFS|Gorder".into(),
         cells: vec!["d".into(), "BFS".into(), "Gorder".into()],
+    }))
+    .unwrap();
+    sink.event(&TraceEvent::Serve(ServeEvent {
+        op: "run".into(),
+        dataset: Some("d".into()),
+        ordering: Some("Gorder".into()),
+        algo: Some("BFS".into()),
+        status: "ok".into(),
+        tier: Some("cache".into()),
+        degraded_serial: false,
+        queue_secs: 0.001,
+        seconds: 0.5,
+        checksum: 7,
     }))
     .unwrap();
     sink.metrics(&reg.snapshot()).unwrap();

@@ -104,7 +104,9 @@ fn fig5_pr_ranking_shape() {
     let g = gorder::graph::datasets::wiki_like().build(0.06);
     let mr = miss_rates_per_ordering(&g, 9);
     let mut ranked: Vec<(&String, &f64)> = mr.iter().collect();
-    ranked.sort_by(|a, b| a.1.partial_cmp(b.1).unwrap());
+    // total_cmp, not partial_cmp().unwrap(): a NaN miss rate should fail
+    // the ranking assertions below, not panic the comparator.
+    ranked.sort_by(|a, b| a.1.total_cmp(b.1));
     let names: Vec<&str> = ranked.iter().map(|(n, _)| n.as_str()).collect();
     let pos = |n: &str| names.iter().position(|&x| x == n).unwrap();
     assert!(pos("Gorder") <= 2, "Gorder should rank top-3: {names:?}");
@@ -112,6 +114,22 @@ fn fig5_pr_ranking_shape() {
         pos("Random") >= names.len() - 2,
         "Random should rank bottom-2: {names:?}"
     );
+}
+
+/// Regression for the fig5 ranking sort above: a degenerate miss-rate
+/// table (NaN from a 0/0 rate, infinities) must sort without panicking,
+/// with NaN ordered deterministically last rather than poisoning the
+/// comparator.
+#[test]
+fn ranking_sort_tolerates_non_finite_rates() {
+    let mut ranked = [
+        ("nan".to_string(), f64::NAN),
+        ("ok".to_string(), 0.5),
+        ("inf".to_string(), f64::INFINITY),
+    ];
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let names: Vec<&str> = ranked.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["ok", "inf", "nan"]);
 }
 
 /// Table 2 shape: trivial orderings are much cheaper than Gorder, and
